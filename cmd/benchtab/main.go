@@ -1,0 +1,105 @@
+// Command benchtab regenerates the full experiment tables (E1–E10,
+// DESIGN.md §6) at the complete size sweep and prints them in the format
+// recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtab [-seed N] [-sizes 4,8,16,24] [-only E2,E8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "base random seed")
+	sizesFlag := flag.String("sizes", "4,8,16,24", "comma-separated N sweep")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E8); empty = all")
+	flag.Parse()
+
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	wanted := parseOnly(*only)
+
+	run := func(id string, fn func() []workload.Series) {
+		if wanted != nil && !wanted[id] {
+			return
+		}
+		fmt.Printf("=== %s ===\n", id)
+		for _, s := range fn() {
+			fmt.Println(s.Render())
+		}
+	}
+
+	run("E1", func() []workload.Series {
+		return []workload.Series{experiments.E1DelicateLatency(*seed, sizes)}
+	})
+	run("E2", func() []workload.Series {
+		return []workload.Series{experiments.E2BruteForceConvergence(*seed, sizes)}
+	})
+	run("E3", func() []workload.Series {
+		return []workload.Series{experiments.E3SpuriousTriggers(*seed, sizes)}
+	})
+	run("E4", func() []workload.Series { return experiments.E4LabelCreations(*seed, sizes) })
+	run("E5", func() []workload.Series {
+		return []workload.Series{experiments.E5CounterIncrement(*seed, sizes)}
+	})
+	run("E6", func() []workload.Series {
+		return []workload.Series{experiments.E6VSReconfiguration(*seed, clampMin(sizes, 5))}
+	})
+	run("E7", func() []workload.Series {
+		return []workload.Series{experiments.E7JoinLatency(*seed, sizes)}
+	})
+	run("E8", func() []workload.Series { return experiments.E8BaselineComparison(*seed, sizes) })
+	run("E9", func() []workload.Series {
+		return []workload.Series{experiments.E9SharedMemory(*seed, sizes)}
+	})
+	run("E10", func() []workload.Series { return experiments.E10Ablation(*seed, sizes) })
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseOnly(s string) map[string]bool {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	out := map[string]bool{}
+	for _, p := range strings.Split(s, ",") {
+		out[strings.ToUpper(strings.TrimSpace(p))] = true
+	}
+	return out
+}
+
+// clampMin raises every size below min to min (E6 needs ≥5 processors so a
+// non-coordinator member can crash while a majority survives).
+func clampMin(sizes []int, min int) []int {
+	out := make([]int, 0, len(sizes))
+	for _, n := range sizes {
+		if n < min {
+			n = min
+		}
+		out = append(out, n)
+	}
+	return out
+}

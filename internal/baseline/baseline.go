@@ -1,0 +1,127 @@
+// Package baseline implements a deliberately non-self-stabilizing
+// reconfiguration service in the style the paper's related-work section
+// describes (e.g., RAMBO [17] and DynaStore [2] as characterized there):
+// correctness presumes a coherent start, configurations are ordered by an
+// unbounded epoch number, and there is no detection of — or recovery from —
+// stale information. It is the comparator for experiment E8: from a
+// coherent start it reconfigures exactly like a classic scheme, but after a
+// transient fault that leaves two equal-epoch configurations in the system
+// it stays split forever, whereas the paper's scheme recovers.
+package baseline
+
+import (
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// Message is the baseline's gossip: the sender's configuration and epoch.
+type Message struct {
+	Epoch  uint64
+	Config ids.Set
+}
+
+// Node is one baseline processor. It gossips (epoch, config) and adopts
+// any strictly higher epoch; equal epochs with different configurations
+// are never reconciled — the design hole self-stabilization closes.
+type Node struct {
+	self   ids.ID
+	net    *netsim.Network
+	peers  ids.Set
+	epoch  uint64
+	config ids.Set
+}
+
+// NewNode creates a baseline node with the given coherent-start state.
+func NewNode(net *netsim.Network, self ids.ID, peers ids.Set, config ids.Set) (*Node, error) {
+	n := &Node{self: self, net: net, peers: peers, epoch: 1, config: config}
+	if err := net.AddNode(self, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Config returns the node's current configuration and epoch.
+func (n *Node) Config() (ids.Set, uint64) { return n.config, n.epoch }
+
+// Reconfigure installs a new configuration under the next epoch and
+// gossips it; there is no agreement round — a higher epoch simply wins
+// (the coherent-start assumption makes that sufficient).
+func (n *Node) Reconfigure(config ids.Set) {
+	n.epoch++
+	n.config = config
+}
+
+// Corrupt is the transient-fault hook: it overwrites configuration and
+// epoch without any of the paper's detection machinery noticing.
+func (n *Node) Corrupt(config ids.Set, epoch uint64) {
+	n.config = config
+	n.epoch = epoch
+}
+
+// Tick implements netsim.Handler: gossip to all peers.
+func (n *Node) Tick() {
+	n.peers.Each(func(p ids.ID) {
+		if p != n.self {
+			n.net.Send(n.self, p, Message{Epoch: n.epoch, Config: n.config})
+		}
+	})
+}
+
+// Receive implements netsim.Handler: adopt strictly higher epochs only.
+func (n *Node) Receive(_ ids.ID, payload any) {
+	m, ok := payload.(Message)
+	if !ok {
+		return
+	}
+	if m.Epoch > n.epoch {
+		n.epoch = m.Epoch
+		n.config = m.Config
+	}
+	// m.Epoch == n.epoch with a different config: silently ignored.
+	// This is precisely the unhandled conflict the paper's type-2
+	// staleness detection exists for.
+}
+
+// Cluster is a convenience harness mirroring core.Cluster for benches.
+type Cluster struct {
+	Net   *netsim.Network
+	nodes map[ids.ID]*Node
+}
+
+// NewCluster builds n baseline nodes with a coherent configuration.
+func NewCluster(net *netsim.Network, n int) (*Cluster, error) {
+	all := ids.Range(1, ids.ID(n))
+	c := &Cluster{Net: net, nodes: make(map[ids.ID]*Node, n)}
+	for i := 1; i <= n; i++ {
+		node, err := NewNode(net, ids.ID(i), all, all)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[ids.ID(i)] = node
+	}
+	return c, nil
+}
+
+// Node returns a node by id.
+func (c *Cluster) Node(id ids.ID) *Node { return c.nodes[id] }
+
+// Converged reports whether all alive nodes agree on one configuration.
+func (c *Cluster) Converged() (ids.Set, bool) {
+	var agreed ids.Set
+	var epoch uint64
+	first, ok := true, true
+	for id, n := range c.nodes {
+		if c.Net.Crashed(id) {
+			continue
+		}
+		if first {
+			agreed, epoch = n.config, n.epoch
+			first = false
+			continue
+		}
+		if !agreed.Equal(n.config) || epoch != n.epoch {
+			ok = false
+		}
+	}
+	return agreed, ok && !first
+}

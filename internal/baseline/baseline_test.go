@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func newHarness(t *testing.T, n int) (*sim.Scheduler, *Cluster) {
+	t.Helper()
+	sched := sim.NewScheduler(61)
+	net := netsim.New(sched, netsim.DefaultOptions())
+	c, err := NewCluster(net, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, c
+}
+
+func TestCoherentStartAgrees(t *testing.T) {
+	sched, c := newHarness(t, 5)
+	sched.RunUntil(2000)
+	cfg, ok := c.Converged()
+	if !ok || !cfg.Equal(ids.Range(1, 5)) {
+		t.Fatalf("baseline lost coherent agreement: %v %v", cfg, ok)
+	}
+}
+
+func TestReconfigurationPropagates(t *testing.T) {
+	sched, c := newHarness(t, 5)
+	sched.RunUntil(500)
+	c.Node(1).Reconfigure(ids.NewSet(1, 2, 3))
+	sched.RunUntil(5000)
+	cfg, ok := c.Converged()
+	if !ok || !cfg.Equal(ids.NewSet(1, 2, 3)) {
+		t.Fatalf("reconfiguration did not propagate: %v %v", cfg, ok)
+	}
+}
+
+func TestHigherEpochWins(t *testing.T) {
+	sched, c := newHarness(t, 4)
+	sched.RunUntil(500)
+	c.Node(1).Reconfigure(ids.NewSet(1, 2))
+	c.Node(2).Reconfigure(ids.NewSet(3, 4))
+	c.Node(2).Reconfigure(ids.NewSet(2, 3, 4)) // epoch 3 beats epoch 2
+	sched.RunUntil(5000)
+	cfg, ok := c.Converged()
+	if !ok || !cfg.Equal(ids.NewSet(2, 3, 4)) {
+		t.Fatalf("highest epoch did not win: %v %v", cfg, ok)
+	}
+}
+
+func TestTransientFaultNeverRecovers(t *testing.T) {
+	// The headline negative result: equal epochs with different configs
+	// stay split forever — no transient-fault recovery.
+	sched, c := newHarness(t, 4)
+	sched.RunUntil(500)
+	c.Node(1).Corrupt(ids.NewSet(1, 2), 7)
+	c.Node(2).Corrupt(ids.NewSet(1, 2), 7)
+	c.Node(3).Corrupt(ids.NewSet(3, 4), 7)
+	c.Node(4).Corrupt(ids.NewSet(3, 4), 7)
+	sched.RunUntil(60000)
+	if _, ok := c.Converged(); ok {
+		t.Fatal("baseline unexpectedly recovered from a transient fault")
+	}
+}
+
+func TestGarbageIgnored(t *testing.T) {
+	sched, c := newHarness(t, 2)
+	c.Net.InjectPacket(1, 2, "garbage")
+	sched.RunUntil(1000)
+	if _, ok := c.Converged(); !ok {
+		t.Fatal("garbage packet broke the baseline")
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/sim"
+)
+
+// AgreementViolation records a point in virtual time at which two alive
+// processors both observed a steady system (noReco) yet held different
+// configurations — the safety property the whole scheme exists to protect.
+type AgreementViolation struct {
+	At   sim.Time
+	A, B ids.ID
+	QA   ids.Set
+	QB   ids.Set
+}
+
+func (v AgreementViolation) String() string {
+	return fmt.Sprintf("t=%d: %v believes %v but %v believes %v (both steady)",
+		v.At, v.A, v.QA, v.B, v.QB)
+}
+
+// AgreementMonitor continuously checks the conflict-freedom objective:
+// "no two alive processors consider different configurations" among
+// processors that observe no ongoing reconfiguration. Self-stabilization
+// only promises the property *from convergence onward*, so the monitor is
+// typically armed after the first convergence and left running through
+// whatever the test throws at the cluster (crashes, joins, delicate
+// replacements — but not new transient faults, which legitimately break
+// safety until re-convergence).
+type AgreementMonitor struct {
+	cluster    *Cluster
+	stop       sim.Cancel
+	Violations []AgreementViolation
+}
+
+// MonitorAgreement arms the monitor, sampling every `every` virtual ticks.
+func (c *Cluster) MonitorAgreement(every sim.Time) *AgreementMonitor {
+	if every <= 0 {
+		every = 20
+	}
+	m := &AgreementMonitor{cluster: c}
+	m.stop = c.Sched.Every(every, every, 0, m.sample)
+	return m
+}
+
+// Stop disarms the monitor.
+func (m *AgreementMonitor) Stop() {
+	if m.stop != nil {
+		m.stop()
+	}
+}
+
+func (m *AgreementMonitor) sample() {
+	type steady struct {
+		id ids.ID
+		q  ids.Set
+	}
+	var seen []steady
+	m.cluster.EachAlive(func(n *Node) {
+		if !n.IsParticipant() || !n.NoReco() {
+			return
+		}
+		q, ok := n.Quorum()
+		if !ok {
+			return
+		}
+		seen = append(seen, steady{id: n.Self(), q: q})
+	})
+	for i := 1; i < len(seen); i++ {
+		if !seen[0].q.Equal(seen[i].q) {
+			m.Violations = append(m.Violations, AgreementViolation{
+				At: m.cluster.Sched.Now(),
+				A:  seen[0].id, QA: seen[0].q,
+				B: seen[i].id, QB: seen[i].q,
+			})
+		}
+	}
+}

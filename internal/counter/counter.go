@@ -1,0 +1,209 @@
+// Package counter implements the paper's practically-infinite
+// self-stabilizing counter (Section 4.2, Algorithms 4.3–4.5). A counter is
+// a triple ⟨lbl, seqn, wid⟩: a bounded epoch label from the labeling scheme
+// (Section 4.1), a bounded sequence number, and the identifier of the
+// processor that wrote the sequence number. Counters order by label first,
+// then seqn, then wid — a total order once the labels agree, which lets
+// concurrent incrementers produce distinct, monotonically increasing
+// values. When a transient fault drives seqn to its maximum, the epoch
+// label is canceled and a fresh, strictly larger label restarts seqn — so
+// the counter survives what would wrap an ordinary 64-bit integer.
+//
+// Configuration members maintain the maximal counter (Algorithm 4.3 gossip
+// + Algorithm 4.4 member increments); any participant can increment through
+// a majority read followed by a majority write (Algorithm 4.5), aborting
+// cleanly while a reconfiguration is in progress.
+package counter
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+	"repro/internal/label"
+)
+
+// Counter is the triple ⟨lbl, seqn, wid⟩.
+type Counter struct {
+	Lbl  label.Label
+	Seqn uint64
+	WID  ids.ID
+}
+
+// Less implements the paper's ≺ct order: by label (≺lb), then sequence
+// number, then writer identifier. When the labels are incomparable, the
+// counters are incomparable and Less is false both ways.
+func (c Counter) Less(o Counter) bool {
+	if !c.Lbl.Equal(o.Lbl) {
+		return c.Lbl.Less(o.Lbl)
+	}
+	if c.Seqn != o.Seqn {
+		return c.Seqn < o.Seqn
+	}
+	return c.WID < o.WID
+}
+
+// Equal compares counters structurally.
+func (c Counter) Equal(o Counter) bool {
+	return c.Lbl.Equal(o.Lbl) && c.Seqn == o.Seqn && c.WID == o.WID
+}
+
+func (c Counter) String() string {
+	return fmt.Sprintf("⟨%v|%d|%v⟩", c.Lbl, c.Seqn, c.WID)
+}
+
+// Pair is the exchanged unit ⟨mct, cct⟩; a nil Cancel means legit.
+type Pair struct {
+	MCT    Counter
+	Cancel *Counter
+}
+
+// Legit reports the pair is not canceled.
+func (p Pair) Legit() bool { return p.Cancel == nil }
+
+func (p Pair) String() string {
+	if p.Cancel == nil {
+		return fmt.Sprintf("(%v,⊥)", p.MCT)
+	}
+	return fmt.Sprintf("(%v,%v)", p.MCT, *p.Cancel)
+}
+
+// Store is the member-side counter bookkeeping of Algorithm 4.3: the label
+// machinery of Algorithm 4.2 for epoch selection plus the highest sequence
+// number seen per epoch label.
+type Store struct {
+	self      ids.ID
+	labels    *label.Store
+	exhaustAt uint64
+	seqns     map[string]seqEntry // label key → highest (seqn, wid)
+}
+
+type seqEntry struct {
+	seqn uint64
+	wid  ids.ID
+}
+
+// NewStore builds the counter store for a configuration. exhaustAt is the
+// paper's 2^b bound (b=64 conceptually; tests use small values to exercise
+// epoch changes).
+func NewStore(self ids.ID, members ids.Set, opts label.StoreOptions, exhaustAt uint64) *Store {
+	if exhaustAt == 0 {
+		exhaustAt = 1 << 60
+	}
+	return &Store{
+		self:      self,
+		labels:    label.NewStore(self, members, opts),
+		exhaustAt: exhaustAt,
+		seqns:     make(map[string]seqEntry),
+	}
+}
+
+// Labels exposes the underlying label store.
+func (s *Store) Labels() *label.Store { return s.labels }
+
+// Rebuild adapts the structures to a new configuration; sequence numbers of
+// dropped epochs are forgotten along with their labels.
+func (s *Store) Rebuild(members ids.Set) {
+	s.labels.Rebuild(members)
+	s.prune()
+}
+
+// prune drops seqn entries for labels by non-members and bounds the map.
+func (s *Store) prune() {
+	for k := range s.seqns {
+		if !s.labelKnownMember(k) {
+			delete(s.seqns, k)
+		}
+	}
+	for k := range s.seqns {
+		if len(s.seqns) <= 4096 {
+			break
+		}
+		delete(s.seqns, k)
+	}
+}
+
+func (s *Store) labelKnownMember(key string) bool {
+	// Key embeds the creator prefix "⟨pN;..."; cheap containment check by
+	// re-deriving keys of member maxima is costlier than useful — keep
+	// entries whose creator appears in the member set.
+	ok := false
+	s.labels.Members().Each(func(m ids.ID) {
+		prefix := fmt.Sprintf("⟨%v;", m)
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			ok = true
+		}
+	})
+	return ok
+}
+
+// Exhausted reports whether a counter's sequence number reached the bound
+// (the paper's exhausted(ctp)).
+func (s *Store) Exhausted(c Counter) bool { return c.Seqn >= s.exhaustAt }
+
+// Observe folds a counter into the store: its label joins the label
+// machinery and its sequence number updates the epoch's high-water mark.
+// Exhausted counters cancel their epoch label.
+func (s *Store) Observe(from ids.ID, c Counter) {
+	key := c.Lbl.String()
+	if e, ok := s.seqns[key]; !ok || e.seqn < c.Seqn || (e.seqn == c.Seqn && e.wid < c.WID) {
+		s.seqns[key] = seqEntry{seqn: c.Seqn, wid: c.WID}
+	}
+	if p, ok := s.labels.CleanPair(label.Pair{ML: c.Lbl}); ok {
+		s.labels.Receive(p, true, label.Pair{}, false, from)
+	}
+	if s.Exhausted(c) {
+		s.cancelLabel(c.Lbl)
+	}
+}
+
+// ObservePair folds a gossiped counter pair in, honoring cancellations.
+func (s *Store) ObservePair(from ids.ID, p Pair) {
+	if p.Cancel != nil {
+		s.cancelLabel(p.MCT.Lbl)
+		return
+	}
+	s.Observe(from, p.MCT)
+}
+
+// cancelLabel retires an epoch label (cancelExhausted: the pair is canceled
+// by its own label, which is never below itself).
+func (s *Store) cancelLabel(l label.Label) {
+	if p, ok := s.labels.CleanPair(label.Pair{ML: l, Cancel: &l}); ok {
+		s.labels.Receive(p, true, label.Pair{}, false, s.self)
+	}
+}
+
+// MaxCounter is Algorithm 4.4's findMaxCounter: derive the maximal
+// non-exhausted counter, canceling exhausted epochs until a usable label
+// emerges (a fresh label is created when all known ones are spent).
+func (s *Store) MaxCounter() (Counter, bool) {
+	for tries := 0; tries < 1024; tries++ {
+		p, ok := s.labels.LocalMax()
+		if !ok {
+			return Counter{}, false
+		}
+		if !p.Legit() {
+			s.cancelLabel(p.ML)
+			continue
+		}
+		c := Counter{Lbl: p.ML}
+		if e, ok := s.seqns[p.ML.String()]; ok {
+			c.Seqn, c.WID = e.seqn, e.wid
+		}
+		if s.Exhausted(c) {
+			s.cancelLabel(p.ML)
+			continue
+		}
+		return c, true
+	}
+	return Counter{}, false
+}
+
+// MaxPair returns the current maximal counter as a gossip pair.
+func (s *Store) MaxPair() (Pair, bool) {
+	c, ok := s.MaxCounter()
+	if !ok {
+		return Pair{}, false
+	}
+	return Pair{MCT: c}, true
+}

@@ -1,0 +1,371 @@
+// Package datalink implements the paper's self-stabilizing data-link layer
+// (Section 2): a token-carrying stop-and-wait protocol over unreliable
+// bounded-capacity channels, together with the snap-stabilizing link
+// cleaning that newly established (or corrupted) links must perform before
+// any message is handed to the reconfiguration, joining, or application
+// layers.
+//
+// Two anti-parallel data links run over every processor pair: each side is
+// the sender of its own link and the receiver of the other. The sender
+// retransmits the current packet until enough acknowledgments arrive
+// ("retransmitted until more than the total capacity acknowledgments
+// arrive"); every completed exchange is a returned token, which doubles as
+// the heartbeat consumed by the (N,Θ)-failure detector — when a processor
+// is no longer active the token stops coming back.
+//
+// Cleaning follows the snap-stabilizing discipline of [15] adapted to pairs:
+// the sender floods a nonce-tagged CLEAN packet and waits for strictly more
+// than the channel capacity matching CLEAN-ACKs, which guarantees at least
+// one genuine acknowledgment and that all stale packets of the previous
+// incarnation have drained. Any detectable inconsistency (no progress for a
+// timeout, unknown session on the receiver) drives the link back through
+// cleaning, making the layer self-stabilizing.
+package datalink
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Kind enumerates packet types.
+type Kind int
+
+// Packet kinds. Data/Clean travel from the link's sender; Ack/CleanAck
+// travel back from the link's receiver.
+const (
+	KindClean Kind = iota + 1
+	KindCleanAck
+	KindData
+	KindAck
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindClean:
+		return "CLEAN"
+	case KindCleanAck:
+		return "CLEAN-ACK"
+	case KindData:
+		return "DATA"
+	case KindAck:
+		return "ACK"
+	default:
+		return "?"
+	}
+}
+
+// Packet is the low-level unit exchanged through the network. Per the
+// paper's labeling discipline, packets are identified by the data link they
+// belong to; here the (sender, receiver) identities come from the transport
+// and Session plays the role of the cleaned-link incarnation label.
+type Packet struct {
+	Kind    Kind
+	Session uint64 // link incarnation nonce established by cleaning
+	Seq     uint8  // alternating packet label within a session
+	Payload any    // application message (KindData only)
+}
+
+// Options tunes the link protocol.
+type Options struct {
+	// Capacity is the channel capacity bound (the paper's cap); cleaning
+	// demands Capacity+1 matching CLEAN-ACKs.
+	Capacity int
+	// AckThreshold is the number of acknowledgments that complete a data
+	// token cycle. The paper's fully bounded construction uses
+	// Capacity+1; with nonce-tagged sessions a single acknowledgment
+	// already implies genuine receipt, so the default is 1 (set it to
+	// Capacity+1 to run in strict paper mode — experiment E10 measures
+	// the difference).
+	AckThreshold int
+	// StaleTicks is the number of sender ticks without progress after
+	// which the link is re-cleaned.
+	StaleTicks int
+}
+
+// DefaultOptions matches netsim.DefaultOptions' capacity.
+func DefaultOptions() Options {
+	return Options{Capacity: 8, AckThreshold: 1, StaleTicks: 12}
+}
+
+type senderState int
+
+const (
+	senderCleaning senderState = iota + 1
+	senderSteady
+)
+
+type peer struct {
+	// sender half (this endpoint's own data link toward the peer)
+	state     senderState
+	session   uint64
+	cleanAcks int
+	seq       uint8
+	cur       any
+	curValid  bool
+	acks      int
+	stale     int
+
+	// receiver half (the peer's data link toward this endpoint)
+	rxSession      uint64
+	rxSessionValid bool
+	rxSeq          uint8
+	rxSeqValid     bool
+}
+
+// Endpoint is one processor's data-link multiplexer over all its peers.
+// It is a pure step machine: the owner invokes Tick and HandlePacket, and
+// the endpoint calls back through the injected functions.
+type Endpoint struct {
+	self  ids.ID
+	opts  Options
+	rng   *rand.Rand
+	peers map[ids.ID]*peer
+
+	// send transmits a raw packet through the (unreliable) network.
+	send func(to ids.ID, pkt Packet)
+	// deliver hands a cleanly received message to the upper layer.
+	deliver func(from ids.ID, msg any)
+	// heartbeat reports a returned token (the peer is alive).
+	heartbeat func(peer ids.ID)
+	// source produces the current outgoing message for a peer at the
+	// start of each token cycle; returning nil skips the cycle's payload
+	// (an empty token is still exchanged, so heartbeats keep flowing).
+	source func(to ids.ID) any
+
+	stats Stats
+}
+
+// Stats counts link-level events for the benchmarks.
+type Stats struct {
+	Cleanings     uint64
+	CyclesDone    uint64
+	Delivered     uint64
+	StaleIgnored  uint64
+	TimeoutsReset uint64
+}
+
+// Config carries the injected callbacks for NewEndpoint.
+type Config struct {
+	Self      ids.ID
+	Opts      Options
+	Rand      *rand.Rand
+	Send      func(to ids.ID, pkt Packet)
+	Deliver   func(from ids.ID, msg any)
+	Heartbeat func(peer ids.ID)
+	Source    func(to ids.ID) any
+}
+
+// NewEndpoint constructs an endpoint. All callbacks must be non-nil except
+// Deliver/Heartbeat/Source which may be nil (treated as no-ops).
+func NewEndpoint(cfg Config) *Endpoint {
+	if cfg.Opts.Capacity <= 0 {
+		cfg.Opts = DefaultOptions()
+	}
+	if cfg.Opts.AckThreshold <= 0 {
+		cfg.Opts.AckThreshold = 1
+	}
+	if cfg.Opts.StaleTicks <= 0 {
+		cfg.Opts.StaleTicks = 12
+	}
+	e := &Endpoint{
+		self:      cfg.Self,
+		opts:      cfg.Opts,
+		rng:       cfg.Rand,
+		peers:     make(map[ids.ID]*peer),
+		send:      cfg.Send,
+		deliver:   cfg.Deliver,
+		heartbeat: cfg.Heartbeat,
+		source:    cfg.Source,
+	}
+	if e.deliver == nil {
+		e.deliver = func(ids.ID, any) {}
+	}
+	if e.heartbeat == nil {
+		e.heartbeat = func(ids.ID) {}
+	}
+	if e.source == nil {
+		e.source = func(ids.ID) any { return nil }
+	}
+	return e
+}
+
+// Stats returns a copy of the endpoint counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// Peers returns the identifiers of all known peers.
+func (e *Endpoint) Peers() ids.Set {
+	out := ids.Set{}
+	for id := range e.peers {
+		out = out.Add(id)
+	}
+	return out
+}
+
+// Connect establishes (or re-establishes) the data link toward a peer,
+// starting from the cleaning phase, as the paper requires for every newly
+// established link. It is idempotent for already-known peers.
+func (e *Endpoint) Connect(to ids.ID) {
+	if to == e.self || !to.Valid() {
+		return
+	}
+	if _, ok := e.peers[to]; ok {
+		return
+	}
+	p := &peer{}
+	e.peers[to] = p
+	e.startClean(p)
+}
+
+// Disconnect forgets a peer entirely (used when the failure detector has
+// permanently given up on it, to bound state).
+func (e *Endpoint) Disconnect(to ids.ID) { delete(e.peers, to) }
+
+func (e *Endpoint) startClean(p *peer) {
+	p.state = senderCleaning
+	p.session = e.nonce()
+	p.cleanAcks = 0
+	p.curValid = false
+	p.acks = 0
+	p.stale = 0
+	e.stats.Cleanings++
+}
+
+func (e *Endpoint) nonce() uint64 {
+	if e.rng != nil {
+		return uint64(e.rng.Int63())<<1 | 1
+	}
+	return 1
+}
+
+// Tick drives retransmission for every peer in ascending identifier order
+// (map order would make same-seed simulations diverge across runs); the
+// owner calls it on its periodic timer.
+func (e *Endpoint) Tick() {
+	order := make([]ids.ID, 0, len(e.peers))
+	for to := range e.peers {
+		order = append(order, to)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, to := range order {
+		e.tickPeer(to, e.peers[to])
+	}
+}
+
+func (e *Endpoint) tickPeer(to ids.ID, p *peer) {
+	switch p.state {
+	case senderCleaning:
+		e.send(to, Packet{Kind: KindClean, Session: p.session})
+	case senderSteady:
+		if !p.curValid {
+			p.cur = e.source(to)
+			p.curValid = true
+			p.acks = 0
+		}
+		e.send(to, Packet{Kind: KindData, Session: p.session, Seq: p.seq, Payload: p.cur})
+	default:
+		// Arbitrary (corrupted) state: recover by cleaning.
+		e.startClean(p)
+		return
+	}
+	p.stale++
+	if p.stale > e.opts.StaleTicks {
+		e.stats.TimeoutsReset++
+		e.startClean(p)
+	}
+}
+
+// HandlePacket processes a raw packet from the network. Packets from
+// unknown peers implicitly establish the link (the "connection signal"),
+// starting with cleaning on this side too.
+func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
+	if from == e.self || !from.Valid() {
+		return
+	}
+	p, ok := e.peers[from]
+	if !ok {
+		p = &peer{}
+		e.peers[from] = p
+		e.startClean(p)
+	}
+	switch pkt.Kind {
+	case KindClean:
+		// Receiver half: adopt the new incarnation, drop delivery
+		// history, acknowledge. Accepting unconditionally is safe —
+		// an adversarial CLEAN only forces a harmless extra cleanup.
+		p.rxSession = pkt.Session
+		p.rxSessionValid = true
+		p.rxSeqValid = false
+		e.send(from, Packet{Kind: KindCleanAck, Session: pkt.Session})
+	case KindCleanAck:
+		if p.state != senderCleaning || pkt.Session != p.session {
+			e.stats.StaleIgnored++
+			return
+		}
+		p.cleanAcks++
+		p.stale = 0
+		if p.cleanAcks > e.opts.Capacity {
+			p.state = senderSteady
+			p.seq = 0
+			p.curValid = false
+			p.acks = 0
+			e.heartbeat(from)
+		}
+	case KindData:
+		if !p.rxSessionValid || pkt.Session != p.rxSession {
+			// Stale or unknown incarnation: ignore. The sender's
+			// progress timeout will re-clean the link.
+			e.stats.StaleIgnored++
+			return
+		}
+		e.send(from, Packet{Kind: KindAck, Session: pkt.Session, Seq: pkt.Seq})
+		if !p.rxSeqValid || pkt.Seq != p.rxSeq {
+			p.rxSeq = pkt.Seq
+			p.rxSeqValid = true
+			if pkt.Payload != nil {
+				e.stats.Delivered++
+				e.deliver(from, pkt.Payload)
+			}
+		}
+	case KindAck:
+		if p.state != senderSteady || pkt.Session != p.session || pkt.Seq != p.seq || !p.curValid {
+			e.stats.StaleIgnored++
+			return
+		}
+		p.acks++
+		p.stale = 0
+		if p.acks >= e.opts.AckThreshold {
+			// Token returned: cycle complete.
+			e.stats.CyclesDone++
+			p.seq ^= 1
+			p.curValid = false
+			p.acks = 0
+			e.heartbeat(from)
+		}
+	default:
+		e.stats.StaleIgnored++
+	}
+}
+
+// CorruptState randomizes the endpoint's per-peer protocol state. It is the
+// transient-fault hook used by the stabilization tests; the protocol must
+// recover via cleaning.
+func (e *Endpoint) CorruptState(rng *rand.Rand) {
+	order := make([]ids.ID, 0, len(e.peers))
+	for to := range e.peers {
+		order = append(order, to)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, to := range order {
+		p := e.peers[to]
+		p.state = senderState(rng.Intn(4)) // includes invalid values
+		p.session = uint64(rng.Int63())
+		p.cleanAcks = rng.Intn(64)
+		p.seq = uint8(rng.Intn(2))
+		p.acks = rng.Intn(64)
+		p.rxSession = uint64(rng.Int63())
+		p.rxSessionValid = rng.Intn(2) == 0
+		p.rxSeqValid = rng.Intn(2) == 0
+	}
+}

@@ -1,0 +1,265 @@
+package datalink
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// harness wires two (or more) endpoints over a netsim network.
+type harness struct {
+	sched *sim.Scheduler
+	net   *netsim.Network
+	eps   map[ids.ID]*Endpoint
+	// per endpoint, messages delivered and heartbeats observed
+	delivered  map[ids.ID][]any
+	heartbeats map[ids.ID]int
+	// outgoing message source per endpoint
+	next map[ids.ID]func(to ids.ID) any
+}
+
+type epHandler struct {
+	h  *harness
+	id ids.ID
+}
+
+func (e *epHandler) Receive(from ids.ID, payload any) {
+	if pkt, ok := payload.(Packet); ok {
+		e.h.eps[e.id].HandlePacket(from, pkt)
+	}
+}
+
+func (e *epHandler) Tick() { e.h.eps[e.id].Tick() }
+
+func newHarness(t *testing.T, n int, netOpts netsim.Options, linkOpts Options) *harness {
+	t.Helper()
+	sched := sim.NewScheduler(11)
+	h := &harness{
+		sched:      sched,
+		net:        netsim.New(sched, netOpts),
+		eps:        make(map[ids.ID]*Endpoint),
+		delivered:  make(map[ids.ID][]any),
+		heartbeats: make(map[ids.ID]int),
+		next:       make(map[ids.ID]func(ids.ID) any),
+	}
+	for i := 1; i <= n; i++ {
+		id := ids.ID(i)
+		h.next[id] = func(ids.ID) any { return nil }
+		ep := NewEndpoint(Config{
+			Self: id,
+			Opts: linkOpts,
+			Rand: sched.Rand(),
+			Send: func(to ids.ID, pkt Packet) { h.net.Send(id, to, pkt) },
+			Deliver: func(from ids.ID, msg any) {
+				h.delivered[id] = append(h.delivered[id], msg)
+			},
+			Heartbeat: func(peer ids.ID) { h.heartbeats[id]++ },
+			Source:    func(to ids.ID) any { return h.next[id](to) },
+		})
+		h.eps[id] = ep
+		if err := h.net.AddNode(id, &epHandler{h: h, id: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func (h *harness) connectAll() {
+	for a, ep := range h.eps {
+		for b := range h.eps {
+			if a != b {
+				ep.Connect(b)
+			}
+		}
+	}
+}
+
+func adversarial() netsim.Options {
+	o := netsim.DefaultOptions()
+	return o
+}
+
+func TestDeliveryUnderAdversary(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	h.connectAll()
+	seq := 0
+	h.next[1] = func(ids.ID) any { seq++; return seq }
+	h.sched.RunUntil(3000)
+	got := h.delivered[2]
+	if len(got) < 10 {
+		t.Fatalf("only %d messages delivered under adversary", len(got))
+	}
+	// FIFO: payloads must be strictly increasing (latest-state semantics
+	// may skip values but never reorder).
+	for i := 1; i < len(got); i++ {
+		if got[i].(int) <= got[i-1].(int) {
+			t.Fatalf("reordered delivery: %v", got[:i+1])
+		}
+	}
+}
+
+func TestHeartbeatsFlowBothWays(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	h.connectAll()
+	h.sched.RunUntil(2000)
+	if h.heartbeats[1] < 5 || h.heartbeats[2] < 5 {
+		t.Fatalf("heartbeats = %v", h.heartbeats)
+	}
+}
+
+func TestHeartbeatsStopOnCrash(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	h.connectAll()
+	h.sched.RunUntil(1000)
+	h.net.Crash(2)
+	base := h.heartbeats[1]
+	h.sched.RunUntil(3000)
+	// A small number of in-flight acks may still land; the flow must stop.
+	if h.heartbeats[1] > base+2 {
+		t.Fatalf("heartbeats kept flowing after crash: %d -> %d", base, h.heartbeats[1])
+	}
+}
+
+func TestAutoConnectOnFirstPacket(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	// Only node 1 connects; node 2 must learn the link from packets.
+	h.eps[1].Connect(2)
+	h.next[1] = func(ids.ID) any { return "ping" }
+	h.sched.RunUntil(2000)
+	if len(h.delivered[2]) == 0 {
+		t.Fatal("one-sided connect did not deliver")
+	}
+	if !h.eps[2].Peers().Contains(1) {
+		t.Fatal("receiver did not auto-establish the peer")
+	}
+}
+
+func TestStalePacketsIgnored(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	h.connectAll()
+	h.sched.RunUntil(500)
+	// Inject stale packets with random sessions: none may be delivered.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50; i++ {
+		h.net.InjectPacket(1, 2, Packet{
+			Kind:    KindData,
+			Session: uint64(rng.Int63()),
+			Seq:     uint8(rng.Intn(2)),
+			Payload: "STALE",
+		})
+	}
+	h.sched.RunUntil(2000)
+	for _, m := range h.delivered[2] {
+		if m == "STALE" {
+			t.Fatal("stale packet delivered")
+		}
+	}
+}
+
+func TestRecoveryFromCorruptedLinkState(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	h.connectAll()
+	seq := 0
+	h.next[1] = func(ids.ID) any { seq++; return seq }
+	h.sched.RunUntil(1000)
+	rng := rand.New(rand.NewSource(5))
+	h.eps[1].CorruptState(rng)
+	h.eps[2].CorruptState(rng)
+	before := len(h.delivered[2])
+	h.sched.RunUntil(5000)
+	if len(h.delivered[2]) <= before+5 {
+		t.Fatalf("link did not recover after corruption: %d -> %d",
+			before, len(h.delivered[2]))
+	}
+	if h.eps[1].Stats().Cleanings < 2 {
+		t.Fatal("recovery should have re-cleaned the link")
+	}
+}
+
+func TestGarbagePacketKindIgnored(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	h.connectAll()
+	h.net.InjectPacket(1, 2, Packet{Kind: Kind(99)})
+	h.sched.RunUntil(500)
+	// Must not panic and must not deliver.
+	for _, m := range h.delivered[2] {
+		if m == nil {
+			t.Fatal("garbage delivered")
+		}
+	}
+}
+
+func TestStrictPaperModeAckThreshold(t *testing.T) {
+	opts := DefaultOptions()
+	opts.AckThreshold = opts.Capacity + 1 // strict bounded-channel mode
+	opts.StaleTicks = 40
+	netOpts := adversarial()
+	netOpts.LossProb = 0.02
+	h := newHarness(t, 2, netOpts, opts)
+	h.connectAll()
+	seq := 0
+	h.next[1] = func(ids.ID) any { seq++; return seq }
+	h.sched.RunUntil(20000)
+	if len(h.delivered[2]) < 3 {
+		t.Fatalf("strict mode delivered only %d", len(h.delivered[2]))
+	}
+}
+
+func TestNilSourceSkipsPayload(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	h.connectAll()
+	// Default source returns nil: tokens circulate, nothing delivered.
+	h.sched.RunUntil(2000)
+	if len(h.delivered[2]) != 0 {
+		t.Fatalf("nil payloads delivered: %v", h.delivered[2])
+	}
+	if h.heartbeats[1] == 0 {
+		t.Fatal("empty tokens must still produce heartbeats")
+	}
+}
+
+func TestDisconnectForgetsPeer(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), DefaultOptions())
+	h.connectAll()
+	h.eps[1].Disconnect(2)
+	if h.eps[1].Peers().Contains(2) {
+		t.Fatal("peer still present after Disconnect")
+	}
+}
+
+func TestSelfConnectIgnored(t *testing.T) {
+	h := newHarness(t, 1, adversarial(), DefaultOptions())
+	h.eps[1].Connect(1)
+	if h.eps[1].Peers().Size() != 0 {
+		t.Fatal("self-connect created a peer")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindClean: "CLEAN", KindCleanAck: "CLEAN-ACK",
+		KindData: "DATA", KindAck: "ACK", Kind(0): "?",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestManyPeers(t *testing.T) {
+	h := newHarness(t, 5, adversarial(), DefaultOptions())
+	h.connectAll()
+	for i := 1; i <= 5; i++ {
+		id := ids.ID(i)
+		h.next[id] = func(ids.ID) any { return int(id) }
+	}
+	h.sched.RunUntil(3000)
+	for i := 1; i <= 5; i++ {
+		if len(h.delivered[ids.ID(i)]) < 12 {
+			t.Fatalf("node %d received only %d messages", i, len(h.delivered[ids.ID(i)]))
+		}
+	}
+}

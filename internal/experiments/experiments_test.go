@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func requireValid(t *testing.T, s workload.Series) {
+	t.Helper()
+	if len(s.Rows) == 0 {
+		t.Fatalf("%s: empty series", s.Name)
+	}
+	for _, r := range s.Rows {
+		if !r.Valid {
+			t.Errorf("%s: x=%d invalid (%s)", s.Name, r.X, r.Note)
+		}
+	}
+	t.Log("\n" + s.Render())
+}
+
+var tinySizes = []int{4}
+
+func TestE1(t *testing.T) { requireValid(t, E1DelicateLatency(101, tinySizes)) }
+func TestE2(t *testing.T) { requireValid(t, E2BruteForceConvergence(102, tinySizes)) }
+func TestE3(t *testing.T) { requireValid(t, E3SpuriousTriggers(103, tinySizes)) }
+
+func TestE4(t *testing.T) {
+	for _, s := range E4LabelCreations(104, tinySizes) {
+		requireValid(t, s)
+	}
+}
+
+func TestE5(t *testing.T) { requireValid(t, E5CounterIncrement(105, tinySizes)) }
+func TestE6(t *testing.T) { requireValid(t, E6VSReconfiguration(106, []int{5})) }
+func TestE7(t *testing.T) { requireValid(t, E7JoinLatency(107, tinySizes)) }
+
+func TestE8(t *testing.T) {
+	series := E8BaselineComparison(108, tinySizes)
+	requireValid(t, series[0]) // ours must recover
+	// The baseline must NOT recover: its rows are expected invalid.
+	base := series[1]
+	if len(base.Rows) == 0 {
+		t.Fatal("baseline series empty")
+	}
+	for _, r := range base.Rows {
+		if r.Valid {
+			t.Errorf("baseline unexpectedly recovered at N=%d", r.X)
+		}
+	}
+	t.Log("\n" + base.Render())
+}
+
+func TestE9(t *testing.T) { requireValid(t, E9SharedMemory(109, tinySizes)) }
+
+func TestE10(t *testing.T) {
+	for _, s := range E10Ablation(110, tinySizes) {
+		requireValid(t, s)
+	}
+}

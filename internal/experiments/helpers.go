@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/label"
+	"repro/internal/regmem"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// exchangeLabels runs synchronous label gossip rounds until all stores
+// agree on one legit maximum (returning the round count) or maxRounds pass
+// (returning -1).
+func exchangeLabels(stores map[ids.ID]*label.Store, members ids.Set, maxRounds int) int {
+	agreed := func() bool {
+		var max label.Label
+		first, ok := true, true
+		members.Each(func(id ids.ID) {
+			p, has := stores[id].LocalMax()
+			if !has || !p.Legit() {
+				ok = false
+				return
+			}
+			if first {
+				max, first = p.ML, false
+			} else if !max.Equal(p.ML) {
+				ok = false
+			}
+		})
+		return ok && !first
+	}
+	for r := 0; r < maxRounds; r++ {
+		if agreed() {
+			return r
+		}
+		type msg struct {
+			from, to           ids.ID
+			sent, last         label.Pair
+			haveSent, haveLast bool
+		}
+		var msgs []msg
+		members.Each(func(from ids.ID) {
+			s := stores[from]
+			members.Each(func(to ids.ID) {
+				if to == from {
+					return
+				}
+				m := msg{from: from, to: to}
+				m.sent, m.haveSent = s.LocalMax()
+				m.last, m.haveLast = s.MaxOf(to)
+				msgs = append(msgs, m)
+			})
+		})
+		for _, m := range msgs {
+			stores[m.to].Receive(m.sent, m.haveSent, m.last, m.haveLast, m.from)
+		}
+	}
+	if agreed() {
+		return maxRounds
+	}
+	return -1
+}
+
+// memCluster builds a shared-memory cluster for E9.
+func memCluster(seed int64, n int) (map[ids.ID]*regmem.SharedMemory, *core.Cluster, error) {
+	mems := map[ids.ID]*regmem.SharedMemory{}
+	opts := core.DefaultClusterOptions(seed)
+	opts.Node.EvalConf = func(ids.Set, ids.Set) bool { return false }
+	opts.AppFactory = func(self ids.ID) core.App {
+		s := regmem.New(self, nil)
+		mems[self] = s
+		return s
+	}
+	c, err := core.BootstrapCluster(n, opts)
+	return mems, c, err
+}

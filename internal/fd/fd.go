@@ -1,0 +1,184 @@
+// Package fd implements the paper's (N,Θ)-failure detector (Section 2).
+//
+// Each processor maintains an ordered heartbeat-count vector nonCrashed
+// with an entry per processor that exchanges the data-link token with it:
+// whenever the token returns from pj, pj's count is set to zero and every
+// other count is incremented. Active processors therefore keep each other's
+// counts small, while a crashed processor's count grows without bound,
+// eventually forming a "significant ever-expanding gap" in the sorted
+// vector. The last processor before the gap is the ni-th, which also yields
+// the estimate of the number of active processors; at most N entries are
+// ever trusted.
+//
+// The detector is unreliable by design. The reconfiguration scheme only
+// assumes *temporal* reliability while safety is being re-established, and
+// the tests exercise both reliable and unreliable regimes.
+package fd
+
+import (
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Options tunes the gap detection.
+type Options struct {
+	// N is the global bound on live-and-connected processors; entries
+	// ranked below the N-th are never trusted.
+	N int
+	// GapFactor is the multiplicative jump that identifies the gap: the
+	// first sorted count exceeding GapFactor*max(previous, GapFloor)
+	// starts the suspected suffix.
+	GapFactor int
+	// GapFloor keeps small absolute fluctuations from opening a false
+	// gap when counts are tiny.
+	GapFloor uint64
+	// MaxCount caps stored counts, bounding local storage as
+	// self-stabilization requires.
+	MaxCount uint64
+}
+
+// DefaultOptions provides thresholds that match the data-link token rate
+// produced by datalink+netsim defaults.
+func DefaultOptions(n int) Options {
+	return Options{N: n, GapFactor: 4, GapFloor: 16, MaxCount: 1 << 20}
+}
+
+// Detector is the per-processor failure detector. It is a pure state
+// machine: feed Heartbeat from the data link, read Trusted.
+type Detector struct {
+	self   ids.ID
+	opts   Options
+	counts map[ids.ID]uint64
+}
+
+// New constructs a detector for processor self.
+func New(self ids.ID, opts Options) *Detector {
+	if opts.N <= 0 {
+		opts.N = 64
+	}
+	if opts.GapFactor < 2 {
+		opts.GapFactor = 2
+	}
+	if opts.GapFloor == 0 {
+		opts.GapFloor = 16
+	}
+	if opts.MaxCount == 0 {
+		opts.MaxCount = 1 << 20
+	}
+	return &Detector{self: self, opts: opts, counts: make(map[ids.ID]uint64)}
+}
+
+// Bootstrap seeds the detector with zero counts for the given peers, so
+// that they start out trusted. The paper's model has no cold boot — its
+// detectors are assumed to already be exchanging heartbeats ("temporal
+// access to reliable failure detectors"); without seeding, the warm-up
+// window (trusted = {self}) transiently violates the majority-supportive
+// core assumption and provokes spurious reconfigurations.
+func (d *Detector) Bootstrap(peers ids.Set) {
+	peers.Each(func(p ids.ID) {
+		if p != d.self && p.Valid() {
+			d.counts[p] = 0
+		}
+	})
+}
+
+// Heartbeat records a returned token from peer: peer's count resets to
+// zero and every other known count increments.
+func (d *Detector) Heartbeat(peer ids.ID) {
+	if !peer.Valid() || peer == d.self {
+		return
+	}
+	for id, c := range d.counts {
+		if id != peer && c < d.opts.MaxCount {
+			d.counts[id] = c + 1
+		}
+	}
+	d.counts[peer] = 0
+}
+
+// Forget drops a peer's entry entirely (e.g., when the processor left).
+func (d *Detector) Forget(peer ids.ID) { delete(d.counts, peer) }
+
+// Count returns the current heartbeat count for peer and whether the peer
+// is known at all.
+func (d *Detector) Count(peer ids.ID) (uint64, bool) {
+	c, ok := d.counts[peer]
+	return c, ok
+}
+
+// CorruptCounts overwrites all counts with the supplied function's values —
+// the transient-fault hook for stabilization tests. Identifier order keeps
+// rng-based value generators deterministic.
+func (d *Detector) CorruptCounts(next func(ids.ID) uint64) {
+	order := make([]ids.ID, 0, len(d.counts))
+	for id := range d.counts {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		d.counts[id] = next(id) % d.opts.MaxCount
+	}
+}
+
+type rankedEntry struct {
+	id    ids.ID
+	count uint64
+}
+
+// ranked returns known peers sorted by ascending count (ties by id for
+// determinism).
+func (d *Detector) ranked() []rankedEntry {
+	out := make([]rankedEntry, 0, len(d.counts))
+	for id, c := range d.counts {
+		out = append(out, rankedEntry{id, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count < out[j].count
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// Trusted returns the set of processors currently trusted (crashed
+// processors are eventually suspected, i.e. excluded). The processor always
+// trusts itself. The result is capped at N entries.
+func (d *Detector) Trusted() ids.Set {
+	trusted := ids.NewSet(d.self)
+	ranked := d.ranked()
+	prev := d.opts.GapFloor
+	for i, e := range ranked {
+		if trusted.Size() >= d.opts.N {
+			break
+		}
+		bound := prev
+		if bound < d.opts.GapFloor {
+			bound = d.opts.GapFloor
+		}
+		if e.count > bound*uint64(d.opts.GapFactor) {
+			break // the significant gap: everything from here is suspected
+		}
+		trusted = trusted.Add(e.id)
+		prev = e.count
+		_ = i
+	}
+	return trusted
+}
+
+// Estimate returns ni, the detector's estimate of the number of active
+// processors (the rank of the last processor before the gap).
+func (d *Detector) Estimate() int { return d.Trusted().Size() }
+
+// Suspected returns known peers that are not trusted.
+func (d *Detector) Suspected() ids.Set {
+	t := d.Trusted()
+	out := ids.Set{}
+	for id := range d.counts {
+		if !t.Contains(id) {
+			out = out.Add(id)
+		}
+	}
+	return out
+}

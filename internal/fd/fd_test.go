@@ -1,0 +1,185 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func TestSelfAlwaysTrusted(t *testing.T) {
+	d := New(1, DefaultOptions(8))
+	if !d.Trusted().Contains(1) {
+		t.Fatal("self not trusted")
+	}
+}
+
+func TestHeartbeatResetsAndIncrements(t *testing.T) {
+	d := New(1, DefaultOptions(8))
+	d.Heartbeat(2)
+	d.Heartbeat(3)
+	c2, _ := d.Count(2)
+	c3, _ := d.Count(3)
+	if c2 != 1 || c3 != 0 {
+		t.Fatalf("counts: p2=%d p3=%d, want 1,0", c2, c3)
+	}
+	d.Heartbeat(2)
+	c2, _ = d.Count(2)
+	c3, _ = d.Count(3)
+	if c2 != 0 || c3 != 1 {
+		t.Fatalf("counts after: p2=%d p3=%d, want 0,1", c2, c3)
+	}
+}
+
+func TestSelfHeartbeatIgnored(t *testing.T) {
+	d := New(1, DefaultOptions(8))
+	d.Heartbeat(1)
+	if _, known := d.Count(1); known {
+		t.Fatal("self heartbeat recorded")
+	}
+}
+
+// simulateRounds performs `rounds` of round-robin heartbeats from alive
+// peers.
+func simulateRounds(d *Detector, alive []ids.ID, rounds int) {
+	for r := 0; r < rounds; r++ {
+		for _, p := range alive {
+			d.Heartbeat(p)
+		}
+	}
+}
+
+func TestCrashedSuspectedAliveTrusted(t *testing.T) {
+	d := New(1, DefaultOptions(10))
+	everyone := []ids.ID{2, 3, 4, 5, 6}
+	simulateRounds(d, everyone, 20)
+	if got := d.Trusted(); !got.Equal(ids.Range(1, 6)) {
+		t.Fatalf("all alive should be trusted, got %v", got)
+	}
+	// p6 crashes: only 2..5 keep beating.
+	simulateRounds(d, []ids.ID{2, 3, 4, 5}, 100)
+	trusted := d.Trusted()
+	if trusted.Contains(6) {
+		t.Fatalf("crashed p6 still trusted: %v", trusted)
+	}
+	if !ids.Range(1, 5).Subset(trusted) {
+		t.Fatalf("alive processors suspected: %v", trusted)
+	}
+	if !d.Suspected().Contains(6) {
+		t.Fatalf("Suspected() = %v", d.Suspected())
+	}
+}
+
+func TestEstimateTracksActives(t *testing.T) {
+	d := New(1, DefaultOptions(10))
+	simulateRounds(d, []ids.ID{2, 3, 4}, 30)
+	if got := d.Estimate(); got != 4 {
+		t.Fatalf("Estimate = %d, want 4 (self + 3 peers)", got)
+	}
+}
+
+func TestNBoundCapsTrusted(t *testing.T) {
+	opts := DefaultOptions(3) // N = 3
+	d := New(1, opts)
+	simulateRounds(d, []ids.ID{2, 3, 4, 5, 6, 7}, 20)
+	if got := d.Trusted().Size(); got > 3 {
+		t.Fatalf("trusted %d > N=3", got)
+	}
+}
+
+func TestBootstrapTrustsImmediately(t *testing.T) {
+	d := New(1, DefaultOptions(8))
+	d.Bootstrap(ids.NewSet(2, 3, 4))
+	if !d.Trusted().Equal(ids.NewSet(1, 2, 3, 4)) {
+		t.Fatalf("Trusted = %v after bootstrap", d.Trusted())
+	}
+	// Bootstrapped peers that never beat are eventually suspected.
+	simulateRounds(d, []ids.ID{2, 3}, 200)
+	if d.Trusted().Contains(4) {
+		t.Fatalf("silent bootstrapped peer still trusted: %v", d.Trusted())
+	}
+}
+
+func TestForget(t *testing.T) {
+	d := New(1, DefaultOptions(8))
+	d.Heartbeat(2)
+	d.Forget(2)
+	if _, known := d.Count(2); known {
+		t.Fatal("Forget did not remove entry")
+	}
+}
+
+func TestCorruptCountsRecovers(t *testing.T) {
+	d := New(1, DefaultOptions(8))
+	alive := []ids.ID{2, 3, 4}
+	simulateRounds(d, alive, 10)
+	// Transient fault: all counts arbitrary.
+	rng := rand.New(rand.NewSource(1))
+	d.CorruptCounts(func(ids.ID) uint64 { return uint64(rng.Int63n(1 << 19)) })
+	// Fresh heartbeats must re-establish trust in the alive set.
+	simulateRounds(d, alive, 200)
+	if !ids.NewSet(1, 2, 3, 4).Subset(d.Trusted()) {
+		t.Fatalf("did not recover from corrupted counts: %v", d.Trusted())
+	}
+}
+
+func TestQuickEventualSuspicion(t *testing.T) {
+	// Property: from any corrupted state, if a subset keeps beating and
+	// the rest stay silent, the silent ones are eventually suspected and
+	// the beating ones trusted.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := New(1, DefaultOptions(12))
+		var alive, dead []ids.ID
+		for p := ids.ID(2); p <= 9; p++ {
+			if rng.Intn(2) == 0 {
+				alive = append(alive, p)
+			} else {
+				dead = append(dead, p)
+			}
+			d.Heartbeat(p) // make the entry known
+		}
+		d.CorruptCounts(func(ids.ID) uint64 { return uint64(rng.Int63n(1000)) })
+		if len(alive) == 0 {
+			return true
+		}
+		simulateRounds(d, alive, 400)
+		trusted := d.Trusted()
+		for _, p := range alive {
+			if !trusted.Contains(p) {
+				return false
+			}
+		}
+		for _, p := range dead {
+			if trusted.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCountBoundsStorage(t *testing.T) {
+	opts := DefaultOptions(4)
+	opts.MaxCount = 100
+	d := New(1, opts)
+	d.Heartbeat(2)
+	d.Heartbeat(3)
+	for i := 0; i < 1000; i++ {
+		d.Heartbeat(3)
+	}
+	if c, _ := d.Count(2); c > 100 {
+		t.Fatalf("count %d exceeds MaxCount", c)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := New(1, Options{})
+	if d.opts.N <= 0 || d.opts.GapFactor < 2 || d.opts.GapFloor == 0 || d.opts.MaxCount == 0 {
+		t.Fatalf("defaults not applied: %+v", d.opts)
+	}
+}

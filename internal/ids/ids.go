@@ -1,0 +1,275 @@
+// Package ids provides processor identifiers and ordered identifier sets.
+//
+// The paper (Section 2) assumes each processor has a unique identifier drawn
+// from a totally-ordered set P, with at most N live-and-connected processors
+// at any time. Sets of identifiers are used pervasively: quorum
+// configurations, failure-detector trusted sets, participant sets and
+// configuration-replacement proposals. This package represents such a set as
+// an immutable sorted slice so that set values can be compared, hashed into
+// map keys, and ordered lexicographically (the paper orders proposal sets
+// "as ordered tuples that list processors in ascending order").
+package ids
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ID is a processor identifier. Identifiers are totally ordered; the zero
+// value is not a valid identifier (valid identifiers are >= 1, following the
+// "start enums at one" convention so that an uninitialized ID is detectably
+// invalid).
+type ID int
+
+// None is the invalid zero identifier.
+const None ID = 0
+
+// Valid reports whether the identifier is a usable processor identifier.
+func (id ID) Valid() bool { return id > 0 }
+
+// String renders the identifier as "p<i>", matching the paper's notation.
+func (id ID) String() string {
+	if id == None {
+		return "p?"
+	}
+	return "p" + strconv.Itoa(int(id))
+}
+
+// Set is an immutable ordered set of processor identifiers, stored as a
+// strictly increasing slice. The zero value is the empty set. Callers must
+// not mutate a Set after construction; all methods return new sets.
+type Set struct {
+	members []ID
+}
+
+// NewSet builds a set from the given identifiers, discarding duplicates and
+// invalid identifiers.
+func NewSet(members ...ID) Set {
+	if len(members) == 0 {
+		return Set{}
+	}
+	out := make([]ID, 0, len(members))
+	for _, id := range members {
+		if id.Valid() {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	var prev ID
+	for _, id := range out {
+		if id != prev {
+			dedup = append(dedup, id)
+			prev = id
+		}
+	}
+	return Set{members: dedup}
+}
+
+// Range builds the set {lo, lo+1, ..., hi}. It returns the empty set when
+// hi < lo.
+func Range(lo, hi ID) Set {
+	if hi < lo {
+		return Set{}
+	}
+	out := make([]ID, 0, int(hi-lo)+1)
+	for id := lo; id <= hi; id++ {
+		if id.Valid() {
+			out = append(out, id)
+		}
+	}
+	return Set{members: out}
+}
+
+// Size returns the number of members.
+func (s Set) Size() int { return len(s.members) }
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool { return len(s.members) == 0 }
+
+// Contains reports membership of id.
+func (s Set) Contains(id ID) bool {
+	i := sort.Search(len(s.members), func(i int) bool { return s.members[i] >= id })
+	return i < len(s.members) && s.members[i] == id
+}
+
+// Members returns a fresh copy of the ordered member slice.
+func (s Set) Members() []ID {
+	out := make([]ID, len(s.members))
+	copy(out, s.members)
+	return out
+}
+
+// Each calls fn for every member in ascending order.
+func (s Set) Each(fn func(ID)) {
+	for _, id := range s.members {
+		fn(id)
+	}
+}
+
+// Add returns s ∪ {id}.
+func (s Set) Add(id ID) Set {
+	if !id.Valid() || s.Contains(id) {
+		return s
+	}
+	out := make([]ID, 0, len(s.members)+1)
+	out = append(out, s.members...)
+	out = append(out, id)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return Set{members: out}
+}
+
+// Remove returns s \ {id}.
+func (s Set) Remove(id ID) Set {
+	if !s.Contains(id) {
+		return s
+	}
+	out := make([]ID, 0, len(s.members)-1)
+	for _, m := range s.members {
+		if m != id {
+			out = append(out, m)
+		}
+	}
+	return Set{members: out}
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	out := make([]ID, 0, len(s.members)+len(t.members))
+	i, j := 0, 0
+	for i < len(s.members) && j < len(t.members) {
+		switch {
+		case s.members[i] < t.members[j]:
+			out = append(out, s.members[i])
+			i++
+		case s.members[i] > t.members[j]:
+			out = append(out, t.members[j])
+			j++
+		default:
+			out = append(out, s.members[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.members[i:]...)
+	out = append(out, t.members[j:]...)
+	return Set{members: out}
+}
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set {
+	out := make([]ID, 0, min(len(s.members), len(t.members)))
+	i, j := 0, 0
+	for i < len(s.members) && j < len(t.members) {
+		switch {
+		case s.members[i] < t.members[j]:
+			i++
+		case s.members[i] > t.members[j]:
+			j++
+		default:
+			out = append(out, s.members[i])
+			i++
+			j++
+		}
+	}
+	return Set{members: out}
+}
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set {
+	out := make([]ID, 0, len(s.members))
+	for _, m := range s.members {
+		if !t.Contains(m) {
+			out = append(out, m)
+		}
+	}
+	return Set{members: out}
+}
+
+// Filter returns the subset of members satisfying keep.
+func (s Set) Filter(keep func(ID) bool) Set {
+	out := make([]ID, 0, len(s.members))
+	for _, m := range s.members {
+		if keep(m) {
+			out = append(out, m)
+		}
+	}
+	return Set{members: out}
+}
+
+// Equal reports whether s and t have identical membership.
+func (s Set) Equal(t Set) bool {
+	if len(s.members) != len(t.members) {
+		return false
+	}
+	for i, m := range s.members {
+		if t.members[i] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every member of s is in t.
+func (s Set) Subset(t Set) bool {
+	for _, m := range s.members {
+		if !t.Contains(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders sets lexicographically as ascending tuples, the ordering
+// the paper uses to break ties between configuration proposals
+// ("considering sets of processors as ordered tuples ... in ascending
+// order"). It returns -1, 0, or +1.
+func (s Set) Compare(t Set) int {
+	for i := 0; i < len(s.members) && i < len(t.members); i++ {
+		if s.members[i] != t.members[i] {
+			if s.members[i] < t.members[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s.members) < len(t.members):
+		return -1
+	case len(s.members) > len(t.members):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MajoritySize returns the minimum number of members that constitutes a
+// strict majority of s, i.e. ⌊|s|/2⌋+1. The paper's quorum system is
+// majorities (Section 1, "we use majorities ... the simplest form of a
+// quorum system").
+func (s Set) MajoritySize() int { return len(s.members)/2 + 1 }
+
+// Key returns a canonical string usable as a map key for this membership.
+func (s Set) Key() string { return s.String() }
+
+// String renders the set as "{p1,p2,...}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, m := range s.members {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(m.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

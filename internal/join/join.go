@@ -1,0 +1,187 @@
+// Package join implements Algorithm 3.3 of the paper, the self-stabilizing
+// Joining Mechanism. A joining processor repeatedly asks the configuration
+// members for permission; each member answers with the application's
+// passQuery() verdict and its current application state. Once a majority of
+// the configuration has granted a pass — and no reconfiguration is taking
+// place — the joiner initializes its application variables from the
+// collected states and becomes a participant via recSA's participate().
+//
+// The critical invariant (Lemma 3.25): a joiner can never contaminate the
+// system with stale information, because it resets its application state on
+// entry, communicates over freshly cleaned data links, and only adopts
+// state acknowledged by a configuration majority.
+package join
+
+import (
+	"repro/internal/ids"
+	"repro/internal/recsa"
+)
+
+// StabilityAssurance is the recSA interface the joining mechanism uses.
+type StabilityAssurance interface {
+	NoReco() bool
+	GetConfig() recsa.Config
+	Participate() bool
+	IsParticipant() bool
+}
+
+// App is the application hook. PassQuery is the member-side admission
+// decision; ResetVars/InitVars are the joiner-side state management.
+type App interface {
+	// PassQuery reports whether the application admits a new joiner.
+	PassQuery(joiner ids.ID) bool
+	// AppState returns this member's current application state snapshot.
+	AppState() any
+	// ResetVars resets the joiner's application variables to defaults.
+	ResetVars()
+	// InitVars initializes the joiner's application variables from the
+	// states collected from a majority of configuration members.
+	InitVars(states map[ids.ID]any)
+}
+
+// NopApp is an App that admits everybody and has no state; useful for
+// tests and for systems whose state lives entirely above the join layer.
+type NopApp struct{}
+
+// PassQuery implements App.
+func (NopApp) PassQuery(ids.ID) bool { return true }
+
+// AppState implements App.
+func (NopApp) AppState() any { return nil }
+
+// ResetVars implements App.
+func (NopApp) ResetVars() {}
+
+// InitVars implements App.
+func (NopApp) InitVars(map[ids.ID]any) {}
+
+// Request is the joiner's "Join" message.
+type Request struct{}
+
+// Response is a member's reply: the pass verdict plus its application state.
+type Response struct {
+	Pass  bool
+	State any
+}
+
+// Metrics counts join-protocol events.
+type Metrics struct {
+	Requests  uint64
+	Responses uint64
+	Joined    uint64
+	Denied    uint64
+}
+
+// Joiner is the per-processor joining state machine. Participants run it
+// too (they answer requests); only non-participants execute the joining
+// loop.
+type Joiner struct {
+	self ids.ID
+	sa   StabilityAssurance
+	app  App
+
+	pass   map[ids.ID]bool
+	states map[ids.ID]any
+
+	wasParticipant bool
+	metrics        Metrics
+}
+
+// New constructs the joining mechanism. app may be nil (NopApp).
+func New(self ids.ID, sa StabilityAssurance, app App) *Joiner {
+	if app == nil {
+		app = NopApp{}
+	}
+	return &Joiner{
+		self:   self,
+		sa:     sa,
+		app:    app,
+		pass:   make(map[ids.ID]bool),
+		states: make(map[ids.ID]any),
+	}
+}
+
+// Metrics returns a copy of the counters.
+func (j *Joiner) Metrics() Metrics { return j.metrics }
+
+// Step executes one iteration of the joiner loop. It returns the set of
+// processors to which a Join request should be sent this round (empty for
+// participants).
+func (j *Joiner) Step(trusted ids.Set) ids.Set {
+	if j.sa.IsParticipant() {
+		if !j.wasParticipant {
+			// Reset collected passes so a later demotion (only
+			// possible through a transient fault) starts clean.
+			j.pass = make(map[ids.ID]bool)
+			j.states = make(map[ids.ID]any)
+		}
+		j.wasParticipant = true
+		return ids.Set{}
+	}
+	if j.wasParticipant {
+		// Demoted (transient fault): restart the join procedure with a
+		// clean application state (line 7, resetVars()).
+		j.wasParticipant = false
+		j.app.ResetVars()
+		j.pass = make(map[ids.ID]bool)
+		j.states = make(map[ids.ID]any)
+	}
+
+	conf := j.sa.GetConfig()
+	if conf.Kind == recsa.KindSet && !conf.Set.Empty() && j.sa.NoReco() {
+		granted := 0
+		conf.Set.Each(func(k ids.ID) {
+			if j.pass[k] {
+				granted++
+			}
+		})
+		if granted >= conf.Set.MajoritySize() {
+			// Line 10–12: majority pass and no reconfiguration —
+			// adopt the majority's state and become a participant.
+			j.app.InitVars(j.collectedStates(conf.Set))
+			if j.sa.Participate() {
+				j.metrics.Joined++
+				j.wasParticipant = true
+				return ids.Set{}
+			}
+			j.metrics.Denied++
+		}
+	}
+
+	j.metrics.Requests++
+	return trusted.Remove(j.self)
+}
+
+func (j *Joiner) collectedStates(conf ids.Set) map[ids.ID]any {
+	out := make(map[ids.ID]any, len(j.states))
+	for id, st := range j.states {
+		if conf.Contains(id) {
+			out[id] = st
+		}
+	}
+	return out
+}
+
+// HandleRequest processes a peer's Join request on the member side
+// (lines 15–16). It returns the response to send, or ok=false when this
+// processor must not answer (not a configuration member, or a
+// reconfiguration is in progress — in which case previously granted passes
+// are implicitly retracted because the joiner keeps polling).
+func (j *Joiner) HandleRequest(from ids.ID) (Response, bool) {
+	conf := j.sa.GetConfig()
+	if conf.Kind != recsa.KindSet || !conf.Set.Contains(j.self) || !j.sa.NoReco() {
+		return Response{}, false
+	}
+	j.metrics.Responses++
+	return Response{Pass: j.app.PassQuery(from), State: j.app.AppState()}, true
+}
+
+// HandleResponse stores a member's pass verdict on the joiner side
+// (lines 17–18). Participants ignore responses.
+func (j *Joiner) HandleResponse(from ids.ID, r Response) {
+	if j.sa.IsParticipant() {
+		return
+	}
+	j.pass[from] = r.Pass
+	j.states[from] = r.State
+}

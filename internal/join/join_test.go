@@ -1,0 +1,239 @@
+package join
+
+import (
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/recsa"
+)
+
+type fakeSA struct {
+	noReco       bool
+	config       recsa.Config
+	participant  bool
+	participated int
+	refuse       bool
+}
+
+func (f *fakeSA) NoReco() bool            { return f.noReco }
+func (f *fakeSA) GetConfig() recsa.Config { return f.config }
+func (f *fakeSA) IsParticipant() bool     { return f.participant }
+func (f *fakeSA) Participate() bool {
+	if f.refuse {
+		return false
+	}
+	f.participated++
+	f.participant = true
+	return true
+}
+
+type recordingApp struct {
+	admits  bool
+	state   any
+	resets  int
+	inits   []map[ids.ID]any
+	queried []ids.ID
+}
+
+func (a *recordingApp) PassQuery(j ids.ID) bool { a.queried = append(a.queried, j); return a.admits }
+func (a *recordingApp) AppState() any           { return a.state }
+func (a *recordingApp) ResetVars()              { a.resets++ }
+func (a *recordingApp) InitVars(s map[ids.ID]any) {
+	a.inits = append(a.inits, s)
+}
+
+func steady(conf ids.Set) *fakeSA {
+	return &fakeSA{noReco: true, config: recsa.ConfigOf(conf)}
+}
+
+func TestParticipantSendsNoRequests(t *testing.T) {
+	sa := steady(ids.Range(1, 3))
+	sa.participant = true
+	j := New(1, sa, nil)
+	if got := j.Step(ids.Range(1, 3)); !got.Empty() {
+		t.Fatalf("participant polled %v", got)
+	}
+}
+
+func TestJoinerPollsTrusted(t *testing.T) {
+	sa := steady(ids.Range(1, 3))
+	j := New(9, sa, nil)
+	got := j.Step(ids.Range(1, 3).Add(9))
+	if !got.Equal(ids.Range(1, 3)) {
+		t.Fatalf("poll set = %v", got)
+	}
+	if j.Metrics().Requests != 1 {
+		t.Fatal("request not counted")
+	}
+}
+
+func TestMajorityPassAdmits(t *testing.T) {
+	conf := ids.Range(1, 5)
+	sa := steady(conf)
+	app := &recordingApp{}
+	j := New(9, sa, app)
+	j.Step(conf.Add(9))
+	j.HandleResponse(1, Response{Pass: true, State: "s1"})
+	j.HandleResponse(2, Response{Pass: true, State: "s2"})
+	j.Step(conf.Add(9)) // 2 of 5: not yet
+	if sa.participated != 0 {
+		t.Fatal("admitted without majority")
+	}
+	j.HandleResponse(3, Response{Pass: true, State: "s3"})
+	j.Step(conf.Add(9)) // 3 of 5: majority
+	if sa.participated != 1 {
+		t.Fatal("not admitted with majority")
+	}
+	if j.Metrics().Joined != 1 {
+		t.Fatal("join not counted")
+	}
+	if len(app.inits) != 1 {
+		t.Fatalf("InitVars calls = %d, want 1", len(app.inits))
+	}
+	if app.inits[0][2] != "s2" {
+		t.Fatalf("collected states = %v", app.inits[0])
+	}
+}
+
+func TestPassesFromNonMembersIgnored(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	j := New(9, sa, nil)
+	// Passes from processors outside the configuration must not count.
+	j.HandleResponse(7, Response{Pass: true})
+	j.HandleResponse(8, Response{Pass: true})
+	j.HandleResponse(1, Response{Pass: true})
+	j.Step(conf.Add(9))
+	if sa.participated != 0 {
+		t.Fatal("non-member passes counted toward majority")
+	}
+}
+
+func TestNoJoinDuringReconfiguration(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	sa.noReco = false
+	j := New(9, sa, nil)
+	for _, m := range conf.Members() {
+		j.HandleResponse(m, Response{Pass: true})
+	}
+	j.Step(conf.Add(9))
+	if sa.participated != 0 {
+		t.Fatal("joined during reconfiguration")
+	}
+}
+
+func TestParticipateRefusalCountsDenied(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	sa.refuse = true
+	j := New(9, sa, nil)
+	for _, m := range conf.Members() {
+		j.HandleResponse(m, Response{Pass: true})
+	}
+	j.Step(conf.Add(9))
+	if j.Metrics().Denied != 1 {
+		t.Fatal("denial not counted")
+	}
+}
+
+func TestMemberAnswersRequests(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	sa.participant = true
+	app := &recordingApp{admits: true, state: "snapshot"}
+	j := New(1, sa, app)
+	resp, ok := j.HandleRequest(9)
+	if !ok || !resp.Pass || resp.State != "snapshot" {
+		t.Fatalf("response = %+v ok=%v", resp, ok)
+	}
+	if len(app.queried) != 1 || app.queried[0] != 9 {
+		t.Fatalf("passQuery calls = %v", app.queried)
+	}
+}
+
+func TestNonMemberDoesNotAnswer(t *testing.T) {
+	conf := ids.NewSet(2, 3, 4) // p1 not a member
+	sa := steady(conf)
+	sa.participant = true
+	j := New(1, sa, &recordingApp{admits: true})
+	if _, ok := j.HandleRequest(9); ok {
+		t.Fatal("non-member answered a join request")
+	}
+}
+
+func TestMemberSilentDuringReconfiguration(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	sa.participant = true
+	sa.noReco = false
+	j := New(1, sa, &recordingApp{admits: true})
+	if _, ok := j.HandleRequest(9); ok {
+		t.Fatal("member answered during reconfiguration")
+	}
+}
+
+func TestApplicationDenialBlocksJoin(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	sa.participant = true
+	app := &recordingApp{admits: false}
+	j := New(1, sa, app)
+	resp, ok := j.HandleRequest(9)
+	if !ok || resp.Pass {
+		t.Fatal("application denial not propagated")
+	}
+}
+
+func TestDemotionResetsState(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	sa.participant = true
+	app := &recordingApp{}
+	j := New(9, sa, app)
+	j.Step(conf) // participant: records wasParticipant
+	// Transient fault demotes the processor.
+	sa.participant = false
+	j.Step(conf)
+	if app.resets != 1 {
+		t.Fatalf("ResetVars calls = %d, want 1", app.resets)
+	}
+}
+
+func TestResponsesIgnoredByParticipants(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	sa.participant = true
+	j := New(1, sa, nil)
+	j.HandleResponse(2, Response{Pass: true})
+	if len(j.pass) != 0 {
+		t.Fatal("participant stored a pass")
+	}
+}
+
+func TestRetractedPassBlocksJoin(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	sa := steady(conf)
+	j := New(9, sa, nil)
+	j.HandleResponse(1, Response{Pass: true})
+	j.HandleResponse(2, Response{Pass: true})
+	// p2 retracts (e.g., a reconfiguration started and was answered with
+	// a denial).
+	j.HandleResponse(2, Response{Pass: false})
+	j.Step(conf.Add(9))
+	if sa.participated != 0 {
+		t.Fatal("joined with a retracted pass")
+	}
+}
+
+func TestNopApp(t *testing.T) {
+	var a NopApp
+	if !a.PassQuery(1) {
+		t.Fatal("NopApp must admit")
+	}
+	if a.AppState() != nil {
+		t.Fatal("NopApp state must be nil")
+	}
+	a.ResetVars()
+	a.InitVars(nil)
+}

@@ -1,0 +1,169 @@
+// Package label implements the paper's bounded labeling scheme for
+// reconfigurable systems (Section 4.1, Algorithms 4.1 and 4.2). Labels are
+// bounded "epoch" identifiers with which the counter algorithm (Section
+// 4.2) builds a practically-infinite counter: when a transient fault drives
+// a counter to its maximum, a fresh, strictly larger label opens a new
+// epoch.
+//
+// The label structure comes from the cited companion paper [11] (Dolev,
+// Georgiou, Marcoullis, Schiller, "Self-Stabilizing Virtual Synchrony",
+// SSS'15): a label is ⟨creator, sting, antistings⟩ where sting is drawn
+// from a bounded domain D and antistings ⊂ D. For labels of the same
+// creator, ℓ1 ≺ ℓ2 ⟺ ℓ1.sting ∈ ℓ2.antistings ∧ ℓ2.sting ∉ ℓ1.antistings —
+// a relation under which any finite set of labels can be dominated by a
+// fresh label (pick antistings = their stings, and a sting outside all
+// their antistings; |D| > k²+k guarantees one exists). Labels of different
+// creators are ordered by creator identifier. Two labels of one creator can
+// be incomparable; the cancellation bookkeeping of Algorithm 4.2 detects
+// and retires them until a single global maximum emerges.
+package label
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ids"
+)
+
+// Label is a bounded epoch label.
+type Label struct {
+	Creator    ids.ID
+	Sting      int
+	Antistings []int // sorted ascending; never mutated after construction
+}
+
+// Valid reports structural well-formedness w.r.t. a domain of the given
+// size: sting and antistings within [0, domain).
+func (l Label) Valid(domain int) bool {
+	if !l.Creator.Valid() || l.Sting < 0 || l.Sting >= domain {
+		return false
+	}
+	for _, a := range l.Antistings {
+		if a < 0 || a >= domain {
+			return false
+		}
+	}
+	return true
+}
+
+// hasAntisting reports whether x ∈ l.Antistings.
+func (l Label) hasAntisting(x int) bool {
+	i := sort.SearchInts(l.Antistings, x)
+	return i < len(l.Antistings) && l.Antistings[i] == x
+}
+
+// Equal compares labels structurally.
+func (l Label) Equal(o Label) bool {
+	if l.Creator != o.Creator || l.Sting != o.Sting || len(l.Antistings) != len(o.Antistings) {
+		return false
+	}
+	for i := range l.Antistings {
+		if l.Antistings[i] != o.Antistings[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less implements the ≺lb order: first by creator, then by the
+// sting/antisting relation. Same-creator labels may be incomparable, in
+// which case both Less(a,b) and Less(b,a) are false.
+func (l Label) Less(o Label) bool {
+	if l.Creator != o.Creator {
+		return l.Creator < o.Creator
+	}
+	return o.hasAntisting(l.Sting) && !l.hasAntisting(o.Sting)
+}
+
+// Comparable reports whether the two labels are ordered either way.
+func (l Label) Comparable(o Label) bool {
+	return l.Equal(o) || l.Less(o) || o.Less(l)
+}
+
+func (l Label) String() string {
+	return fmt.Sprintf("⟨%v;%d;%v⟩", l.Creator, l.Sting, l.Antistings)
+}
+
+// NextLabel creates a label of the given creator that is strictly greater
+// than every label in dominate (which should all share that creator; labels
+// by other creators are ordered by creator anyway). domain is |D|; it must
+// exceed len(dominate)² + len(dominate) for a fresh sting to be guaranteed.
+func NextLabel(creator ids.ID, dominate []Label, domain int) Label {
+	anti := make([]int, 0, len(dominate))
+	seen := make(map[int]bool, len(dominate))
+	blocked := make(map[int]bool)
+	for _, l := range dominate {
+		if !seen[l.Sting] {
+			seen[l.Sting] = true
+			anti = append(anti, l.Sting)
+		}
+		for _, a := range l.Antistings {
+			blocked[a] = true
+		}
+	}
+	sort.Ints(anti)
+	sting := 0
+	for s := 0; s < domain; s++ {
+		if !blocked[s] {
+			sting = s
+			break
+		}
+	}
+	return Label{Creator: creator, Sting: sting, Antistings: anti}
+}
+
+// Pair is the exchanged unit ⟨ml, cl⟩: a label and its canceling label.
+// A nil Cancel means the label is legit (the paper's cl = ⊥).
+type Pair struct {
+	ML     Label
+	Cancel *Label
+}
+
+// Legit reports whether the pair is not canceled (the paper's legit(lp)).
+func (p Pair) Legit() bool { return p.Cancel == nil }
+
+// Canceled returns a copy of p canceled by the witness w.
+func (p Pair) CanceledBy(w Label) Pair {
+	wc := w
+	return Pair{ML: p.ML, Cancel: &wc}
+}
+
+// Equal compares pairs structurally.
+func (p Pair) Equal(o Pair) bool {
+	if !p.ML.Equal(o.ML) {
+		return false
+	}
+	if (p.Cancel == nil) != (o.Cancel == nil) {
+		return false
+	}
+	return p.Cancel == nil || p.Cancel.Equal(*o.Cancel)
+}
+
+func (p Pair) String() string {
+	if p.Cancel == nil {
+		return fmt.Sprintf("(%v,⊥)", p.ML)
+	}
+	return fmt.Sprintf("(%v,%v)", p.ML, *p.Cancel)
+}
+
+// MaxLegit returns the ≺lb-maximal label among the given legit labels,
+// breaking same-creator incomparability deterministically by sting. ok is
+// false for an empty input.
+func MaxLegit(labels []Label) (Label, bool) {
+	if len(labels) == 0 {
+		return Label{}, false
+	}
+	best := labels[0]
+	for _, l := range labels[1:] {
+		switch {
+		case best.Less(l):
+			best = l
+		case l.Less(best) || l.Equal(best):
+			// keep best
+		case l.Creator == best.Creator && l.Sting > best.Sting:
+			// incomparable: deterministic tie-break
+			best = l
+		}
+	}
+	return best, true
+}

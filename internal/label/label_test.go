@@ -1,0 +1,335 @@
+package label
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func lbl(creator ids.ID, sting int, anti ...int) Label {
+	return Label{Creator: creator, Sting: sting, Antistings: anti}
+}
+
+func TestCreatorOrderDominates(t *testing.T) {
+	a := lbl(1, 5)
+	b := lbl(2, 0)
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("creator order broken")
+	}
+}
+
+func TestStingAntistingOrder(t *testing.T) {
+	a := lbl(1, 3, 1, 2)
+	b := lbl(1, 7, 3, 4) // b.anti contains a.sting; a.anti misses b.sting
+	if !a.Less(b) {
+		t.Fatal("a ≺ b expected")
+	}
+	if b.Less(a) {
+		t.Fatal("order not antisymmetric")
+	}
+}
+
+func TestIncomparableLabels(t *testing.T) {
+	a := lbl(1, 3, 9)
+	b := lbl(1, 7, 9) // neither antisting set contains the other's sting
+	if a.Less(b) || b.Less(a) {
+		t.Fatal("expected incomparable")
+	}
+	if a.Comparable(b) {
+		t.Fatal("Comparable() wrong")
+	}
+	if !a.Comparable(a) {
+		t.Fatal("label must be comparable to itself")
+	}
+}
+
+func TestNextLabelDominatesInputs(t *testing.T) {
+	existing := []Label{
+		lbl(1, 3, 7, 8),
+		lbl(1, 5, 2, 3),
+		lbl(1, 9, 0, 1),
+	}
+	fresh := NextLabel(1, existing, 1000)
+	for _, old := range existing {
+		if !old.Less(fresh) {
+			t.Fatalf("%v does not dominate %v", fresh, old)
+		}
+	}
+}
+
+func TestQuickNextLabelDomination(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(10)
+		domain := k*k + k + 1
+		existing := make([]Label, 0, k)
+		for i := 0; i < k; i++ {
+			anti := make([]int, 0, k)
+			seen := map[int]bool{}
+			for j := 0; j < k; j++ {
+				a := rng.Intn(domain)
+				if !seen[a] {
+					seen[a] = true
+					anti = append(anti, a)
+				}
+			}
+			existing = append(existing, NextLabel(1, nil, domain)) // valid shape
+			existing[i] = lbl(1, rng.Intn(domain), anti...)
+		}
+		fresh := NextLabel(1, existing, domain)
+		if !fresh.Valid(domain) {
+			return false
+		}
+		for _, old := range existing {
+			if !old.Less(fresh) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairLegitAndCancel(t *testing.T) {
+	p := Pair{ML: lbl(1, 3)}
+	if !p.Legit() {
+		t.Fatal("fresh pair must be legit")
+	}
+	c := p.CanceledBy(lbl(1, 9))
+	if c.Legit() {
+		t.Fatal("canceled pair reported legit")
+	}
+	if !c.ML.Equal(p.ML) {
+		t.Fatal("cancel changed ml")
+	}
+	if p.Equal(c) || !p.Equal(p) {
+		t.Fatal("pair equality broken")
+	}
+}
+
+func TestMaxLegit(t *testing.T) {
+	if _, ok := MaxLegit(nil); ok {
+		t.Fatal("empty MaxLegit must fail")
+	}
+	labels := []Label{lbl(1, 1), lbl(3, 0), lbl(2, 9)}
+	m, ok := MaxLegit(labels)
+	if !ok || m.Creator != 3 {
+		t.Fatalf("MaxLegit = %v", m)
+	}
+}
+
+// storePeers simulates the members exchanging ⟨max[i], max[k]⟩ in rounds
+// over perfect channels.
+type storePeers struct {
+	members ids.Set
+	stores  map[ids.ID]*Store
+}
+
+func newStorePeers(n int) *storePeers {
+	members := ids.Range(1, ids.ID(n))
+	sp := &storePeers{members: members, stores: make(map[ids.ID]*Store, n)}
+	members.Each(func(id ids.ID) {
+		sp.stores[id] = NewStore(id, members, DefaultStoreOptions(n, 4))
+	})
+	return sp
+}
+
+func (sp *storePeers) round() {
+	type msg struct {
+		from, to           ids.ID
+		sent, last         Pair
+		haveSent, haveLast bool
+	}
+	var msgs []msg
+	sp.members.Each(func(from ids.ID) {
+		s := sp.stores[from]
+		sp.members.Each(func(to ids.ID) {
+			if to == from {
+				return
+			}
+			m := msg{from: from, to: to}
+			m.sent, m.haveSent = s.LocalMax()
+			m.last, m.haveLast = s.MaxOf(to)
+			msgs = append(msgs, m)
+		})
+	})
+	for _, m := range msgs {
+		sp.stores[m.to].Receive(m.sent, m.haveSent, m.last, m.haveLast, m.from)
+	}
+}
+
+// agreedMax reports whether all stores agree on one legit local max.
+func (sp *storePeers) agreedMax() (Label, bool) {
+	var max Label
+	first, ok := true, true
+	sp.members.Each(func(id ids.ID) {
+		p, has := sp.stores[id].LocalMax()
+		if !has || !p.Legit() {
+			ok = false
+			return
+		}
+		if first {
+			max, first = p.ML, false
+		} else if !max.Equal(p.ML) {
+			ok = false
+		}
+	})
+	return max, ok && !first
+}
+
+func TestStoresConvergeToGlobalMax(t *testing.T) {
+	sp := newStorePeers(4)
+	for i := 0; i < 50; i++ {
+		sp.round()
+		if _, ok := sp.agreedMax(); ok {
+			return
+		}
+	}
+	t.Fatal("stores never agreed on a maximal label")
+}
+
+func TestStoreRecoversFromInjectedLabels(t *testing.T) {
+	sp := newStorePeers(4)
+	for i := 0; i < 20; i++ {
+		sp.round()
+	}
+	// Transient fault: inject wild labels, including ones in wrong queues
+	// and fake maxima by every creator.
+	rng := rand.New(rand.NewSource(7))
+	sp.members.Each(func(id ids.ID) {
+		s := sp.stores[id]
+		s.InjectPair(2, Pair{ML: lbl(3, rng.Intn(50), rng.Intn(50))}) // wrong queue → staleInfo
+		s.InjectMax(3, Pair{ML: lbl(3, rng.Intn(50), rng.Intn(50))})
+		s.InjectMax(1, Pair{ML: lbl(1, rng.Intn(50), rng.Intn(50))})
+	})
+	for i := 0; i < 200; i++ {
+		sp.round()
+	}
+	if _, ok := sp.agreedMax(); !ok {
+		t.Fatal("no agreement after label corruption")
+	}
+	// Closure: the agreed max must remain stable.
+	before, _ := sp.agreedMax()
+	for i := 0; i < 20; i++ {
+		sp.round()
+	}
+	after, ok := sp.agreedMax()
+	if !ok || !before.Equal(after) {
+		t.Fatalf("agreed max drifted: %v → %v", before, after)
+	}
+}
+
+func TestRebuildDropsNonMembers(t *testing.T) {
+	sp := newStorePeers(4)
+	for i := 0; i < 30; i++ {
+		sp.round()
+	}
+	s := sp.stores[1]
+	// New configuration without p4; labels created by p4 must vanish.
+	s.InjectMax(2, Pair{ML: lbl(4, 3)})
+	s.Rebuild(ids.NewSet(1, 2, 3))
+	if p, ok := s.MaxOf(2); ok && p.ML.Creator == 4 {
+		t.Fatal("non-member label survived rebuild")
+	}
+	if p, ok := s.LocalMax(); !ok || !s.members.Contains(p.ML.Creator) {
+		t.Fatalf("local max invalid after rebuild: %v %v", p, ok)
+	}
+}
+
+func TestCleanPair(t *testing.T) {
+	s := NewStore(1, ids.NewSet(1, 2), DefaultStoreOptions(2, 4))
+	if _, ok := s.CleanPair(Pair{ML: lbl(9, 0)}); ok {
+		t.Fatal("non-member creator pair not voided")
+	}
+	bad := lbl(9, 0)
+	if _, ok := s.CleanPair(Pair{ML: lbl(1, 0), Cancel: &bad}); ok {
+		t.Fatal("non-member cancel not voided")
+	}
+	if _, ok := s.CleanPair(Pair{ML: lbl(2, 0)}); !ok {
+		t.Fatal("member pair voided")
+	}
+}
+
+func TestQueueBoundsEnforced(t *testing.T) {
+	opts := StoreOptions{Domain: 10000, QueueCap: 3, OwnQueueCap: 5}
+	s := NewStore(1, ids.NewSet(1, 2), opts)
+	for i := 0; i < 50; i++ {
+		s.InjectPair(2, Pair{ML: lbl(2, i)})
+		s.Receive(Pair{ML: lbl(2, i)}, true, Pair{}, false, 2)
+	}
+	if got := len(s.queueOf(2)); got > 3 {
+		t.Fatalf("peer queue grew to %d > 3", got)
+	}
+	if got := len(s.queueOf(1)); got > 5 {
+		t.Fatalf("own queue grew to %d > 5", got)
+	}
+}
+
+func TestCancellationForcesFreshLabel(t *testing.T) {
+	members := ids.NewSet(1)
+	s := NewStore(1, members, DefaultStoreOptions(1, 2))
+	p0, ok := s.LocalMax()
+	if !ok {
+		t.Fatal("no initial label")
+	}
+	// Cancel the current max via the echo path (peer reports it canceled).
+	canceled := p0.CanceledBy(lbl(1, p0.ML.Sting+1))
+	s.Receive(Pair{}, false, canceled, true, 1)
+	p1, ok := s.LocalMax()
+	if !ok {
+		t.Fatal("no label after cancellation")
+	}
+	if p1.ML.Equal(p0.ML) && p1.Legit() {
+		t.Fatal("canceled label still maximal")
+	}
+	if s.Metrics().Creations < 2 {
+		t.Fatalf("expected a fresh creation, metrics=%+v", s.Metrics())
+	}
+}
+
+func TestTheorem44CreationBound(t *testing.T) {
+	// Theorem 4.4: with v members and link capacity m, label creations
+	// until a maximal label is bounded. After a reconfiguration (clean
+	// queues), the bound is O(N²). We verify creations stay well under
+	// the bound for a converging system.
+	const n, m = 5, 4
+	sp := newStorePeers(n)
+	rng := rand.New(rand.NewSource(3))
+	sp.members.Each(func(id ids.ID) {
+		for k := 0; k < 10; k++ {
+			sp.stores[id].InjectMax(ids.ID(rng.Intn(n)+1), Pair{ML: lbl(ids.ID(rng.Intn(n)+1), rng.Intn(100), rng.Intn(100))})
+			sp.round()
+		}
+	})
+	for i := 0; i < 300; i++ {
+		sp.round()
+	}
+	if _, ok := sp.agreedMax(); !ok {
+		t.Fatal("no agreement")
+	}
+	bound := uint64(n * n * (n*n + m)) // generous O(N(N²+m))
+	sp.members.Each(func(id ids.ID) {
+		if c := sp.stores[id].Metrics().Creations; c > bound {
+			t.Fatalf("node %v created %d labels > bound %d", id, c, bound)
+		}
+	})
+}
+
+func TestDefaultStoreOptionsSane(t *testing.T) {
+	for v := 1; v <= 8; v++ {
+		o := DefaultStoreOptions(v, 8)
+		if o.Domain <= o.OwnQueueCap {
+			t.Fatalf("v=%d: domain %d too small", v, o.Domain)
+		}
+		if o.QueueCap <= 0 || o.OwnQueueCap <= 0 {
+			t.Fatalf("v=%d: zero caps", v)
+		}
+	}
+	if o := DefaultStoreOptions(0, 8); o.QueueCap <= 0 {
+		t.Fatal("v=0 not defended")
+	}
+}

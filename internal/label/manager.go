@@ -1,0 +1,144 @@
+package label
+
+import (
+	"repro/internal/core"
+	"repro/internal/ids"
+)
+
+// Message is the label exchange payload of Algorithm 4.1 (line 17):
+// ⟨max[i], max[k]⟩ — the sender's maximal pair and its echo of the
+// receiver's last reported pair.
+type Message struct {
+	SentMax  Pair
+	HaveSent bool
+	LastSent Pair
+	HaveLast bool
+}
+
+// Manager is Algorithm 4.1: the reconfiguration-aware wrapper that runs the
+// labeling scheme among the current configuration's members, rebuilding the
+// bounded structures whenever recSA reports a completed reconfiguration. It
+// plugs into a core.Node as its application.
+type Manager struct {
+	self ids.ID
+	// OptsFor sizes the store for a given configuration size; nil uses
+	// DefaultStoreOptions with the default link-capacity bound.
+	OptsFor func(v int) StoreOptions
+
+	store     *Store
+	conf      ids.Set
+	confValid bool
+}
+
+var _ core.App = (*Manager)(nil)
+
+// NewManager builds the labeling application for processor self.
+func NewManager(self ids.ID) *Manager {
+	return &Manager{self: self}
+}
+
+// Store exposes the current label store (nil before the first
+// configuration is learned). Tests and the counter layer use it.
+func (m *Manager) Store() *Store { return m.store }
+
+// Ready reports whether the processor currently runs the labeling scheme
+// (it is a member of an agreed configuration).
+func (m *Manager) Ready() bool { return m.store != nil && m.confValid }
+
+// LocalMax returns the processor's current maximal label, if the scheme is
+// running.
+func (m *Manager) LocalMax() (Pair, bool) {
+	if !m.Ready() {
+		return Pair{}, false
+	}
+	return m.store.LocalMax()
+}
+
+func (m *Manager) storeOpts(v int) StoreOptions {
+	if m.OptsFor != nil {
+		return m.OptsFor(v)
+	}
+	return DefaultStoreOptions(v, 8)
+}
+
+// confChange reports whether the agreed configuration differs from the one
+// the structures were built for (the paper's confChange()).
+func (m *Manager) confChange(q ids.Set) bool {
+	return !m.confValid || !m.conf.Equal(q)
+}
+
+// Tick implements core.App: lines 8–14 of Algorithm 4.1. Only configuration
+// members run the scheme; after a reconfiguration the structures are
+// rebuilt and the local maximum re-derived.
+func (m *Manager) Tick(n *core.Node) {
+	q, ok := n.Quorum()
+	if !ok || !n.NoReco() {
+		return // during reconfiguration: take no actions
+	}
+	if !q.Contains(m.self) {
+		// Not a member: drop the structures entirely so stale labels
+		// cannot leak into a later membership.
+		m.store = nil
+		m.confValid = false
+		return
+	}
+	if m.confChange(q) {
+		m.conf = q
+		m.confValid = true
+		if m.store == nil {
+			m.store = NewStore(m.self, q, m.storeOpts(q.Size()))
+		} else {
+			m.store.Rebuild(q)
+		}
+	}
+}
+
+// Outgoing implements core.App: line 17's transmission of
+// ⟨max[i], max[k]⟩, gated on a steady configuration.
+func (m *Manager) Outgoing(to ids.ID, n *core.Node) any {
+	q, ok := n.Quorum()
+	if !ok || !n.NoReco() || !m.Ready() || m.confChange(q) {
+		return nil
+	}
+	if !q.Contains(to) {
+		return nil // labels flow only between members
+	}
+	msg := Message{}
+	if p, ok := m.store.LocalMax(); ok {
+		if clean, ok := m.store.CleanPair(p); ok {
+			msg.SentMax = clean
+			msg.HaveSent = true
+		}
+	}
+	if p, ok := m.store.MaxOf(to); ok {
+		if clean, ok := m.store.CleanPair(p); ok {
+			msg.LastSent = clean
+			msg.HaveLast = true
+		}
+	}
+	if !msg.HaveSent && !msg.HaveLast {
+		return nil
+	}
+	return msg
+}
+
+// HandleApp implements core.App: lines 18–22's receipt path.
+func (m *Manager) HandleApp(from ids.ID, payload any, n *core.Node) {
+	msg, ok := payload.(Message)
+	if !ok {
+		return
+	}
+	q, okq := n.Quorum()
+	if !okq || !n.NoReco() || !m.Ready() || m.confChange(q) || !q.Contains(from) {
+		return
+	}
+	sent, haveSent := msg.SentMax, msg.HaveSent
+	if haveSent {
+		sent, haveSent = m.store.CleanPair(sent)
+	}
+	last, haveLast := msg.LastSent, msg.HaveLast
+	if haveLast {
+		last, haveLast = m.store.CleanPair(last)
+	}
+	m.store.Receive(sent, haveSent, last, haveLast, from)
+}

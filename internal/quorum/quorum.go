@@ -1,0 +1,151 @@
+// Package quorum generalizes the scheme's quorum machinery beyond
+// majorities. The paper (Section 1) uses majorities — "the simplest form
+// of a quorum system" — but notes the scheme "can be modified to support
+// more complex quorum systems, as long as processors have access to a
+// mechanism (a function actually) that given a set of processors can
+// generate the specific quorum system". This package is that function: a
+// System derives, from a configuration member set, the predicate deciding
+// which subsets are quorums. Besides majorities it implements two classic
+// constructions from the literature the paper cites ([21] crumbling walls,
+// [23] quorum-system survey): a grid system and singleton-row crumbling
+// walls.
+//
+// The defining property — any two quorums of the same configuration
+// intersect — is verified by property tests for every implementation.
+package quorum
+
+import (
+	"math"
+
+	"repro/internal/ids"
+)
+
+// System decides quorum membership for configurations.
+type System interface {
+	// Name identifies the system in logs and tables.
+	Name() string
+	// IsQuorum reports whether s contains a quorum of configuration conf.
+	IsQuorum(conf ids.Set, s ids.Set) bool
+}
+
+// Majority is the paper's default: any strict majority is a quorum.
+type Majority struct{}
+
+var _ System = Majority{}
+
+// Name implements System.
+func (Majority) Name() string { return "majority" }
+
+// IsQuorum implements System.
+func (Majority) IsQuorum(conf ids.Set, s ids.Set) bool {
+	if conf.Empty() {
+		return false
+	}
+	return s.Intersect(conf).Size() >= conf.MajoritySize()
+}
+
+// Grid arranges the configuration (in ascending identifier order) into a
+// ⌈√n⌉-wide grid; a quorum must contain one full row and one element of
+// every row ("one row plus one column" in the usual formulation, adapted
+// to ragged last rows). Any two quorums intersect: one's full row meets
+// the other's column representative in that row.
+type Grid struct{}
+
+var _ System = Grid{}
+
+// Name implements System.
+func (Grid) Name() string { return "grid" }
+
+// rows splits conf into rows of width ⌈√n⌉.
+func gridRows(conf ids.Set) [][]ids.ID {
+	members := conf.Members()
+	n := len(members)
+	if n == 0 {
+		return nil
+	}
+	w := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := make([][]ids.ID, 0, (n+w-1)/w)
+	for i := 0; i < n; i += w {
+		end := i + w
+		if end > n {
+			end = n
+		}
+		rows = append(rows, members[i:end])
+	}
+	return rows
+}
+
+// IsQuorum implements System.
+func (Grid) IsQuorum(conf ids.Set, s ids.Set) bool {
+	rows := gridRows(conf)
+	if len(rows) == 0 {
+		return false
+	}
+	fullRow := false
+	for _, row := range rows {
+		all := true
+		any := false
+		for _, id := range row {
+			if s.Contains(id) {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		if all {
+			fullRow = true
+		}
+		if !any {
+			return false // a row with no representative: no column
+		}
+	}
+	return fullRow
+}
+
+// CrumblingWall is the singleton-top-row crumbling wall of Peleg & Wool
+// [21]: the first (smallest-identifier) member forms a one-element row and
+// the rest one wide row; a quorum is the top element plus any element of
+// the bottom row, or the entire bottom row. Quorums are tiny (size 2) in
+// the common case while still pairwise intersecting.
+type CrumblingWall struct{}
+
+var _ System = CrumblingWall{}
+
+// Name implements System.
+func (CrumblingWall) Name() string { return "crumbling-wall" }
+
+// IsQuorum implements System.
+func (CrumblingWall) IsQuorum(conf ids.Set, s ids.Set) bool {
+	members := conf.Members()
+	switch len(members) {
+	case 0:
+		return false
+	case 1:
+		return s.Contains(members[0])
+	}
+	top := members[0]
+	bottom := members[1:]
+	if s.Contains(top) {
+		for _, id := range bottom {
+			if s.Contains(id) {
+				return true // top + one of the wall
+			}
+		}
+		return false
+	}
+	for _, id := range bottom {
+		if !s.Contains(id) {
+			return false
+		}
+	}
+	return true // the entire wall
+}
+
+// Live reports whether the alive set still contains some quorum of conf —
+// the generalized "majority has not collapsed" test the recMA layer needs.
+// It is exact for Majority and CrumblingWall and conservative for Grid
+// (checks whether alive itself is a quorum, which for monotone systems is
+// equivalent to containing one).
+func Live(sys System, conf ids.Set, alive ids.Set) bool {
+	return sys.IsQuorum(conf, alive.Intersect(conf))
+}

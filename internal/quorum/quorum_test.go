@@ -1,0 +1,141 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+func systems() []System {
+	return []System{Majority{}, Grid{}, CrumblingWall{}}
+}
+
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range systems() {
+		if s.Name() == "" || seen[s.Name()] {
+			t.Fatalf("bad or duplicate name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}
+
+func TestMajorityBasics(t *testing.T) {
+	conf := ids.Range(1, 5)
+	var m Majority
+	if m.IsQuorum(conf, ids.NewSet(1, 2)) {
+		t.Fatal("2 of 5 is not a majority")
+	}
+	if !m.IsQuorum(conf, ids.NewSet(1, 2, 3)) {
+		t.Fatal("3 of 5 is a majority")
+	}
+	if !m.IsQuorum(conf, ids.NewSet(1, 2, 3, 9, 10)) {
+		t.Fatal("outsiders must not spoil a quorum")
+	}
+	if m.IsQuorum(ids.Set{}, ids.NewSet(1)) {
+		t.Fatal("empty configuration has no quorums")
+	}
+}
+
+func TestGridBasics(t *testing.T) {
+	conf := ids.Range(1, 9) // 3×3 grid: rows {1,2,3},{4,5,6},{7,8,9}
+	var g Grid
+	if !g.IsQuorum(conf, ids.NewSet(1, 2, 3, 4, 7)) {
+		t.Fatal("full row + column must be a quorum")
+	}
+	if g.IsQuorum(conf, ids.NewSet(1, 2, 3)) {
+		t.Fatal("row without column is not a quorum")
+	}
+	if g.IsQuorum(conf, ids.NewSet(1, 4, 7)) {
+		t.Fatal("column without a full row is not a quorum")
+	}
+	if !g.IsQuorum(conf, conf) {
+		t.Fatal("whole configuration must be a quorum")
+	}
+}
+
+func TestCrumblingWallBasics(t *testing.T) {
+	conf := ids.Range(1, 5)
+	var w CrumblingWall
+	if !w.IsQuorum(conf, ids.NewSet(1, 4)) {
+		t.Fatal("top + one wall element must be a quorum")
+	}
+	if !w.IsQuorum(conf, ids.NewSet(2, 3, 4, 5)) {
+		t.Fatal("the full wall must be a quorum")
+	}
+	if w.IsQuorum(conf, ids.NewSet(2, 3)) {
+		t.Fatal("partial wall without top is not a quorum")
+	}
+	if w.IsQuorum(conf, ids.NewSet(1)) {
+		t.Fatal("top alone is not a quorum")
+	}
+	if !w.IsQuorum(ids.NewSet(7), ids.NewSet(7)) {
+		t.Fatal("singleton configuration: the member is the quorum")
+	}
+}
+
+// TestQuickPairwiseIntersection verifies the defining quorum property for
+// every system: two quorums of the same configuration always intersect.
+func TestQuickPairwiseIntersection(t *testing.T) {
+	for _, sys := range systems() {
+		sys := sys
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			conf := ids.Range(1, ids.ID(rng.Intn(12)+1))
+			pick := func() (ids.Set, bool) {
+				// Random subset; retry until it is a quorum.
+				for tries := 0; tries < 200; tries++ {
+					s := conf.Filter(func(ids.ID) bool { return rng.Intn(2) == 0 })
+					if sys.IsQuorum(conf, s) {
+						return s, true
+					}
+				}
+				return ids.Set{}, false
+			}
+			q1, ok1 := pick()
+			q2, ok2 := pick()
+			if !ok1 || !ok2 {
+				return true // tiny configs may make sampling fail; vacuous
+			}
+			return !q1.Intersect(q2).Empty()
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+// TestQuickMonotone verifies supersets of quorums are quorums.
+func TestQuickMonotone(t *testing.T) {
+	for _, sys := range systems() {
+		sys := sys
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			conf := ids.Range(1, ids.ID(rng.Intn(10)+1))
+			s := conf.Filter(func(ids.ID) bool { return rng.Intn(2) == 0 })
+			if !sys.IsQuorum(conf, s) {
+				return true
+			}
+			bigger := s.Add(conf.Members()[rng.Intn(conf.Size())])
+			return sys.IsQuorum(conf, bigger)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestLive(t *testing.T) {
+	conf := ids.Range(1, 5)
+	if !Live(Majority{}, conf, ids.NewSet(1, 2, 3, 99)) {
+		t.Fatal("live majority not detected")
+	}
+	if Live(Majority{}, conf, ids.NewSet(1, 2)) {
+		t.Fatal("dead majority reported live")
+	}
+	if !Live(CrumblingWall{}, conf, ids.NewSet(1, 5)) {
+		t.Fatal("crumbling wall liveness broken")
+	}
+}

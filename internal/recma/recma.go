@@ -1,0 +1,249 @@
+// Package recma implements Algorithm 3.2 of the paper, the Reconfiguration
+// Management layer: it decides *when* a reconfiguration should happen and
+// triggers the recSA layer's estab() interface, while recSA owns the
+// replacement process itself.
+//
+// A reconfiguration is triggered in two cases: (i) the configuration's
+// majority appears lost — guarded by the majority-supportive-core
+// assumption (Definition 3.2) so that a single inaccurate failure detector
+// cannot trigger unilaterally — or (ii) an application-supplied prediction
+// function evalConf() tells a majority of configuration members that the
+// configuration should be replaced (e.g., a quarter of its members look
+// crashed). Both paths reset the exchanged flag arrays immediately after
+// triggering so the same event cannot re-trigger, bounding the number of
+// stale-information-induced triggerings by O(N²·cap) (Lemma 3.18).
+package recma
+
+import (
+	"math/rand"
+
+	"repro/internal/ids"
+	"repro/internal/quorum"
+	"repro/internal/recsa"
+)
+
+// StabilityAssurance is the interface recMA needs from the recSA layer.
+type StabilityAssurance interface {
+	NoReco() bool
+	GetConfig() recsa.Config
+	Estab(set ids.Set) bool
+	Participants() ids.Set
+	IsParticipant() bool
+}
+
+// FDSource supplies the trusted set; identical to recsa.FDSource.
+type FDSource interface {
+	Trusted() ids.Set
+}
+
+// EvalConf is the application-defined prediction function: it returns true
+// when the given current configuration should be replaced. The paper treats
+// it as a black box; DefaultEvalConf reconfigures once a quarter of the
+// members look crashed.
+type EvalConf func(cur ids.Set, trusted ids.Set) bool
+
+// DefaultEvalConf requests a reconfiguration once strictly more than a
+// quarter of the configuration members are no longer trusted (the simple
+// policy the paper's related-work discussion suggests).
+func DefaultEvalConf(cur ids.Set, trusted ids.Set) bool {
+	if cur.Empty() {
+		return false
+	}
+	missing := cur.Diff(trusted).Size()
+	return 4*missing > cur.Size()
+}
+
+// Message is the pair continuously exchanged between participants
+// (lines 19–20).
+type Message struct {
+	NoMaj      bool
+	NeedReconf bool
+}
+
+// Metrics counts triggering events.
+type Metrics struct {
+	TriggeredNoMaj   uint64 // estab() calls from the majority-failure path
+	TriggeredPredict uint64 // estab() calls from the prediction path
+	FlagResets       uint64
+}
+
+// RecMA is the per-processor Reconfiguration Management state.
+type RecMA struct {
+	self ids.ID
+	sa   StabilityAssurance
+	fd   FDSource
+	eval EvalConf
+	qs   quorum.System
+
+	noMaj      map[ids.ID]bool
+	needReconf map[ids.ID]bool
+	prevConfig recsa.Config
+	prevValid  bool
+
+	metrics Metrics
+}
+
+// New constructs the layer. eval may be nil, in which case DefaultEvalConf
+// is used.
+func New(self ids.ID, sa StabilityAssurance, fd FDSource, eval EvalConf) *RecMA {
+	if eval == nil {
+		eval = DefaultEvalConf
+	}
+	return &RecMA{
+		self:       self,
+		sa:         sa,
+		fd:         fd,
+		eval:       eval,
+		qs:         quorum.Majority{},
+		noMaj:      make(map[ids.ID]bool),
+		needReconf: make(map[ids.ID]bool),
+	}
+}
+
+// SetQuorumSystem replaces the majority quorum test with another system
+// (Section 1: the scheme generalizes to any quorum system derivable from
+// the member set). It must be called before the first Step.
+func (m *RecMA) SetQuorumSystem(qs quorum.System) {
+	if qs != nil {
+		m.qs = qs
+	}
+}
+
+// Metrics returns a copy of the counters.
+func (m *RecMA) Metrics() Metrics { return m.metrics }
+
+// NoMaj exposes the local no-majority flag (for tests).
+func (m *RecMA) NoMaj() bool { return m.noMaj[m.self] }
+
+// flushFlags resets every exchanged flag (the paper's flushFlags()).
+func (m *RecMA) flushFlags() {
+	m.metrics.FlagResets++
+	m.noMaj = make(map[ids.ID]bool)
+	m.needReconf = make(map[ids.ID]bool)
+}
+
+// core computes ∩_{pj ∈ FD[i].part} FD[j].part — the intersection of the
+// participant sets reported by every trusted participant, as supplied by
+// the views callback. Unknown views contribute nothing (they are skipped),
+// which only shrinks confidence, never creates it.
+func (m *RecMA) coreSet(part ids.Set, partOf func(ids.ID) (ids.Set, bool)) ids.Set {
+	out := part
+	first := true
+	part.Each(func(j ids.ID) {
+		p, ok := partOf(j)
+		if !ok {
+			return
+		}
+		if first {
+			out = p
+			first = false
+			return
+		}
+		out = out.Intersect(p)
+	})
+	if first {
+		return ids.Set{}
+	}
+	return out
+}
+
+// Views supplies, per peer, the participant set that peer last reported
+// (from recSA's stored views). The core() computation needs it.
+type Views func(j ids.ID) (part ids.Set, known bool)
+
+// Step executes one iteration of the do-forever loop (lines 5–19). It
+// returns the message to broadcast to every trusted participant.
+func (m *RecMA) Step(views Views) Message {
+	if !m.sa.IsParticipant() {
+		return Message{}
+	}
+	trusted := m.fd.Trusted().Add(m.self)
+	part := m.sa.Participants()
+
+	curConf := m.sa.GetConfig()
+	m.noMaj[m.self] = false
+	m.needReconf[m.self] = false
+
+	if m.prevValid && !m.prevConfig.Equal(curConf) {
+		m.flushFlags() // line 9: configuration changed — stale flags out
+	}
+
+	if m.sa.NoReco() && curConf.Kind == recsa.KindSet {
+		m.prevConfig = curConf
+		m.prevValid = true
+		cur := curConf.Set
+
+		// Line 12, generalized: does a live quorum of the
+		// configuration survive in the trusted set?
+		if !quorum.Live(m.qs, cur, trusted) {
+			m.noMaj[m.self] = true
+		}
+
+		core := m.coreSet(part, views)
+		if m.noMaj[m.self] && core.Size() > 1 && m.allCoreNoMaj(core) {
+			// Lines 13–14: the whole core agrees the majority is gone.
+			m.metrics.TriggeredNoMaj++
+			m.sa.Estab(part)
+			m.flushFlags()
+		} else if m.evalAndCount(cur, trusted) {
+			// Lines 16–18: a majority of members wants to reconfigure.
+			m.metrics.TriggeredPredict++
+			m.sa.Estab(part)
+			m.flushFlags()
+		}
+	}
+
+	return Message{NoMaj: m.noMaj[m.self], NeedReconf: m.needReconf[m.self]}
+}
+
+func (m *RecMA) allCoreNoMaj(core ids.Set) bool {
+	ok := true
+	core.Each(func(k ids.ID) {
+		if k == m.self {
+			if !m.noMaj[m.self] {
+				ok = false
+			}
+			return
+		}
+		if !m.noMaj[k] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func (m *RecMA) evalAndCount(cur ids.Set, trusted ids.Set) bool {
+	m.needReconf[m.self] = m.eval(cur, trusted)
+	if !m.needReconf[m.self] {
+		return false
+	}
+	agree := 0
+	cur.Intersect(trusted).Each(func(j ids.ID) {
+		if j == m.self || m.needReconf[j] {
+			agree++
+		}
+	})
+	return agree > cur.Size()/2
+}
+
+// HandleMessage stores a peer's exchanged flags (line 20). Only
+// participants record them.
+func (m *RecMA) HandleMessage(from ids.ID, msg Message) {
+	if !m.sa.IsParticipant() || from == m.self {
+		return
+	}
+	m.noMaj[from] = msg.NoMaj
+	m.needReconf[from] = msg.NeedReconf
+}
+
+// CorruptState randomizes the exchanged flag arrays (transient-fault hook).
+func (m *RecMA) CorruptState(rng *rand.Rand, universe ids.Set) {
+	universe.Each(func(id ids.ID) {
+		m.noMaj[id] = rng.Intn(2) == 0
+		m.needReconf[id] = rng.Intn(2) == 0
+	})
+	m.prevValid = rng.Intn(2) == 0
+	if m.prevValid {
+		m.prevConfig = recsa.ConfigOf(universe.Filter(func(ids.ID) bool { return rng.Intn(2) == 0 }))
+	}
+}

@@ -1,0 +1,271 @@
+package recma
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/recsa"
+)
+
+// fakeSA is a scripted StabilityAssurance.
+type fakeSA struct {
+	noReco      bool
+	config      recsa.Config
+	part        ids.Set
+	participant bool
+	estabCalls  []ids.Set
+	estabOK     bool
+}
+
+func (f *fakeSA) NoReco() bool            { return f.noReco }
+func (f *fakeSA) GetConfig() recsa.Config { return f.config }
+func (f *fakeSA) Participants() ids.Set   { return f.part }
+func (f *fakeSA) IsParticipant() bool     { return f.participant }
+func (f *fakeSA) Estab(set ids.Set) bool {
+	f.estabCalls = append(f.estabCalls, set)
+	return f.estabOK
+}
+
+type fakeFD ids.Set
+
+func (f fakeFD) Trusted() ids.Set { return ids.Set(f) }
+
+func allKnown(part ids.Set) Views {
+	return func(ids.ID) (ids.Set, bool) { return part, true }
+}
+
+func steadyFake(conf ids.Set, part ids.Set) *fakeSA {
+	return &fakeSA{
+		noReco:      true,
+		config:      recsa.ConfigOf(conf),
+		part:        part,
+		participant: true,
+		estabOK:     true,
+	}
+}
+
+func TestDefaultEvalConf(t *testing.T) {
+	cur := ids.Range(1, 8)
+	tests := []struct {
+		trusted ids.Set
+		want    bool
+	}{
+		{ids.Range(1, 8), false}, // nobody missing
+		{ids.Range(1, 7), false}, // 1/8 missing: below quarter
+		{ids.Range(1, 6), false}, // exactly a quarter: not strictly more
+		{ids.Range(1, 5), true},  // 3/8 missing
+		{ids.Range(1, 2), true},
+	}
+	for _, tt := range tests {
+		if got := DefaultEvalConf(cur, tt.trusted); got != tt.want {
+			t.Errorf("trusted=%v: got %v, want %v", tt.trusted, got, tt.want)
+		}
+	}
+	if DefaultEvalConf(ids.Set{}, ids.Set{}) {
+		t.Error("empty config must not request reconfiguration")
+	}
+}
+
+func TestNonParticipantDoesNothing(t *testing.T) {
+	sa := steadyFake(ids.Range(1, 3), ids.Range(1, 3))
+	sa.participant = false
+	m := New(1, sa, fakeFD(ids.Range(1, 3)), nil)
+	msg := m.Step(allKnown(ids.Range(1, 3)))
+	if msg.NoMaj || msg.NeedReconf || len(sa.estabCalls) != 0 {
+		t.Fatal("non-participant acted")
+	}
+}
+
+func TestMajorityPresentNoTrigger(t *testing.T) {
+	conf := ids.Range(1, 5)
+	sa := steadyFake(conf, conf)
+	m := New(1, sa, fakeFD(conf), func(ids.Set, ids.Set) bool { return false })
+	for i := 0; i < 10; i++ {
+		m.Step(allKnown(conf))
+	}
+	if len(sa.estabCalls) != 0 {
+		t.Fatalf("triggered with full majority: %v", sa.estabCalls)
+	}
+}
+
+func TestMajorityLossTriggersWithCoreAgreement(t *testing.T) {
+	conf := ids.Range(1, 5)
+	alive := ids.NewSet(1, 2)
+	sa := steadyFake(conf, alive)
+	m := New(1, sa, fakeFD(alive), func(ids.Set, ids.Set) bool { return false })
+
+	// First step: local noMaj set, but the core's (p2's) flag is unknown.
+	msg := m.Step(allKnown(alive))
+	if !msg.NoMaj {
+		t.Fatal("noMaj not detected")
+	}
+	if len(sa.estabCalls) != 0 {
+		t.Fatal("triggered without core agreement")
+	}
+	// p2 reports noMaj too: now the whole core agrees.
+	m.HandleMessage(2, Message{NoMaj: true})
+	m.Step(allKnown(alive))
+	if len(sa.estabCalls) != 1 {
+		t.Fatalf("estab calls = %v, want 1", sa.estabCalls)
+	}
+	if !sa.estabCalls[0].Equal(alive) {
+		t.Fatalf("proposed %v, want %v", sa.estabCalls[0], alive)
+	}
+}
+
+func TestMajoritySupportiveCoreBlocksTrigger(t *testing.T) {
+	// Definition 3.2: one core member that still sees a majority
+	// (noMaj=false) must prevent the trigger.
+	conf := ids.Range(1, 5)
+	alive := ids.NewSet(1, 2)
+	sa := steadyFake(conf, alive)
+	m := New(1, sa, fakeFD(alive), func(ids.Set, ids.Set) bool { return false })
+	m.Step(allKnown(alive))
+	m.HandleMessage(2, Message{NoMaj: false})
+	for i := 0; i < 5; i++ {
+		m.Step(allKnown(alive))
+	}
+	if len(sa.estabCalls) != 0 {
+		t.Fatal("triggered despite a supportive core member")
+	}
+}
+
+func TestSingletonCoreNeverTriggers(t *testing.T) {
+	// |core| > 1 is required: a lone processor cannot trigger.
+	conf := ids.Range(1, 5)
+	alive := ids.NewSet(1)
+	sa := steadyFake(conf, alive)
+	m := New(1, sa, fakeFD(alive), func(ids.Set, ids.Set) bool { return false })
+	for i := 0; i < 5; i++ {
+		m.Step(allKnown(alive))
+	}
+	if len(sa.estabCalls) != 0 {
+		t.Fatal("singleton core triggered")
+	}
+}
+
+func TestPredictionPathNeedsMajority(t *testing.T) {
+	conf := ids.Range(1, 5)
+	sa := steadyFake(conf, conf)
+	m := New(1, sa, fakeFD(conf), func(ids.Set, ids.Set) bool { return true })
+
+	m.Step(allKnown(conf)) // local needReconf only: 1 of 5
+	if len(sa.estabCalls) != 0 {
+		t.Fatal("triggered without member majority")
+	}
+	m.HandleMessage(2, Message{NeedReconf: true})
+	m.Step(allKnown(conf)) // 2 of 5: still no
+	if len(sa.estabCalls) != 0 {
+		t.Fatal("triggered with 2/5")
+	}
+	m.HandleMessage(3, Message{NeedReconf: true})
+	m.Step(allKnown(conf)) // 3 of 5: majority
+	if len(sa.estabCalls) != 1 {
+		t.Fatalf("estab calls = %d, want 1", len(sa.estabCalls))
+	}
+	if m.Metrics().TriggeredPredict != 1 {
+		t.Fatal("prediction trigger not counted")
+	}
+}
+
+func TestFlagsFlushedAfterTrigger(t *testing.T) {
+	conf := ids.Range(1, 3)
+	sa := steadyFake(conf, conf)
+	m := New(1, sa, fakeFD(conf), func(ids.Set, ids.Set) bool { return true })
+	m.HandleMessage(2, Message{NeedReconf: true})
+	m.Step(allKnown(conf))
+	if len(sa.estabCalls) != 1 {
+		t.Fatalf("no trigger: %v", sa.estabCalls)
+	}
+	// Flags were flushed: without fresh reports, no second trigger even
+	// though evalConf still says true.
+	m.Step(allKnown(conf))
+	if len(sa.estabCalls) != 1 {
+		t.Fatal("re-triggered from flushed flags")
+	}
+}
+
+func TestNoTriggerDuringReconfiguration(t *testing.T) {
+	conf := ids.Range(1, 3)
+	sa := steadyFake(conf, ids.NewSet(1))
+	sa.noReco = false
+	m := New(1, sa, fakeFD(ids.NewSet(1)), func(ids.Set, ids.Set) bool { return true })
+	m.HandleMessage(2, Message{NoMaj: true, NeedReconf: true})
+	m.HandleMessage(3, Message{NoMaj: true, NeedReconf: true})
+	for i := 0; i < 5; i++ {
+		m.Step(allKnown(ids.NewSet(1)))
+	}
+	if len(sa.estabCalls) != 0 {
+		t.Fatal("triggered while reconfiguration in progress")
+	}
+}
+
+func TestConfigChangeFlushesFlags(t *testing.T) {
+	confA := ids.Range(1, 3)
+	sa := steadyFake(confA, confA)
+	m := New(1, sa, fakeFD(confA), func(ids.Set, ids.Set) bool { return false })
+	m.HandleMessage(2, Message{NoMaj: true, NeedReconf: true})
+	m.Step(allKnown(confA))
+	// Configuration changes: stale flags must be dropped (line 9).
+	sa.config = recsa.ConfigOf(ids.Range(1, 4))
+	m.Step(allKnown(confA))
+	if m.noMaj[2] || m.needReconf[2] {
+		t.Fatal("stale flags survived a configuration change")
+	}
+}
+
+func TestStaleFlagsCauseBoundedTriggers(t *testing.T) {
+	// Lemma 3.18: corrupted flags can cause at most a bounded number of
+	// triggerings; after the flush they are gone.
+	conf := ids.Range(1, 4)
+	sa := steadyFake(conf, conf)
+	m := New(1, sa, fakeFD(conf), func(ids.Set, ids.Set) bool { return false })
+	rng := rand.New(rand.NewSource(3))
+	m.CorruptState(rng, conf)
+	for id := ids.ID(1); id <= 4; id++ {
+		m.noMaj[id] = true
+		m.needReconf[id] = true
+	}
+	triggersBefore := func() uint64 {
+		mm := m.Metrics()
+		return mm.TriggeredNoMaj + mm.TriggeredPredict
+	}
+	for i := 0; i < 20; i++ {
+		m.Step(allKnown(conf))
+	}
+	got := triggersBefore()
+	if got > 1 {
+		t.Fatalf("stale local flags caused %d triggers, want ≤ 1", got)
+	}
+}
+
+func TestHandleMessageIgnoredByNonParticipant(t *testing.T) {
+	sa := steadyFake(ids.Range(1, 3), ids.Range(1, 3))
+	sa.participant = false
+	m := New(1, sa, fakeFD(ids.Range(1, 3)), nil)
+	m.HandleMessage(2, Message{NoMaj: true})
+	if m.noMaj[2] {
+		t.Fatal("non-participant stored flags")
+	}
+}
+
+func TestCoreComputation(t *testing.T) {
+	part := ids.Range(1, 4)
+	sa := steadyFake(ids.Range(1, 4), part)
+	m := New(1, sa, fakeFD(part), nil)
+	views := func(j ids.ID) (ids.Set, bool) {
+		switch j {
+		case 1, 2:
+			return ids.Range(1, 4), true
+		case 3:
+			return ids.NewSet(1, 3), true
+		default:
+			return ids.Set{}, false // p4 unknown: skipped
+		}
+	}
+	got := m.coreSet(part, views)
+	if !got.Equal(ids.NewSet(1, 3)) {
+		t.Fatalf("core = %v, want {p1,p3}", got)
+	}
+}

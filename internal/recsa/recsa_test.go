@@ -1,0 +1,451 @@
+package recsa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ids"
+)
+
+// lockstep is a synchronous harness: perfect channels, one round = every
+// node steps, then all messages are exchanged. It isolates the algorithm's
+// logic from link/failure-detector behavior (the integration tests in
+// internal/core cover the full stack).
+type lockstep struct {
+	nodes   map[ids.ID]*RecSA
+	alive   ids.Set
+	trusted func(self ids.ID) ids.Set
+}
+
+func newLockstep(n int) *lockstep {
+	l := &lockstep{nodes: make(map[ids.ID]*RecSA)}
+	l.alive = ids.Range(1, ids.ID(n))
+	l.trusted = func(self ids.ID) ids.Set { return l.alive }
+	for i := 1; i <= n; i++ {
+		id := ids.ID(i)
+		l.nodes[id] = New(id, FDFunc(func() ids.Set { return l.trusted(id) }), ConfigOf(l.alive), DefaultOptions())
+	}
+	return l
+}
+
+// round performs one synchronous round: step all, then deliver all.
+func (l *lockstep) round() {
+	l.alive.Each(func(id ids.ID) {
+		if n, ok := l.nodes[id]; ok {
+			n.Step()
+		}
+	})
+	type envelope struct {
+		from, to ids.ID
+		msg      Message
+	}
+	var out []envelope
+	l.alive.Each(func(from ids.ID) {
+		n, ok := l.nodes[from]
+		if !ok {
+			return
+		}
+		l.trusted(from).Each(func(to ids.ID) {
+			if to == from || !l.alive.Contains(to) {
+				return
+			}
+			if m, ok := n.OutgoingMessage(to); ok {
+				out = append(out, envelope{from, to, m})
+			}
+		})
+	})
+	for _, e := range out {
+		l.nodes[e.to].HandleMessage(e.from, e.msg)
+	}
+}
+
+func (l *lockstep) rounds(n int) {
+	for i := 0; i < n; i++ {
+		l.round()
+	}
+}
+
+// agreedConfig reports whether every alive node holds the same proper
+// config with no activity, returning it.
+func (l *lockstep) agreedConfig() (ids.Set, bool) {
+	var agreed ids.Set
+	first, ok := true, true
+	l.alive.Each(func(id ids.ID) {
+		n := l.nodes[id]
+		c := n.CurrentConfig()
+		if c.Kind != KindSet || !n.NoReco() {
+			ok = false
+			return
+		}
+		if first {
+			agreed, first = c.Set, false
+		} else if !agreed.Equal(c.Set) {
+			ok = false
+		}
+	})
+	return agreed, ok && !first
+}
+
+func (l *lockstep) runUntilAgreed(t *testing.T, maxRounds int) ids.Set {
+	t.Helper()
+	for i := 0; i < maxRounds; i++ {
+		if cfg, ok := l.agreedConfig(); ok {
+			return cfg
+		}
+		l.round()
+	}
+	cfg, ok := l.agreedConfig()
+	if !ok {
+		for id, n := range l.nodes {
+			t.Logf("%v: cfg=%v prp=%v noReco=%v m=%+v", id, n.CurrentConfig(), n.Prp(), n.NoReco(), n.Metrics())
+		}
+		t.Fatalf("no agreement after %d rounds", maxRounds)
+	}
+	return cfg
+}
+
+func TestCoherentStartIsStable(t *testing.T) {
+	l := newLockstep(5)
+	l.rounds(20)
+	cfg, ok := l.agreedConfig()
+	if !ok || !cfg.Equal(ids.Range(1, 5)) {
+		t.Fatalf("agreement lost: %v %v", cfg, ok)
+	}
+	for id, n := range l.nodes {
+		if n.Metrics().Resets != 0 {
+			t.Errorf("%v reset from coherent start", id)
+		}
+	}
+}
+
+func TestBottomBootstrap(t *testing.T) {
+	l := newLockstep(4)
+	for _, n := range l.nodes {
+		n.configSet(Bottom())
+	}
+	cfg := l.runUntilAgreed(t, 100)
+	if !cfg.Equal(ids.Range(1, 4)) {
+		t.Fatalf("bootstrap config = %v", cfg)
+	}
+}
+
+func TestConflictTriggersResetAndConverges(t *testing.T) {
+	l := newLockstep(4)
+	// Nodes start with two different proper configs: a conflict.
+	l.nodes[1].config = ConfigOf(ids.NewSet(1, 2))
+	l.nodes[2].config = ConfigOf(ids.NewSet(1, 2))
+	l.nodes[3].config = ConfigOf(ids.NewSet(3, 4))
+	l.nodes[4].config = ConfigOf(ids.NewSet(3, 4))
+	cfg := l.runUntilAgreed(t, 200)
+	if !cfg.Equal(ids.Range(1, 4)) {
+		t.Fatalf("converged to %v, want FD set", cfg)
+	}
+	someReset := false
+	for _, n := range l.nodes {
+		if n.Metrics().Resets > 0 {
+			someReset = true
+		}
+	}
+	if !someReset {
+		t.Fatal("conflict should have caused at least one reset")
+	}
+}
+
+func TestEmptyConfigIsType2Stale(t *testing.T) {
+	l := newLockstep(3)
+	l.nodes[2].config = ConfigOf(ids.Set{})
+	l.round()
+	if l.nodes[2].Metrics().StaleType2 == 0 {
+		t.Fatal("empty config not detected as type-2 stale")
+	}
+	cfg := l.runUntilAgreed(t, 200)
+	if !cfg.Equal(ids.Range(1, 3)) {
+		t.Fatalf("recovered to %v", cfg)
+	}
+}
+
+func TestType1CleanedLocally(t *testing.T) {
+	l := newLockstep(3)
+	l.nodes[1].prp = Notification{Phase: 0, HasSet: true, Set: ids.NewSet(1)}
+	l.round()
+	if !l.nodes[1].Prp().IsDefault() {
+		t.Fatal("type-1 stale notification not cleaned")
+	}
+	if l.nodes[1].Metrics().Resets != 0 {
+		t.Fatal("type-1 must not cause a reset")
+	}
+}
+
+func TestDelicateReplacementLockstep(t *testing.T) {
+	l := newLockstep(5)
+	l.rounds(5)
+	target := ids.NewSet(1, 2, 3)
+	if !l.nodes[1].Estab(target) {
+		t.Fatalf("estab rejected, noReco=%v", l.nodes[1].NoReco())
+	}
+	for i := 0; i < 200; i++ {
+		l.round()
+		if cfg, ok := l.agreedConfig(); ok && cfg.Equal(target) {
+			for id, n := range l.nodes {
+				if n.Metrics().Resets != 0 {
+					t.Errorf("%v used brute force during delicate replacement", id)
+				}
+			}
+			return
+		}
+	}
+	t.Fatalf("replacement never completed")
+}
+
+func TestConcurrentProposalsSelectMaxLex(t *testing.T) {
+	l := newLockstep(5)
+	l.rounds(5)
+	a := ids.NewSet(1, 2, 3)
+	b := ids.NewSet(2, 3, 4) // lexicographically larger than a
+	if !l.nodes[1].Estab(a) || !l.nodes[4].Estab(b) {
+		t.Fatal("estab rejected")
+	}
+	for i := 0; i < 300; i++ {
+		l.round()
+		if cfg, ok := l.agreedConfig(); ok {
+			if !cfg.Equal(b) {
+				t.Fatalf("installed %v, want the lexicographically larger %v", cfg, b)
+			}
+			return
+		}
+	}
+	t.Fatal("no agreement")
+}
+
+func TestEstabRejectedDuringReplacement(t *testing.T) {
+	l := newLockstep(4)
+	l.rounds(5)
+	if !l.nodes[1].Estab(ids.NewSet(1, 2)) {
+		t.Fatal("first estab rejected")
+	}
+	l.rounds(2)
+	if l.nodes[2].Estab(ids.NewSet(3, 4)) {
+		t.Fatal("estab accepted while a replacement is in progress")
+	}
+}
+
+func TestEstabRejectsCurrentAndEmpty(t *testing.T) {
+	l := newLockstep(3)
+	l.rounds(5)
+	if l.nodes[1].Estab(ids.Set{}) {
+		t.Fatal("empty set accepted")
+	}
+	if l.nodes[1].Estab(ids.Range(1, 3)) {
+		t.Fatal("current configuration accepted as a proposal")
+	}
+}
+
+func TestNoRecoFalseDuringReplacement(t *testing.T) {
+	l := newLockstep(4)
+	l.rounds(5)
+	if !l.nodes[1].NoReco() {
+		t.Fatal("noReco must hold in steady state")
+	}
+	l.nodes[1].Estab(ids.NewSet(1, 2))
+	l.round()
+	l.round()
+	if l.nodes[2].NoReco() {
+		t.Fatal("noReco must be false while a notification circulates")
+	}
+}
+
+func TestJoinerParticipates(t *testing.T) {
+	l := newLockstep(4)
+	// p9 joins as a non-participant.
+	joiner := New(9, FDFunc(func() ids.Set { return l.alive.Add(9) }), NotParticipant(), DefaultOptions())
+	l.nodes[9] = joiner
+	l.alive = l.alive.Add(9)
+	l.rounds(5)
+	if joiner.IsParticipant() {
+		t.Fatal("joiner participated without Participate()")
+	}
+	if !joiner.NoReco() {
+		t.Fatalf("joiner must observe steady state; cfg=%v", joiner.chsConfig())
+	}
+	if !joiner.Participate() {
+		t.Fatal("Participate refused")
+	}
+	if !joiner.IsParticipant() {
+		t.Fatal("joiner still not a participant")
+	}
+	if got := joiner.CurrentConfig(); got.Kind != KindSet || !got.Set.Equal(ids.Range(1, 4)) {
+		t.Fatalf("joiner adopted %v", got)
+	}
+	l.rounds(20)
+	if cfg, ok := l.agreedConfig(); !ok || !cfg.Equal(ids.Range(1, 4)) {
+		t.Fatalf("join perturbed the configuration: %v %v", cfg, ok)
+	}
+}
+
+func TestCrashDuringReplacementStillCompletes(t *testing.T) {
+	l := newLockstep(5)
+	l.rounds(5)
+	if !l.nodes[1].Estab(ids.NewSet(1, 2, 3, 4)) {
+		t.Fatal("estab rejected")
+	}
+	l.rounds(2)
+	// p5 crashes mid-replacement: FD eventually excludes it.
+	l.alive = l.alive.Remove(5)
+	delete(l.nodes, 5)
+	for i := 0; i < 300; i++ {
+		l.round()
+		if cfg, ok := l.agreedConfig(); ok && cfg.Equal(ids.NewSet(1, 2, 3, 4)) {
+			return
+		}
+	}
+	t.Fatal("replacement stalled after a crash")
+}
+
+func TestTotalCollapseType4Reset(t *testing.T) {
+	l := newLockstep(4)
+	// Config consists entirely of processors that are gone.
+	dead := ids.NewSet(7, 8)
+	for _, n := range l.nodes {
+		n.config = ConfigOf(dead)
+	}
+	cfg := l.runUntilAgreed(t, 300)
+	if !cfg.Equal(ids.Range(1, 4)) {
+		t.Fatalf("recovered to %v", cfg)
+	}
+	someType4 := false
+	for _, n := range l.nodes {
+		if n.Metrics().StaleType4 > 0 {
+			someType4 = true
+		}
+	}
+	if !someType4 {
+		t.Fatal("collapse not detected as type-4")
+	}
+}
+
+func TestQuickArbitraryStateConverges(t *testing.T) {
+	// Theorem 3.15 (convergence), property form: from ANY corrupted
+	// state, the lock-step system reaches agreement on a proper config.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := newLockstep(3 + rng.Intn(3))
+		universe := l.alive
+		for _, n := range l.nodes {
+			n.CorruptState(rng, universe)
+		}
+		for i := 0; i < 600; i++ {
+			l.round()
+			if _, ok := l.agreedConfig(); ok {
+				return true
+			}
+		}
+		_, ok := l.agreedConfig()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClosureAfterConvergence(t *testing.T) {
+	// Theorem 3.16 (closure): once agreed with no stale info, further
+	// rounds keep agreement and cause no resets.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := newLockstep(3 + rng.Intn(4))
+		l.rounds(10)
+		cfg0, ok := l.agreedConfig()
+		if !ok {
+			return false
+		}
+		resets0 := uint64(0)
+		for _, n := range l.nodes {
+			resets0 += n.Metrics().Resets
+		}
+		l.rounds(30)
+		cfg1, ok := l.agreedConfig()
+		if !ok || !cfg1.Equal(cfg0) {
+			return false
+		}
+		resets1 := uint64(0)
+		for _, n := range l.nodes {
+			resets1 += n.Metrics().Resets
+		}
+		return resets1 == resets0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNotificationLexOrder(t *testing.T) {
+	dflt := DefaultNtf()
+	n1a := Notification{Phase: 1, HasSet: true, Set: ids.NewSet(1, 2)}
+	n1b := Notification{Phase: 1, HasSet: true, Set: ids.NewSet(1, 3)}
+	n2a := Notification{Phase: 2, HasSet: true, Set: ids.NewSet(1, 2)}
+	tests := []struct {
+		a, b Notification
+		want bool
+	}{
+		{dflt, n1a, true},
+		{n1a, dflt, false},
+		{n1a, n1b, true},
+		{n1b, n1a, false},
+		{n1b, n2a, true}, // phase dominates set
+		{n1a, n1a, false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestConfigValues(t *testing.T) {
+	if NotParticipant().IsParticipant() {
+		t.Fatal("] counted as participant")
+	}
+	if !Bottom().IsParticipant() {
+		t.Fatal("⊥ must still be a participant")
+	}
+	if !ConfigOf(ids.NewSet(1)).IsParticipant() {
+		t.Fatal("proper set must be a participant")
+	}
+	if !NotParticipant().Equal(NotParticipant()) || Bottom().Equal(NotParticipant()) {
+		t.Fatal("Equal broken")
+	}
+	if ConfigOf(ids.NewSet(1)).Equal(ConfigOf(ids.NewSet(2))) {
+		t.Fatal("distinct sets compare equal")
+	}
+	for _, s := range []string{NotParticipant().String(), Bottom().String(), ConfigOf(ids.NewSet(1)).String()} {
+		if s == "" {
+			t.Fatal("empty String()")
+		}
+	}
+}
+
+func TestGetConfigDuringSteadyState(t *testing.T) {
+	l := newLockstep(3)
+	l.rounds(5)
+	got := l.nodes[1].GetConfig()
+	if got.Kind != KindSet || !got.Set.Equal(ids.Range(1, 3)) {
+		t.Fatalf("GetConfig = %v", got)
+	}
+	q, ok := l.nodes[1].Quorum()
+	if !ok || !q.Equal(ids.Range(1, 3)) {
+		t.Fatalf("Quorum = %v %v", q, ok)
+	}
+}
+
+func TestPeerPart(t *testing.T) {
+	l := newLockstep(3)
+	l.rounds(3)
+	p, known := l.nodes[1].PeerPart(2)
+	if !known || !p.Equal(ids.Range(1, 3)) {
+		t.Fatalf("PeerPart(2) = %v %v", p, known)
+	}
+	if _, known := l.nodes[1].PeerPart(99); known {
+		t.Fatal("unknown peer reported as known")
+	}
+}

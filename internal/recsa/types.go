@@ -1,0 +1,185 @@
+// Package recsa implements Algorithm 3.1 of the paper, the Reconfiguration
+// Stability Assurance layer: a self-stabilizing algorithm guaranteeing that
+// (1) all active processors eventually hold identical copies of a single
+// quorum configuration, (2) when participants ask to replace the current
+// configuration the algorithm selects exactly one proposal and installs it,
+// and (3) joining processors eventually become participants.
+//
+// The layer combines two techniques. Brute-force stabilization detects
+// stale information (Definition 3.1's four types) and drives a global reset
+// in which ⊥ propagates to every config field until all active processors
+// adopt their failure-detector set as the new configuration. Delicate
+// replacement is the three-phase automaton of Figure 2 — select a single
+// proposal, install it, return to monitoring — synchronized in unison via
+// the echo/allSeen mechanism so that no processor starts a phase before all
+// active participants have completed the previous one.
+//
+// The arXiv pseudocode of Algorithm 3.1 is partially garbled; DESIGN.md §4
+// documents the reconstructed choices (noReco polarity, phase-adoption rule,
+// allSeen accumulation, degree-gap direction), each anchored to the proof
+// steps in §3.1.2 of the paper.
+package recsa
+
+import (
+	"fmt"
+
+	"repro/internal/ids"
+)
+
+// ConfigKind discriminates the three values a config field can hold.
+type ConfigKind int
+
+const (
+	// KindNotParticipant is the paper's ] marker: the processor has not
+	// joined the computation (it receives but never broadcasts).
+	KindNotParticipant ConfigKind = iota + 1
+	// KindBottom is ⊥: a configuration reset is in progress.
+	KindBottom
+	// KindSet is a proper (possibly stale) configuration member set.
+	KindSet
+)
+
+// Config is one entry of the config[] array.
+type Config struct {
+	Kind ConfigKind
+	Set  ids.Set // meaningful only when Kind == KindSet
+}
+
+// NotParticipant returns the ] value.
+func NotParticipant() Config { return Config{Kind: KindNotParticipant} }
+
+// Bottom returns the ⊥ value.
+func Bottom() Config { return Config{Kind: KindBottom} }
+
+// ConfigOf wraps a proper member set.
+func ConfigOf(set ids.Set) Config { return Config{Kind: KindSet, Set: set} }
+
+// IsParticipant reports whether this config value marks a participant
+// (anything other than ]).
+func (c Config) IsParticipant() bool { return c.Kind == KindBottom || c.Kind == KindSet }
+
+// Equal compares config values structurally.
+func (c Config) Equal(o Config) bool {
+	if c.Kind != o.Kind {
+		return false
+	}
+	if c.Kind == KindSet {
+		return c.Set.Equal(o.Set)
+	}
+	return true
+}
+
+func (c Config) String() string {
+	switch c.Kind {
+	case KindNotParticipant:
+		return "]"
+	case KindBottom:
+		return "⊥"
+	case KindSet:
+		return c.Set.String()
+	default:
+		return fmt.Sprintf("Config(%d)", int(c.Kind))
+	}
+}
+
+// Notification is a configuration-replacement notification
+// prp = ⟨phase ∈ {0,1,2}, set ⊆ P or ⊥⟩.
+type Notification struct {
+	Phase  int
+	HasSet bool    // false encodes set = ⊥
+	Set    ids.Set // meaningful only when HasSet
+}
+
+// DefaultNtf is the paper's dfltNtf = ⟨0,⊥⟩, meaning "no proposal".
+func DefaultNtf() Notification { return Notification{Phase: 0} }
+
+// IsDefault reports whether n encodes "no proposal".
+func (n Notification) IsDefault() bool { return n.Phase == 0 && !n.HasSet }
+
+// Equal compares notifications structurally.
+func (n Notification) Equal(o Notification) bool {
+	if n.Phase != o.Phase || n.HasSet != o.HasSet {
+		return false
+	}
+	return !n.HasSet || n.Set.Equal(o.Set)
+}
+
+// Less implements the paper's lexicographical proposal order ≺lex:
+// first by phase, then by the proposed set viewed as an ascending tuple.
+// A ⊥ set orders below any proper set.
+func (n Notification) Less(o Notification) bool {
+	if n.Phase != o.Phase {
+		return n.Phase < o.Phase
+	}
+	if n.HasSet != o.HasSet {
+		return !n.HasSet
+	}
+	if !n.HasSet {
+		return false
+	}
+	return n.Set.Compare(o.Set) < 0
+}
+
+func (n Notification) String() string {
+	if !n.HasSet {
+		return fmt.Sprintf("⟨%d,⊥⟩", n.Phase)
+	}
+	return fmt.Sprintf("⟨%d,%s⟩", n.Phase, n.Set)
+}
+
+// Echo is the triple (part, prp, all) that a peer mirrors back: the most
+// recent values it received from this processor.
+type Echo struct {
+	Valid bool // false until the peer has echoed at least once
+	Part  ids.Set
+	Prp   Notification
+	All   bool
+}
+
+// Message is the state broadcast at the end of every do-forever iteration
+// (line 29): ⟨FD, config, prp, all, echo⟩, where the echo component carries
+// the sender's most recent view of the *receiver's* (part, prp, all). Every
+// field is bounded by O(N) identifiers, giving the bounded message size the
+// paper requires.
+type Message struct {
+	FD     ids.Set // trusted processors
+	Part   ids.Set // participants among them
+	Config Config
+	Prp    Notification
+	All    bool
+	Echo   Echo
+}
+
+// peerView is everything processor pi stores about pj (the j-th entries of
+// the paper's arrays).
+type peerView struct {
+	FD      ids.Set
+	FDKnown bool // whether anything was ever received from the peer
+	Part    ids.Set
+	Config  Config
+	Prp     Notification
+	All     bool
+	Echo    Echo
+}
+
+func freshPeerView() *peerView {
+	// Line 31 (boot interrupt): (config[k], prp[k], all[k]) ← (], dflt, false).
+	return &peerView{Config: NotParticipant(), Prp: DefaultNtf()}
+}
+
+// Metrics counts algorithm-level events for tests and benchmarks.
+type Metrics struct {
+	Resets            uint64 // configSet(⊥) invocations
+	BruteInstalls     uint64 // configSet(FD) completions of a reset
+	PhaseTransitions  uint64 // unison phase advances
+	DelicateInstalls  uint64 // config ← prp.set installations
+	Adoptions         uint64 // prp[i] ← maxNtf() adoptions
+	StaleType1        uint64
+	StaleType2        uint64
+	StaleType3        uint64
+	StaleType4        uint64
+	EstabAccepted     uint64
+	EstabRejected     uint64
+	ParticipateOK     uint64
+	ParticipateDenied uint64
+}

@@ -1,0 +1,208 @@
+// Package regmem emulates self-stabilizing reconfigurable multi-writer
+// multi-reader (MWMR) shared memory (Section 4.3, final part). Following
+// the approach the paper adopts from Birman et al. [5], the emulation is
+// built on the self-stabilizing reconfigurable virtually synchronous SMR
+// solution: register writes are commands totally ordered by the view's
+// multicast rounds, reads are served from the locally replicated state, and
+// a synchronous read flushes a marker command through a round to guarantee
+// freshness. During a delicate reconfiguration the coordinator suspends
+// the rounds, so operations pause and resume with the state preserved
+// (Theorem 4.13); after a brute-force reconfiguration the service recovers
+// although the register contents may be reset — exactly the trade-off the
+// paper states.
+package regmem
+
+import (
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/smr"
+	"repro/internal/vs"
+)
+
+// writeCmd stores Value into register Name; Writer/Seq identify the write
+// for completion tracking.
+type writeCmd struct {
+	Name   string
+	Value  string
+	Writer ids.ID
+	Seq    uint64
+}
+
+// markerCmd is the no-op flushed by synchronous reads.
+type markerCmd struct {
+	Reader ids.ID
+	Seq    uint64
+}
+
+// regMachine is the register file state machine: a map from register name
+// to its current value.
+type regMachine struct{}
+
+func (regMachine) Init() any { return map[string]string{} }
+
+func (regMachine) Apply(state any, cmd any) any {
+	m, _ := state.(map[string]string)
+	c, ok := cmd.(writeCmd)
+	if !ok {
+		return state // markers and garbage leave the state untouched
+	}
+	out := make(map[string]string, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	out[c.Name] = c.Value
+	return out
+}
+
+// Handle tracks an operation until its command has been delivered.
+type Handle struct {
+	done  bool
+	value string
+	hasV  bool
+}
+
+// Done reports completion.
+func (h *Handle) Done() bool { return h.done }
+
+// Value returns the result of a completed synchronous read.
+func (h *Handle) Value() (string, bool) { return h.value, h.hasV && h.done }
+
+// SharedMemory is the per-processor register-file frontend. It implements
+// core.App by delegating to the underlying vs.Manager.
+type SharedMemory struct {
+	self ids.ID
+	rep  *smr.Replica
+	mgr  *vs.Manager
+
+	nextSeq         uint64
+	writes          map[uint64]*Handle
+	reads           map[uint64]*Handle
+	pendingReadName map[uint64]string
+	readyReads      []readyRead
+}
+
+var _ core.App = (*SharedMemory)(nil)
+
+// New builds the shared-memory application for processor self. eval may be
+// nil (no coordinator-led reconfigurations).
+func New(self ids.ID, eval vs.EvalConf) *SharedMemory {
+	s := &SharedMemory{
+		self:            self,
+		writes:          make(map[uint64]*Handle),
+		reads:           make(map[uint64]*Handle),
+		pendingReadName: make(map[uint64]string),
+	}
+	s.rep = smr.NewReplica(self, regMachine{})
+	s.mgr = vs.NewManager(self, s, eval)
+	return s
+}
+
+// VS exposes the underlying virtual-synchrony manager.
+func (s *SharedMemory) VS() *vs.Manager { return s.mgr }
+
+// Write stores value into the named register. The handle completes once
+// the write has been delivered in a multicast round (and is thus visible
+// to every view member).
+func (s *SharedMemory) Write(name, value string) *Handle {
+	s.nextSeq++
+	h := &Handle{}
+	cmd := writeCmd{Name: name, Value: value, Writer: s.self, Seq: s.nextSeq}
+	if !s.rep.Submit(cmd) {
+		return h // stays un-done; caller retries
+	}
+	s.writes[s.nextSeq] = h
+	return h
+}
+
+// Read returns the locally replicated value of the register. Within a
+// view this is the value of the last delivered write — the fast,
+// regular-semantics read.
+func (s *SharedMemory) Read(name string) (string, bool) {
+	m, _ := s.mgr.Replica().State.(map[string]string)
+	v, ok := m[name]
+	return v, ok
+}
+
+// SyncRead flushes a marker command through a round and then reads, which
+// rules out stale values from before the operation started (the atomic
+// read). The handle's Value carries the result.
+func (s *SharedMemory) SyncRead(name string) *Handle {
+	s.nextSeq++
+	h := &Handle{}
+	if !s.rep.Submit(markerCmd{Reader: s.self, Seq: s.nextSeq}) {
+		return h
+	}
+	s.reads[s.nextSeq] = h
+	s.pendingReadName[s.nextSeq] = name
+	return h
+}
+
+// --- vs.App delegation (SharedMemory wraps the replica to observe
+// deliveries for completion tracking) ---
+
+// InitState implements vs.App.
+func (s *SharedMemory) InitState() any { return s.rep.InitState() }
+
+// Apply implements vs.App.
+func (s *SharedMemory) Apply(state any, r vs.Round) any { return s.rep.Apply(state, r) }
+
+// Fetch implements vs.App.
+func (s *SharedMemory) Fetch() any { return s.rep.Fetch() }
+
+// Deliver implements vs.App: completes handles whose commands appear.
+func (s *SharedMemory) Deliver(r vs.Round) {
+	s.rep.Deliver(r)
+	for _, in := range r.Inputs {
+		switch c := in.(type) {
+		case writeCmd:
+			if c.Writer == s.self {
+				if h, ok := s.writes[c.Seq]; ok {
+					h.done = true
+					delete(s.writes, c.Seq)
+				}
+			}
+		case markerCmd:
+			if c.Reader == s.self {
+				if h, ok := s.reads[c.Seq]; ok {
+					name := s.pendingReadName[c.Seq]
+					// The state as of this round is not yet applied
+					// here; read after the manager applies it — mark
+					// and resolve on the next tick.
+					s.readyReads = append(s.readyReads, readyRead{h: h, name: name})
+					delete(s.reads, c.Seq)
+					delete(s.pendingReadName, c.Seq)
+				}
+			}
+		}
+	}
+}
+
+type readyRead struct {
+	h    *Handle
+	name string
+}
+
+// --- core.App delegation ---
+
+// Tick implements core.App.
+func (s *SharedMemory) Tick(n *core.Node) {
+	s.mgr.Tick(n)
+	if len(s.readyReads) > 0 {
+		for _, rr := range s.readyReads {
+			v, ok := s.Read(rr.name)
+			rr.h.value, rr.h.hasV = v, ok
+			rr.h.done = true
+		}
+		s.readyReads = nil
+	}
+}
+
+// HandleApp implements core.App.
+func (s *SharedMemory) HandleApp(from ids.ID, payload any, n *core.Node) {
+	s.mgr.HandleApp(from, payload, n)
+}
+
+// Outgoing implements core.App.
+func (s *SharedMemory) Outgoing(to ids.ID, n *core.Node) any {
+	return s.mgr.Outgoing(to, n)
+}

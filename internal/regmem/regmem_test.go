@@ -1,0 +1,159 @@
+package regmem
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/vs"
+)
+
+type memCluster struct {
+	*core.Cluster
+	mems map[ids.ID]*SharedMemory
+}
+
+func newMemCluster(t *testing.T, n int, seed int64, eval vs.EvalConf) *memCluster {
+	t.Helper()
+	mc := &memCluster{mems: map[ids.ID]*SharedMemory{}}
+	opts := core.DefaultClusterOptions(seed)
+	opts.Node.EvalConf = func(ids.Set, ids.Set) bool { return false }
+	opts.AppFactory = func(self ids.ID) core.App {
+		s := New(self, eval)
+		mc.mems[self] = s
+		return s
+	}
+	c, err := core.BootstrapCluster(n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc.Cluster = c
+	return mc
+}
+
+func (mc *memCluster) waitView(t *testing.T) {
+	t.Helper()
+	ok := mc.Sched.RunWhile(func() bool {
+		_, has := mc.mems[1].VS().CurrentView()
+		return !has
+	}, 3_000_000)
+	if !ok {
+		t.Fatal("no view established")
+	}
+}
+
+func TestWriteThenReadEverywhere(t *testing.T) {
+	mc := newMemCluster(t, 4, 51, nil)
+	mc.waitView(t)
+	h := mc.mems[2].Write("x", "42")
+	ok := mc.Sched.RunWhile(func() bool { return !h.Done() }, 5_000_000)
+	if !ok {
+		t.Fatal("write never completed")
+	}
+	// After the round completes everywhere, every node reads 42.
+	ok = mc.Sched.RunWhile(func() bool {
+		for id := ids.ID(1); id <= 4; id++ {
+			if v, _ := mc.mems[id].Read("x"); v != "42" {
+				return true
+			}
+		}
+		return false
+	}, 5_000_000)
+	if !ok {
+		t.Fatal("written value not visible everywhere")
+	}
+}
+
+func TestSyncReadSeesCompletedWrite(t *testing.T) {
+	mc := newMemCluster(t, 3, 52, nil)
+	mc.waitView(t)
+	w := mc.mems[1].Write("reg", "v1")
+	if !mc.Sched.RunWhile(func() bool { return !w.Done() }, 5_000_000) {
+		t.Fatal("write never completed")
+	}
+	r := mc.mems[3].SyncRead("reg")
+	if !mc.Sched.RunWhile(func() bool { return !r.Done() }, 5_000_000) {
+		t.Fatal("sync read never completed")
+	}
+	if v, ok := r.Value(); !ok || v != "v1" {
+		t.Fatalf("sync read = %q %v, want v1", v, ok)
+	}
+}
+
+func TestLastWriterWinsTotalOrder(t *testing.T) {
+	mc := newMemCluster(t, 3, 53, nil)
+	mc.waitView(t)
+	h1 := mc.mems[1].Write("k", "from-1")
+	h2 := mc.mems[2].Write("k", "from-2")
+	ok := mc.Sched.RunWhile(func() bool { return !(h1.Done() && h2.Done()) }, 6_000_000)
+	if !ok {
+		t.Fatal("writes never completed")
+	}
+	mc.RunFor(5000)
+	// All replicas agree on a single winner.
+	var want string
+	for id := ids.ID(1); id <= 3; id++ {
+		v, ok := mc.mems[id].Read("k")
+		if !ok {
+			t.Fatalf("node %v has no value", id)
+		}
+		if want == "" {
+			want = v
+		} else if v != want {
+			t.Fatalf("divergent register: %q vs %q", v, want)
+		}
+	}
+	if want != "from-1" && want != "from-2" {
+		t.Fatalf("winner %q is not one of the writes", want)
+	}
+}
+
+func TestRegisterSurvivesCoordinatorCrash(t *testing.T) {
+	mc := newMemCluster(t, 5, 54, nil)
+	mc.waitView(t)
+	h := mc.mems[2].Write("durable", "yes")
+	if !mc.Sched.RunWhile(func() bool { return !h.Done() }, 5_000_000) {
+		t.Fatal("write never completed")
+	}
+	v, _ := mc.mems[1].VS().CurrentView()
+	crd := v.Coordinator()
+	mc.RunFor(3000) // let the round propagate everywhere
+	mc.Crash(crd)
+	ok := mc.Sched.RunWhile(func() bool {
+		good := true
+		mc.EachAlive(func(n *core.Node) {
+			nv, has := mc.mems[n.Self()].VS().CurrentView()
+			if !has || nv.Set.Contains(crd) {
+				good = false
+				return
+			}
+			if val, _ := mc.mems[n.Self()].Read("durable"); val != "yes" {
+				good = false
+			}
+		})
+		return !good
+	}, 10_000_000)
+	if !ok {
+		t.Fatal("register lost after coordinator crash")
+	}
+}
+
+func TestWriteRejectedWhenQueueFull(t *testing.T) {
+	s := New(1, nil)
+	s.rep.MaxPending = 1
+	h1 := s.Write("a", "1")
+	h2 := s.Write("a", "2")
+	if h1.Done() || h2.Done() {
+		t.Fatal("handles done prematurely")
+	}
+	if s.rep.PendingLen() != 1 {
+		t.Fatalf("pending = %d, want 1 (second rejected)", s.rep.PendingLen())
+	}
+}
+
+func TestReadUnknownRegister(t *testing.T) {
+	s := New(1, nil)
+	if _, ok := s.Read("nope"); ok {
+		t.Fatal("unknown register returned a value")
+	}
+}

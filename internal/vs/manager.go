@@ -1,0 +1,523 @@
+package vs
+
+import (
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/ids"
+)
+
+// EvalConf is the application predicate that asks the established
+// coordinator to perform a delicate reconfiguration (Algorithm 4.6's
+// application criteria). nil never reconfigures.
+type EvalConf func(cur ids.Set, trusted ids.Set) bool
+
+// Payload is the VS application's envelope payload: the replica state
+// exchange of Algorithm 4.7 plus the piggybacked counter-service payload.
+type Payload struct {
+	Replica *Replica
+	Counter any
+}
+
+// Manager runs Algorithm 4.7 on a core.Node. It embeds the counter
+// manager (Section 4.2) for view identifiers, and implements core.App.
+type Manager struct {
+	self ids.ID
+	app  App
+	ctr  *counter.Manager
+	eval EvalConf
+
+	rep   Replica
+	views map[ids.ID]Replica
+
+	pendingInc  *counter.Op
+	reconfReady bool
+	// confOfView is the configuration under which the current view was
+	// proposed; a configuration change forces a new view (Lemma 4.11).
+	confOfView ids.Set
+	haveConf   bool
+	// lastDelivered deduplicates deliveries: the round number up to
+	// which rounds of the current view were handed to the application.
+	lastDelivered uint64
+	haveDelivered bool
+
+	metrics Metrics
+	// StateMismatches counts adopted states that differ from the locally
+	// recomputed Apply result — a determinism violation detector.
+	StateMismatches uint64
+}
+
+var _ core.App = (*Manager)(nil)
+
+// NewManager builds the VS application. app must be non-nil; eval may be
+// nil (no coordinator-led reconfigurations).
+func NewManager(self ids.ID, app App, eval EvalConf) *Manager {
+	m := &Manager{
+		self:  self,
+		app:   app,
+		ctr:   counter.NewManager(self),
+		eval:  eval,
+		views: make(map[ids.ID]Replica),
+	}
+	m.rep = Replica{Status: StatusMulticast, State: app.InitState()}
+	return m
+}
+
+// Counter exposes the embedded counter manager (tests tune ExhaustAt).
+func (m *Manager) Counter() *counter.Manager { return m.ctr }
+
+// Metrics returns a copy of the counters.
+func (m *Manager) Metrics() Metrics { return m.metrics }
+
+// Replica returns a copy of the current replica record.
+func (m *Manager) Replica() Replica { return m.rep.clone() }
+
+// CurrentView returns the installed view, if any.
+func (m *Manager) CurrentView() (View, bool) {
+	if m.rep.Status == StatusMulticast && m.rep.View.Valid() {
+		return m.rep.View, true
+	}
+	return View{}, false
+}
+
+// lessCtr orders counters totally: the ≺ct order with a deterministic
+// (creator, sting) tie-break for incomparable labels (which appear
+// transiently right after an epoch rebuild).
+func lessCtr(a, b counter.Counter) bool {
+	if a.Less(b) {
+		return true
+	}
+	if b.Less(a) || a.Equal(b) {
+		return false
+	}
+	if a.Lbl.Creator != b.Lbl.Creator {
+		return a.Lbl.Creator < b.Lbl.Creator
+	}
+	if a.Lbl.Sting != b.Lbl.Sting {
+		return a.Lbl.Sting < b.Lbl.Sting
+	}
+	if a.Seqn != b.Seqn {
+		return a.Seqn < b.Seqn
+	}
+	return a.WID < b.WID
+}
+
+// replicaOf returns the stored replica record for k (own record for self).
+func (m *Manager) replicaOf(k ids.ID) (Replica, bool) {
+	if k == m.self {
+		return m.rep, true
+	}
+	r, ok := m.views[k]
+	return r, ok
+}
+
+// computeValCrd evaluates the seemCrd/valCrd conditions of lines 6–7
+// against the stored records and returns the unique valid coordinator.
+func (m *Manager) computeValCrd(n *core.Node, conf ids.Set) (ids.ID, bool) {
+	trusted := n.Trusted()
+	part := n.Participants()
+	maj := conf.MajoritySize()
+	var best ids.ID
+	var bestID counter.Counter
+	found := false
+	trusted.Intersect(conf).Each(func(l ids.ID) {
+		r, ok := m.replicaOf(l)
+		if !ok || !r.PropV.Valid() {
+			return
+		}
+		if r.PropV.Coordinator() != l || !r.PropV.Set.Contains(l) {
+			return
+		}
+		if r.PropV.Set.Intersect(conf).Size() < maj {
+			return
+		}
+		if r.Status == StatusMulticast && !r.View.Equal(r.PropV) {
+			return
+		}
+		if (r.Status == StatusMulticast || r.Status == StatusInstall) && r.Crd != l {
+			return
+		}
+		if !found || lessCtr(bestID, r.PropV.ID) {
+			best, bestID, found = l, r.PropV.ID, true
+		}
+	})
+	_ = part
+	return best, found
+}
+
+// Tick implements core.App — one iteration of Algorithm 4.7's do-forever
+// loop for a participant.
+func (m *Manager) Tick(n *core.Node) {
+	m.ctr.Tick(n)
+	if !n.IsParticipant() {
+		return
+	}
+	conf, haveConf := n.Quorum()
+	if !haveConf {
+		// No agreed configuration (brute-force recovery in progress):
+		// freeze the service; recSA will restore a configuration.
+		m.rep.NoCrd = true
+		return
+	}
+	trusted := n.Trusted()
+	part := n.Participants()
+
+	crd, haveCrd := m.computeValCrd(n, conf)
+	m.rep.NoCrd = !haveCrd
+	m.rep.Crd = crd
+	if !haveCrd {
+		m.rep.Crd = ids.None
+	}
+
+	// Suspension discipline (line 9 + Algorithm 4.6): an established
+	// coordinator raises suspend from the prediction function; everyone
+	// suspends during a reconfiguration.
+	if !n.NoReco() {
+		m.rep.Suspend = true
+		m.metrics.SuspendedTicks++
+	} else if haveCrd && crd == m.self && m.rep.Status == StatusMulticast {
+		m.rep.Suspend = m.evalConf(conf, trusted)
+		if !m.rep.Suspend {
+			m.reconfReady = false
+		}
+	}
+
+	// Proposal trigger (line 10).
+	m.maybePropose(n, conf, trusted, part, crd, haveCrd)
+
+	switch {
+	case haveCrd && crd == m.self:
+		m.coordinate(n, conf)
+	case haveCrd:
+		m.follow(crd)
+	}
+}
+
+func (m *Manager) evalConf(conf, trusted ids.Set) bool {
+	if m.eval == nil {
+		return false
+	}
+	return m.eval(conf, trusted)
+}
+
+// maybePropose starts (or completes) a view proposal when line 10's
+// conditions hold: a trusted configuration majority, plus either no valid
+// coordinator anywhere (with a participant majority agreeing), or this
+// processor being the coordinator of a view that no longer matches the
+// participant set or the configuration.
+func (m *Manager) maybePropose(n *core.Node, conf, trusted, part ids.Set, crd ids.ID, haveCrd bool) {
+	// Complete a staged proposal whose counter arrived.
+	if m.pendingInc != nil {
+		if !m.pendingInc.Done() {
+			return
+		}
+		ctr, err := m.pendingInc.Result()
+		m.pendingInc = nil
+		if err == nil {
+			m.rep.PropV = View{ID: counter.Counter{Lbl: ctr.Lbl, Seqn: ctr.Seqn, WID: m.self}, Set: part}
+			m.rep.Status = StatusPropose
+			m.rep.Crd = m.self
+			m.confOfView = conf
+			m.haveConf = true
+			m.metrics.Proposals++
+		}
+		return
+	}
+
+	if trusted.Intersect(conf).Size() < conf.MajoritySize() || !n.NoReco() {
+		return
+	}
+
+	needNew := false
+	switch {
+	case !haveCrd:
+		// A majority of participants must agree there is no
+		// coordinator (avoids unilateral churn from one bad FD).
+		agree := 0
+		part.Each(func(k ids.ID) {
+			if k == m.self {
+				if m.rep.NoCrd {
+					agree++
+				}
+				return
+			}
+			if r, ok := m.views[k]; ok && r.NoCrd {
+				agree++
+			}
+		})
+		needNew = agree > conf.Size()/2
+	case crd == m.self:
+		confChanged := m.haveConf && !m.confOfView.Equal(conf)
+		setChanged := m.rep.PropV.Valid() && !part.Equal(m.rep.PropV.Set)
+		if setChanged {
+			// A majority must still follow the current proposal.
+			follow := 0
+			part.Each(func(k ids.ID) {
+				if k == m.self {
+					follow++
+					return
+				}
+				if r, ok := m.views[k]; ok && r.PropV.Equal(m.rep.PropV) {
+					follow++
+				}
+			})
+			setChanged = follow > conf.Size()/2
+		}
+		needNew = confChanged || setChanged
+	}
+	if needNew {
+		m.pendingInc = m.ctr.Increment(n)
+	}
+}
+
+// coordinate drives lines 11–17: the coordinator's propose → install →
+// multicast progression, gated on every relevant member echoing its state.
+func (m *Manager) coordinate(n *core.Node, conf ids.Set) {
+	trusted := n.Trusted()
+	switch m.rep.Status {
+	case StatusPropose:
+		if !m.allReport(m.rep.PropV.Set, trusted, func(r Replica) bool {
+			return r.Status == StatusPropose && r.PropV.Equal(m.rep.PropV)
+		}) {
+			return
+		}
+		// synchState/synchMsgs: adopt the most advanced replica among
+		// the proposed members (they all carry the last view's state).
+		m.rep.State, m.rep.Inputs, m.rep.Rnd = m.synchState()
+		m.rep.Status = StatusInstall
+	case StatusInstall:
+		if !m.allReport(m.rep.PropV.Set, trusted, func(r Replica) bool {
+			return r.Status == StatusInstall && r.PropV.Equal(m.rep.PropV)
+		}) {
+			return
+		}
+		m.rep.View = m.rep.PropV
+		m.rep.Status = StatusMulticast
+		m.rep.Rnd = 0
+		m.rep.Inputs = nil
+		m.rep.Suspend = false
+		m.reconfReady = false
+		m.lastDelivered, m.haveDelivered = 0, false
+		m.metrics.ViewsInstalled++
+	case StatusMulticast:
+		if !m.allReport(m.rep.View.Set, trusted, func(r Replica) bool {
+			return r.Status == StatusMulticast && r.View.Equal(m.rep.View) && r.Rnd == m.rep.Rnd
+		}) {
+			return
+		}
+		// Algorithm 4.6: once every view member has suspended, the
+		// coordinator may request the delicate reconfiguration.
+		if m.rep.Suspend {
+			all := true
+			m.rep.View.Set.Each(func(k ids.ID) {
+				if k == m.self {
+					return
+				}
+				if r, ok := m.views[k]; !ok || !r.Suspend {
+					all = false
+				}
+			})
+			m.reconfReady = all
+			if m.reconfReady && n.NoReco() && m.evalConf(conf, trusted) {
+				if n.Estab(n.Participants()) {
+					m.metrics.ReconfigRequests++
+				}
+			}
+			return // no rounds while suspended
+		}
+		if !n.NoReco() {
+			return // line 14: no round increments during reconfiguration
+		}
+		// Deliver and apply the completed round, then assemble the next.
+		consumed := m.rep.Input == nil
+		if m.rep.Inputs != nil {
+			round := Round{View: m.rep.View, Rnd: m.rep.Rnd, Inputs: copyInputs(m.rep.Inputs)}
+			m.deliverOnce(round)
+			m.rep.State = m.app.Apply(m.rep.State, round)
+			m.metrics.RoundsApplied++
+			consumed = consumed || inputConsumed(round.Inputs, m.self, m.rep.Input)
+		}
+		// An input stays pending until some round has carried it; only
+		// then is the next one fetched (otherwise inputs sampled between
+		// rounds would be lost).
+		if consumed {
+			m.rep.Input = m.app.Fetch()
+		}
+		next := make(map[ids.ID]any, m.rep.View.Set.Size())
+		m.rep.View.Set.Each(func(j ids.ID) {
+			if j == m.self {
+				if m.rep.Input != nil {
+					next[j] = m.rep.Input
+				}
+				return
+			}
+			if r, ok := m.views[j]; ok && r.Input != nil {
+				next[j] = r.Input
+			}
+		})
+		m.rep.Inputs = next
+		m.rep.Rnd++
+	}
+}
+
+// allReport checks a predicate against every member of set (self included)
+// that is still trusted; untrusted members are skipped — the view change
+// triggered by their crash is handled by the proposal logic.
+func (m *Manager) allReport(set ids.Set, trusted ids.Set, pred func(Replica) bool) bool {
+	ok := true
+	set.Each(func(k ids.ID) {
+		if !ok || !trusted.Contains(k) {
+			return
+		}
+		r, have := m.replicaOf(k)
+		if !have || !pred(r) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// synchState consolidates the proposed members' replicas: the record with
+// the highest (view id, round) wins; its state and pending inputs carry
+// over (synchState + synchMsgs).
+func (m *Manager) synchState() (any, map[ids.ID]any, uint64) {
+	best := m.rep
+	m.rep.PropV.Set.Each(func(k ids.ID) {
+		r, ok := m.replicaOf(k)
+		if !ok || !r.View.Valid() {
+			return
+		}
+		if !best.View.Valid() {
+			best = r
+			return
+		}
+		if lessCtr(best.View.ID, r.View.ID) ||
+			(best.View.ID.Equal(r.View.ID) && r.Rnd > best.Rnd) {
+			best = r
+		}
+	})
+	return best.State, copyInputs(best.Inputs), best.Rnd
+}
+
+// follow executes line 18–23: adopt the coordinator's progression.
+func (m *Manager) follow(crd ids.ID) {
+	r, ok := m.views[crd]
+	if !ok {
+		return
+	}
+	switch r.Status {
+	case StatusPropose:
+		if !m.rep.PropV.Equal(r.PropV) || m.rep.Status != StatusPropose {
+			m.rep.PropV = r.PropV
+			m.rep.Status = StatusPropose
+			m.rep.Crd = crd
+		}
+	case StatusInstall:
+		if !m.rep.PropV.Equal(r.PropV) || m.rep.Status != StatusInstall {
+			m.adopt(r, crd)
+			m.rep.Status = StatusInstall
+		}
+	case StatusMulticast:
+		if !r.View.Valid() {
+			return
+		}
+		newView := !m.rep.View.Equal(r.View) || m.rep.Status != StatusMulticast
+		if newView {
+			if r.Rnd == 0 || r.View.Set.Contains(m.self) {
+				m.adopt(r, crd)
+				m.rep.View = r.View
+				m.rep.Status = StatusMulticast
+				m.lastDelivered, m.haveDelivered = 0, false
+				m.metrics.ViewsInstalled++
+			}
+			return
+		}
+		if r.Rnd > m.rep.Rnd {
+			// The coordinator completed round m.rep.Rnd: deliver it
+			// with our copy of its inputs, check determinism, adopt.
+			consumed := m.rep.Input == nil
+			if m.rep.Inputs != nil {
+				round := Round{View: m.rep.View, Rnd: m.rep.Rnd, Inputs: copyInputs(m.rep.Inputs)}
+				m.deliverOnce(round)
+				local := m.app.Apply(m.rep.State, round)
+				if r.Rnd == m.rep.Rnd+1 && !reflect.DeepEqual(local, r.State) {
+					m.StateMismatches++
+				}
+				m.metrics.RoundsApplied++
+				consumed = consumed || inputConsumed(round.Inputs, m.self, m.rep.Input)
+			}
+			consumed = consumed || inputConsumed(r.Inputs, m.self, m.rep.Input)
+			m.adopt(r, crd)
+			if consumed && !r.Suspend {
+				m.rep.Input = m.app.Fetch()
+			}
+		} else {
+			// Same round: still track the suspend flag (Lemma 4.10's
+			// propagation) and keep echoing our input.
+			m.rep.Suspend = r.Suspend
+			if m.rep.Input == nil && !r.Suspend {
+				m.rep.Input = m.app.Fetch()
+			}
+		}
+	}
+}
+
+// adopt copies the coordinator's record into the local replica (line 20's
+// state[i] ← state[ℓ]), preserving the local input slot.
+func (m *Manager) adopt(r Replica, crd ids.ID) {
+	input := m.rep.Input
+	m.rep = r.clone()
+	m.rep.Crd = crd
+	m.rep.Input = input
+	m.rep.NoCrd = false
+}
+
+// inputConsumed reports whether the member's pending input appears in the
+// given round inputs.
+func inputConsumed(inputs map[ids.ID]any, self ids.ID, input any) bool {
+	if inputs == nil || input == nil {
+		return input == nil
+	}
+	got, ok := inputs[self]
+	return ok && reflect.DeepEqual(got, input)
+}
+
+// deliverOnce invokes the application's delivery hook exactly once per
+// round of the current view.
+func (m *Manager) deliverOnce(round Round) {
+	if m.haveDelivered && round.Rnd <= m.lastDelivered {
+		return
+	}
+	m.app.Deliver(round)
+	m.lastDelivered = round.Rnd
+	m.haveDelivered = true
+}
+
+// Outgoing implements core.App: broadcast the replica record to every
+// participant, with the counter payload piggybacked.
+func (m *Manager) Outgoing(to ids.ID, n *core.Node) any {
+	p := Payload{Counter: m.ctr.Outgoing(to, n)}
+	if n.IsParticipant() {
+		rep := m.rep.clone()
+		p.Replica = &rep
+	}
+	if p.Replica == nil && p.Counter == nil {
+		return nil
+	}
+	return p
+}
+
+// HandleApp implements core.App.
+func (m *Manager) HandleApp(from ids.ID, payload any, n *core.Node) {
+	p, ok := payload.(Payload)
+	if !ok {
+		return
+	}
+	if p.Counter != nil {
+		m.ctr.HandleApp(from, p.Counter, n)
+	}
+	if p.Replica != nil {
+		m.views[from] = p.Replica.clone()
+	}
+}

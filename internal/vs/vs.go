@@ -1,0 +1,134 @@
+// Package vs implements the paper's self-stabilizing reconfigurable
+// virtually synchronous state machine replication (Section 4.3, Algorithms
+// 4.6 and 4.7). A coordinator — the configuration member holding the
+// highest counter from the increment service (Section 4.2) — establishes a
+// view (a processor set tagged with the counter as its identifier), drives
+// lock-step multicast rounds that replicate a state machine, and, via the
+// coordinator-led delicate reconfiguration of Algorithm 4.6, suspends the
+// service, has recSA install a new configuration, and resumes with the
+// state intact. Virtual synchrony: any two processors that appear together
+// in two consecutive views deliver the same messages and hold the same
+// replica state — even across a delicate reconfiguration.
+//
+// Faithfulness notes (DESIGN.md §4): the paper's inc() is a blocking call;
+// here the two-phase increment is asynchronous, so a proposal is staged
+// while its counter is being obtained. Algorithm 4.6 is realized by having
+// the established coordinator call estab() directly once every view member
+// reports suspend (needDelicateReconf()), replacing the recMA prediction
+// path exactly as line 17 of the modified Algorithm 3.2 specifies.
+package vs
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/ids"
+)
+
+// Status is the replica's automaton state.
+type Status int
+
+// Replica statuses.
+const (
+	StatusMulticast Status = iota + 1
+	StatusPropose
+	StatusInstall
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusMulticast:
+		return "Multicast"
+	case StatusPropose:
+		return "Propose"
+	case StatusInstall:
+		return "Install"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// View is a processor set with a unique identifier drawn from the counter
+// increment service; the counter's writer identifier names the coordinator.
+type View struct {
+	ID  counter.Counter
+	Set ids.Set
+}
+
+// Valid reports whether the view has an identifier and members.
+func (v View) Valid() bool { return v.ID.WID.Valid() && !v.Set.Empty() }
+
+// Coordinator returns the proposer encoded in the view identifier.
+func (v View) Coordinator() ids.ID { return v.ID.WID }
+
+// Equal compares views structurally.
+func (v View) Equal(o View) bool { return v.ID.Equal(o.ID) && v.Set.Equal(o.Set) }
+
+func (v View) String() string {
+	return fmt.Sprintf("view⟨%v@%v⟩", v.Set, v.ID)
+}
+
+// Round is one delivered multicast round: the inputs contributed by each
+// view member, applied in ascending member order.
+type Round struct {
+	View   View
+	Rnd    uint64
+	Inputs map[ids.ID]any
+}
+
+// App is the replicated application: a deterministic state machine plus an
+// input source and a delivery hook.
+type App interface {
+	// InitState returns the state machine's default initial state.
+	InitState() any
+	// Apply returns the state after applying a round's inputs
+	// (deterministically; inputs are iterated in ascending member id).
+	Apply(state any, r Round) any
+	// Fetch returns the next input to multicast, or nil when idle.
+	Fetch() any
+	// Deliver is the side-effect hook invoked exactly once per round a
+	// replica processes (the reliable-multicast delivery indication).
+	Deliver(r Round)
+}
+
+// Replica is the per-processor state record exchanged by Algorithm 4.7.
+type Replica struct {
+	View    View
+	Status  Status
+	Rnd     uint64
+	State   any            // replica state (after applying rounds < Rnd)
+	Inputs  map[ids.ID]any // the inputs of round Rnd, assembled by the coordinator
+	Input   any            // this processor's last fetched input
+	PropV   View
+	NoCrd   bool
+	Suspend bool
+	Crd     ids.ID // this processor's current coordinator (FD.crd)
+}
+
+// clone returns a shallow copy with a fresh Inputs map (state values are
+// treated as immutable snapshots).
+func (r Replica) clone() Replica {
+	out := r
+	out.Inputs = copyInputs(r.Inputs)
+	return out
+}
+
+func copyInputs(in map[ids.ID]any) map[ids.ID]any {
+	if in == nil {
+		return nil
+	}
+	out := make(map[ids.ID]any, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// Metrics counts VS events.
+type Metrics struct {
+	ViewsInstalled   uint64
+	RoundsApplied    uint64
+	Proposals        uint64
+	SuspendedTicks   uint64
+	ReconfigRequests uint64
+}

@@ -1,0 +1,132 @@
+// Package workload provides the churn, fault-injection and measurement
+// machinery shared by the benchmark harness (bench_test.go) and the
+// examples: scripted join/crash schedules, transient-fault campaigns, and
+// convergence measurement against a core.Cluster.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/sim"
+)
+
+// ChurnOptions describes a churn schedule: every Interval ticks one crash
+// and/or one join is injected, keeping the number of alive processors
+// within [MinAlive, …].
+type ChurnOptions struct {
+	Interval sim.Time
+	Joins    bool
+	Crashes  bool
+	MinAlive int
+	// MaxEvents bounds the schedule (0 = unbounded).
+	MaxEvents int
+}
+
+// Churn drives a churn schedule against a cluster. Joins use fresh
+// identifiers above any existing one.
+type Churn struct {
+	cluster *core.Cluster
+	opts    ChurnOptions
+	nextID  ids.ID
+	events  int
+	stop    sim.Cancel
+
+	// Joined and Crashed record the schedule actually executed.
+	Joined  []ids.ID
+	Crashed []ids.ID
+}
+
+// NewChurn builds (but does not start) a churn driver.
+func NewChurn(c *core.Cluster, opts ChurnOptions) *Churn {
+	if opts.Interval <= 0 {
+		opts.Interval = 200
+	}
+	if opts.MinAlive <= 0 {
+		opts.MinAlive = 3
+	}
+	var maxID ids.ID
+	c.IDs().Each(func(id ids.ID) {
+		if id > maxID {
+			maxID = id
+		}
+	})
+	return &Churn{cluster: c, opts: opts, nextID: maxID + 1}
+}
+
+// Start arms the schedule on the cluster's scheduler.
+func (ch *Churn) Start() {
+	ch.stop = ch.cluster.Sched.Every(ch.opts.Interval, ch.opts.Interval, ch.opts.Interval/4, ch.step)
+}
+
+// Stop disarms the schedule.
+func (ch *Churn) Stop() {
+	if ch.stop != nil {
+		ch.stop()
+	}
+}
+
+func (ch *Churn) step() {
+	if ch.opts.MaxEvents > 0 && ch.events >= ch.opts.MaxEvents {
+		return
+	}
+	rng := ch.cluster.Sched.Rand()
+	alive := ch.cluster.Alive()
+	if ch.opts.Crashes && alive.Size() > ch.opts.MinAlive && rng.Intn(2) == 0 {
+		victims := alive.Members()
+		v := victims[rng.Intn(len(victims))]
+		ch.cluster.Crash(v)
+		ch.Crashed = append(ch.Crashed, v)
+		ch.events++
+		return
+	}
+	if ch.opts.Joins {
+		id := ch.nextID
+		ch.nextID++
+		if _, err := ch.cluster.AddJoiner(id); err == nil {
+			ch.Joined = append(ch.Joined, id)
+			ch.events++
+		}
+	}
+}
+
+// MeasureConvergence corrupts the cluster state (transient fault) and
+// reports the virtual time until it converges again, plus success.
+func MeasureConvergence(c *core.Cluster, stalePackets int, deadline sim.Time) (sim.Time, bool) {
+	c.CorruptAll(stalePackets)
+	return c.RunUntilConverged(deadline)
+}
+
+// Series is one (x, y) result series for a benchmark table.
+type Series struct {
+	Name string
+	Rows []Row
+}
+
+// Row is one measurement row.
+type Row struct {
+	X     int
+	Y     float64
+	Note  string
+	Valid bool
+}
+
+// Add appends a row.
+func (s *Series) Add(x int, y float64, valid bool, note string) {
+	s.Rows = append(s.Rows, Row{X: x, Y: y, Valid: valid, Note: note})
+}
+
+// Render prints the series as a fixed-width table, the format the
+// benchmark harness and benchtab binary emit for EXPERIMENTS.md.
+func (s *Series) Render() string {
+	out := fmt.Sprintf("%-28s %8s %14s  %s\n", s.Name, "x", "y", "note")
+	for _, r := range s.Rows {
+		status := ""
+		if !r.Valid {
+			status = " (timeout)"
+		}
+		out += fmt.Sprintf("%-28s %8d %14.2f  %s%s\n", "", r.X, r.Y, r.Note, status)
+	}
+	return out
+}
