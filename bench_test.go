@@ -1,111 +1,55 @@
 // Package repro's root benchmarks regenerate the experiment suite E1–E10
-// (DESIGN.md §6): one testing.B benchmark per experiment. Each iteration
-// runs the experiment at the benchmark sizes and reports the headline
-// quantity through b.ReportMetric (virtual ticks or event counts — the
-// simulator's deterministic clock, not wall time, is the measured value).
-// The full sweep with per-N tables is produced by cmd/benchtab.
+// (DESIGN.md §6) through the engine registry: one testing.B benchmark per
+// experiment, each a thin call into the registered cell functions at the
+// headline size. Each iteration runs every series of the experiment and
+// reports its mean through b.ReportMetric (virtual ticks or event counts
+// — the simulator's deterministic clock, not wall time, is the measured
+// value). The full parallel sweep with per-N tables is produced by
+// cmd/benchtab; the engine's own speedup benchmark lives in
+// internal/experiments/engine.
 package repro
 
 import (
 	"testing"
 
-	"repro/internal/experiments"
-	"repro/internal/workload"
+	_ "repro/internal/experiments" // registers E1–E10
+	"repro/internal/experiments/engine"
 )
 
-// lastY extracts the final row's measurement.
-func lastY(s workload.Series) float64 {
-	if len(s.Rows) == 0 {
-		return 0
+// benchExperiment runs every series of the registered experiment at size
+// n once per iteration and reports the per-series mean as a metric named
+// by the series key (or the experiment metric for single-series
+// experiments).
+func benchExperiment(b *testing.B, id string, n int) {
+	d, ok := engine.Get(id)
+	if !ok {
+		b.Fatalf("%s not registered", id)
 	}
-	return s.Rows[len(s.Rows)-1].Y
+	if n < d.MinSize {
+		n = d.MinSize
+	}
+	totals := make([]float64, len(d.Series))
+	for i := 0; i < b.N; i++ {
+		for si, spec := range d.Series {
+			totals[si] += spec.Run(int64(i+1), n).Y
+		}
+	}
+	for si, spec := range d.Series {
+		unit := d.Metric
+		if spec.Key != "" {
+			unit = d.Metric + "-" + spec.Key
+		}
+		b.ReportMetric(totals[si]/float64(b.N), unit)
+	}
 }
 
-func BenchmarkE1DelicateReplacement(b *testing.B) {
-	var total float64
-	for i := 0; i < b.N; i++ {
-		total += lastY(experiments.E1DelicateLatency(int64(i+1), experiments.SmallSizes))
-	}
-	b.ReportMetric(total/float64(b.N), "vticks/op")
-}
-
-func BenchmarkE2BruteForceConvergence(b *testing.B) {
-	var total float64
-	for i := 0; i < b.N; i++ {
-		total += lastY(experiments.E2BruteForceConvergence(int64(i+1), experiments.SmallSizes))
-	}
-	b.ReportMetric(total/float64(b.N), "vticks/op")
-}
-
-func BenchmarkE3SpuriousTriggers(b *testing.B) {
-	var total float64
-	for i := 0; i < b.N; i++ {
-		total += lastY(experiments.E3SpuriousTriggers(int64(i+1), experiments.SmallSizes))
-	}
-	b.ReportMetric(total/float64(b.N), "triggers")
-}
-
-func BenchmarkE4LabelCreations(b *testing.B) {
-	var arbitrary, clean float64
-	for i := 0; i < b.N; i++ {
-		series := experiments.E4LabelCreations(int64(i+1), experiments.SmallSizes)
-		arbitrary += lastY(series[0])
-		clean += lastY(series[1])
-	}
-	b.ReportMetric(arbitrary/float64(b.N), "creations-arbitrary")
-	b.ReportMetric(clean/float64(b.N), "creations-postreco")
-}
-
-func BenchmarkE5CounterIncrement(b *testing.B) {
-	var total float64
-	for i := 0; i < b.N; i++ {
-		total += lastY(experiments.E5CounterIncrement(int64(i+1), experiments.SmallSizes))
-	}
-	b.ReportMetric(total/float64(b.N), "vticks/increment")
-}
-
-func BenchmarkE6VSReconfiguration(b *testing.B) {
-	var total float64
-	for i := 0; i < b.N; i++ {
-		total += lastY(experiments.E6VSReconfiguration(int64(i+1), []int{5}))
-	}
-	b.ReportMetric(total/float64(b.N), "vticks-gap")
-}
-
-func BenchmarkE7JoinLatency(b *testing.B) {
-	var total float64
-	for i := 0; i < b.N; i++ {
-		total += lastY(experiments.E7JoinLatency(int64(i+1), experiments.SmallSizes))
-	}
-	b.ReportMetric(total/float64(b.N), "vticks/join")
-}
-
-func BenchmarkE8BaselineComparison(b *testing.B) {
-	var ours, base float64
-	for i := 0; i < b.N; i++ {
-		series := experiments.E8BaselineComparison(int64(i+1), experiments.SmallSizes)
-		ours += lastY(series[0])
-		base += lastY(series[1])
-	}
-	b.ReportMetric(ours/float64(b.N), "vticks-selfstab")
-	b.ReportMetric(base/float64(b.N), "vticks-baseline(never)")
-}
-
-func BenchmarkE9SharedMemory(b *testing.B) {
-	var total float64
-	for i := 0; i < b.N; i++ {
-		total += lastY(experiments.E9SharedMemory(int64(i+1), experiments.SmallSizes))
-	}
-	b.ReportMetric(total/float64(b.N), "vticks/write")
-}
-
-func BenchmarkE10Ablation(b *testing.B) {
-	var strict, relaxed float64
-	for i := 0; i < b.N; i++ {
-		series := experiments.E10Ablation(int64(i+1), experiments.SmallSizes)
-		strict += lastY(series[0])
-		relaxed += lastY(series[1])
-	}
-	b.ReportMetric(strict/float64(b.N), "vticks-gap1")
-	b.ReportMetric(relaxed/float64(b.N), "vticks-gap2")
-}
+func BenchmarkE1DelicateReplacement(b *testing.B)   { benchExperiment(b, "E1", 8) }
+func BenchmarkE2BruteForceConvergence(b *testing.B) { benchExperiment(b, "E2", 8) }
+func BenchmarkE3SpuriousTriggers(b *testing.B)      { benchExperiment(b, "E3", 8) }
+func BenchmarkE4LabelCreations(b *testing.B)        { benchExperiment(b, "E4", 8) }
+func BenchmarkE5CounterIncrement(b *testing.B)      { benchExperiment(b, "E5", 8) }
+func BenchmarkE6VSReconfiguration(b *testing.B)     { benchExperiment(b, "E6", 5) }
+func BenchmarkE7JoinLatency(b *testing.B)           { benchExperiment(b, "E7", 8) }
+func BenchmarkE8BaselineComparison(b *testing.B)    { benchExperiment(b, "E8", 8) }
+func BenchmarkE9SharedMemory(b *testing.B)          { benchExperiment(b, "E9", 8) }
+func BenchmarkE10Ablation(b *testing.B)             { benchExperiment(b, "E10", 8) }

@@ -1,85 +1,166 @@
-// Command benchtab regenerates the full experiment tables (E1–E10,
-// DESIGN.md §6) at the complete size sweep and prints them in the format
-// recorded in EXPERIMENTS.md.
+// Command benchtab regenerates the experiment tables (E1–E10, DESIGN.md
+// §6) through the parallel engine and emits them in the format recorded
+// in EXPERIMENTS.md, as CSV, or as JSON.
 //
 // Usage:
 //
 //	benchtab [-seed N] [-sizes 4,8,16,24] [-only E2,E8]
+//	         [-repeats R] [-parallel W] [-format table|csv|json] [-out DIR]
+//
+// The (experiment × size × repeat) grid is fanned out over W workers
+// (default: all CPUs); every cell derives its own seed from -seed and its
+// grid coordinates, so the output is byte-identical for any -parallel
+// value. With -out DIR the results are written to files in DIR
+// (cells.csv + summary.csv, results.json, or results.txt depending on
+// -format) instead of stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
-	"repro/internal/experiments"
-	"repro/internal/workload"
+	_ "repro/internal/experiments" // registers E1–E10
+	"repro/internal/experiments/engine"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "base random seed")
-	sizesFlag := flag.String("sizes", "4,8,16,24", "comma-separated N sweep")
+	sizesFlag := flag.String("sizes", "", "comma-separated N sweep (empty = per-experiment defaults)")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E2,E8); empty = all")
+	repeats := flag.Int("repeats", 1, "repeats per (experiment, size) cell")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker pool size (results do not depend on it)")
+	format := flag.String("format", "table", "output format: table, csv or json")
+	outDir := flag.String("out", "", "write results to files in DIR instead of stdout")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchtab:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	wanted := parseOnly(*only)
-
-	run := func(id string, fn func() []workload.Series) {
-		if wanted != nil && !wanted[id] {
-			return
-		}
-		fmt.Printf("=== %s ===\n", id)
-		for _, s := range fn() {
-			fmt.Println(s.Render())
-		}
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
 	}
-
-	run("E1", func() []workload.Series {
-		return []workload.Series{experiments.E1DelicateLatency(*seed, sizes)}
+	rep, err := engine.Run(engine.Config{
+		Seed:    *seed,
+		Sizes:   sizes,
+		Repeats: *repeats,
+		Workers: *parallel,
+		Only:    parseOnly(*only),
 	})
-	run("E2", func() []workload.Series {
-		return []workload.Series{experiments.E2BruteForceConvergence(*seed, sizes)}
-	})
-	run("E3", func() []workload.Series {
-		return []workload.Series{experiments.E3SpuriousTriggers(*seed, sizes)}
-	})
-	run("E4", func() []workload.Series { return experiments.E4LabelCreations(*seed, sizes) })
-	run("E5", func() []workload.Series {
-		return []workload.Series{experiments.E5CounterIncrement(*seed, sizes)}
-	})
-	run("E6", func() []workload.Series {
-		return []workload.Series{experiments.E6VSReconfiguration(*seed, clampMin(sizes, 5))}
-	})
-	run("E7", func() []workload.Series {
-		return []workload.Series{experiments.E7JoinLatency(*seed, sizes)}
-	})
-	run("E8", func() []workload.Series { return experiments.E8BaselineComparison(*seed, sizes) })
-	run("E9", func() []workload.Series {
-		return []workload.Series{experiments.E9SharedMemory(*seed, sizes)}
-	})
-	run("E10", func() []workload.Series { return experiments.E10Ablation(*seed, sizes) })
+	if err != nil {
+		fatal(err)
+	}
+	if err := emit(rep, *format, *outDir); err != nil {
+		fatal(err)
+	}
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	os.Exit(1)
+}
+
+// emit writes the report to stdout, or to files under dir when non-empty.
+func emit(rep *engine.Report, format, dir string) error {
+	if dir == "" {
+		return emitStream(os.Stdout, rep, format)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var files []string
+	switch format {
+	case "csv":
+		files = []string{"cells.csv", "summary.csv"}
+	case "json":
+		files = []string{"results.json"}
+	case "table":
+		files = []string{"results.txt"}
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	write := func(name string, fn func(io.Writer, *engine.Report) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", filepath.Join(dir, name))
+		return nil
+	}
+	switch format {
+	case "csv":
+		if err := write(files[0], engine.WriteCellsCSV); err != nil {
+			return err
+		}
+		return write(files[1], engine.WriteSummaryCSV)
+	case "json":
+		return write(files[0], engine.WriteJSON)
+	default:
+		return write(files[0], engine.WriteTable)
+	}
+}
+
+// emitStream writes the report to one stream: for csv, the per-cell
+// table, a blank line, then the grouped summary.
+func emitStream(w io.Writer, rep *engine.Report, format string) error {
+	switch format {
+	case "csv":
+		if err := engine.WriteCellsCSV(w, rep); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		return engine.WriteSummaryCSV(w, rep)
+	case "json":
+		return engine.WriteJSON(w, rep)
+	case "table":
+		return engine.WriteTable(w, rep)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+// parseSizes parses a comma-separated N sweep. Sizes must be ≥2;
+// duplicates are dropped (preserving order). An empty string yields nil,
+// meaning per-experiment defaults.
 func parseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
+	seen := map[int]bool{}
 	for _, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n < 2 {
 			return nil, fmt.Errorf("bad size %q", p)
 		}
-		out = append(out, n)
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
 	}
 	return out, nil
 }
 
+// parseOnly parses the -only experiment filter: nil for "all", otherwise
+// a set of upper-cased ids.
 func parseOnly(s string) map[string]bool {
 	if strings.TrimSpace(s) == "" {
 		return nil
@@ -87,19 +168,6 @@ func parseOnly(s string) map[string]bool {
 	out := map[string]bool{}
 	for _, p := range strings.Split(s, ",") {
 		out[strings.ToUpper(strings.TrimSpace(p))] = true
-	}
-	return out
-}
-
-// clampMin raises every size below min to min (E6 needs ≥5 processors so a
-// non-coordinator member can crash while a majority survives).
-func clampMin(sizes []int, min int) []int {
-	out := make([]int, 0, len(sizes))
-	for _, n := range sizes {
-		if n < min {
-			n = min
-		}
-		out = append(out, n)
 	}
 	return out
 }

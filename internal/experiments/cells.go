@@ -1,0 +1,356 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/ids"
+	"repro/internal/label"
+	"repro/internal/netsim"
+	"repro/internal/recsa"
+	"repro/internal/sim"
+	"repro/internal/vs"
+	"repro/internal/workload"
+)
+
+const deadline sim.Time = 400_000
+
+// Each eNCell function below runs one (seed, size) cell of experiment EN:
+// a fresh, fully self-contained simulation whose outcome depends only on
+// its arguments. The engine fans cells out over a worker pool; the
+// sequential wrappers in experiments.go sweep them over a size list.
+
+// e1Cell measures Figure 2 / Theorem 3.16: the virtual time a delicate
+// replacement takes from estab() to a system-wide installed
+// configuration.
+func e1Cell(seed int64, n int) workload.Row {
+	c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	c.RunFor(800)
+	target := ids.Range(1, ids.ID(n-1))
+	start := c.Sched.Now()
+	if !c.Node(1).Estab(target) {
+		return workload.Row{X: n, Note: "estab rejected"}
+	}
+	ok := c.Sched.RunWhile(func() bool {
+		cfg, conv := c.ConvergedConfig()
+		return !(conv && cfg.Equal(target))
+	}, 10_000_000)
+	return workload.Row{X: n, Y: float64(c.Sched.Now() - start), Valid: ok, Note: "estab→installed"}
+}
+
+// e2Cell measures Theorem 3.15: virtual time to converge from a fully
+// corrupted state (all layers randomized, stale packets in the channels).
+func e2Cell(seed int64, n int) workload.Row {
+	c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	c.RunFor(800)
+	d, ok := workload.MeasureConvergence(c, 4*n, deadline)
+	return workload.Row{X: n, Y: float64(d), Valid: ok, Note: "corrupt→converged"}
+}
+
+// e3Cell measures Lemma 3.18: reconfiguration triggerings caused by
+// corrupted recMA flags, against the O(N²·cap) bound. Only the management
+// layer is corrupted; recSA stays clean, so every triggering is
+// attributable to stale flags.
+func e3Cell(seed int64, n int) workload.Row {
+	c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	c.RunFor(800)
+	rng := c.Sched.Rand()
+	c.EachAlive(func(node *core.Node) {
+		node.MA.CorruptState(rng, c.IDs())
+	})
+	c.RunFor(20_000)
+	total := uint64(0)
+	c.EachAlive(func(node *core.Node) {
+		m := node.MA.Metrics()
+		total += m.TriggeredNoMaj + m.TriggeredPredict
+	})
+	bound := n * n * netsim.DefaultOptions().Capacity
+	return workload.Row{X: n, Y: float64(total), Valid: int(total) <= bound,
+		Note: fmt.Sprintf("bound N²·cap=%d", bound)}
+}
+
+// e4Labels is the shared E4 prelude: per-member label stores corrupted
+// with wild labels, gossiped until agreement (Theorem 4.4). It returns
+// the stores, membership, and the round count (-1 if no agreement).
+// Both E4 arms run it from scratch — the postreco cell deliberately
+// recomputes the arbitrary phase rather than sharing state with the
+// arbitrary cell, keeping every grid cell independent (the property the
+// engine's parallel fan-out and per-cell seeds rely on). E4 cells cost
+// milliseconds, so the duplication is immaterial.
+func e4Labels(seed int64, n int) (map[ids.ID]*label.Store, ids.Set, int) {
+	const m = 8
+	members := ids.Range(1, ids.ID(n))
+	stores := make(map[ids.ID]*label.Store, n)
+	members.Each(func(id ids.ID) {
+		stores[id] = label.NewStore(id, members, label.DefaultStoreOptions(n, m))
+	})
+	rng := newRng(seed)
+	members.Each(func(id ids.ID) {
+		for k := 0; k < n; k++ {
+			cr := ids.ID(rng.Intn(n) + 1)
+			stores[id].InjectMax(cr, label.Pair{ML: label.Label{
+				Creator: cr, Sting: rng.Intn(64),
+				Antistings: []int{rng.Intn(64)},
+			}})
+		}
+	})
+	rounds := exchangeLabels(stores, members, 400)
+	return stores, members, rounds
+}
+
+// e4ArbitraryCell counts label creations until a global maximal label
+// from an arbitrary corrupted state (bound O(N(N²+m))).
+func e4ArbitraryCell(seed int64, n int) workload.Row {
+	const m = 8
+	stores, members, rounds := e4Labels(seed, n)
+	total := uint64(0)
+	members.Each(func(id ids.ID) { total += stores[id].Metrics().Creations })
+	return workload.Row{X: n, Y: float64(total), Valid: rounds >= 0,
+		Note: fmt.Sprintf("bound N(N²+m)=%d", n*(n*n+m))}
+}
+
+// e4PostRebuildCell counts label creations to the next agreement right
+// after a clean rebuild (bound O(N²)).
+func e4PostRebuildCell(seed int64, n int) workload.Row {
+	stores, members, _ := e4Labels(seed, n)
+	members.Each(func(id ids.ID) { stores[id].Rebuild(members) })
+	base := uint64(0)
+	members.Each(func(id ids.ID) { base += stores[id].Metrics().Creations })
+	exchangeLabels(stores, members, 400)
+	total := uint64(0)
+	members.Each(func(id ids.ID) { total += stores[id].Metrics().Creations })
+	return workload.Row{X: n, Y: float64(total - base), Valid: true,
+		Note: fmt.Sprintf("bound N²=%d", n*n)}
+}
+
+// e5Cell measures Theorem 4.6 operationally: virtual-time latency per
+// completed counter increment.
+func e5Cell(seed int64, n int) workload.Row {
+	mgrs := map[ids.ID]*counter.Manager{}
+	opts := core.DefaultClusterOptions(seed)
+	opts.AppFactory = func(self ids.ID) core.App {
+		m := counter.NewManager(self)
+		mgrs[self] = m
+		return m
+	}
+	c, err := core.BootstrapCluster(n, opts)
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	c.RunFor(800)
+	const opsWanted = 10
+	start := c.Sched.Now()
+	done := 0
+	for i := 0; i < opsWanted; i++ {
+		who := ids.ID(i%n + 1)
+		op := mgrs[who].Increment(c.Node(who))
+		if c.Sched.RunWhile(func() bool { return !op.Done() }, 4_000_000) {
+			if _, err := op.Result(); err == nil {
+				done++
+			}
+		}
+	}
+	elapsed := c.Sched.Now() - start
+	if done == 0 {
+		return workload.Row{X: n, Note: "no ops completed"}
+	}
+	return workload.Row{X: n, Y: float64(elapsed) / float64(done), Valid: done == opsWanted,
+		Note: fmt.Sprintf("%d/%d ops", done, opsWanted)}
+}
+
+// countingApp is the replicated application used by E6.
+type countingApp struct{ delivered int }
+
+func (a *countingApp) InitState() any { return 0 }
+func (a *countingApp) Apply(state any, r vs.Round) any {
+	v, _ := state.(int)
+	return v + len(r.Inputs)
+}
+func (a *countingApp) Fetch() any         { return "x" }
+func (a *countingApp) Deliver(r vs.Round) { a.delivered++ }
+
+// e6Cell measures Theorem 4.13: the service gap (virtual ticks without
+// round progress) around a coordinator-led delicate reconfiguration, and
+// whether the replica state survived.
+func e6Cell(seed int64, n int) workload.Row {
+	mgrs := map[ids.ID]*vs.Manager{}
+	opts := core.DefaultClusterOptions(seed)
+	opts.Node.EvalConf = func(ids.Set, ids.Set) bool { return false }
+	eval := func(cur ids.Set, trusted ids.Set) bool {
+		return cur.Diff(trusted).Size() > 0
+	}
+	opts.AppFactory = func(self ids.ID) core.App {
+		m := vs.NewManager(self, &countingApp{}, eval)
+		mgrs[self] = m
+		return m
+	}
+	c, err := core.BootstrapCluster(n, opts)
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	// Wait for a first view and some rounds.
+	ok := c.Sched.RunWhile(func() bool {
+		_, has := mgrs[1].CurrentView()
+		return !has
+	}, 6_000_000)
+	if !ok {
+		return workload.Row{X: n, Note: "no initial view"}
+	}
+	c.RunFor(3000)
+	state0, _ := mgrs[1].Replica().State.(int)
+	// Crash the highest non-coordinator: evalConf starts firing.
+	v, _ := mgrs[1].CurrentView()
+	victim := ids.ID(n)
+	if victim == v.Coordinator() {
+		victim = ids.ID(n - 1)
+	}
+	c.Crash(victim)
+	start := c.Sched.Now()
+	ok = c.Sched.RunWhile(func() bool {
+		cfg, conv := c.ConvergedConfig()
+		if !conv || cfg.Contains(victim) {
+			return true
+		}
+		good := true
+		c.EachAlive(func(node *core.Node) {
+			nv, has := mgrs[node.Self()].CurrentView()
+			if !has || nv.Set.Contains(victim) {
+				good = false
+			}
+		})
+		return !good
+	}, 20_000_000)
+	gap := c.Sched.Now() - start
+	state1, _ := mgrs[1].Replica().State.(int)
+	preserved := state1 >= state0
+	return workload.Row{X: n, Y: float64(gap), Valid: ok && preserved,
+		Note: fmt.Sprintf("state %d→%d preserved=%v", state0, state1, preserved)}
+}
+
+// e7Cell measures Theorem 3.26: time for a joining processor to become a
+// participant.
+func e7Cell(seed int64, n int) workload.Row {
+	c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	c.RunFor(800)
+	j, err := c.AddJoiner(ids.ID(n + 10))
+	if err != nil {
+		return workload.Row{X: n, Note: "join: " + err.Error()}
+	}
+	start := c.Sched.Now()
+	ok := c.Sched.RunWhile(func() bool { return !j.IsParticipant() }, 6_000_000)
+	return workload.Row{X: n, Y: float64(c.Sched.Now() - start), Valid: ok, Note: "join→participant"}
+}
+
+// e8SelfStabCell measures recovery time of the self-stabilizing scheme
+// after a transient fault (the paper's headline claim, §1).
+func e8SelfStabCell(seed int64, n int) workload.Row {
+	c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	c.RunFor(800)
+	d, ok := workload.MeasureConvergence(c, 2*n, deadline)
+	return workload.Row{X: n, Y: float64(d), Valid: ok, Note: "corrupt→converged"}
+}
+
+// e8BaselineCell subjects the coherent-start baseline to the same fault:
+// it stays split forever, reported as the deadline with Valid=false.
+func e8BaselineCell(seed int64, n int) workload.Row {
+	sched := sim.NewScheduler(seed)
+	net := netsim.New(sched, netsim.DefaultOptions())
+	bc, err := baseline.NewCluster(net, n)
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	sched.RunUntil(800)
+	half := ids.Range(1, ids.ID(n/2))
+	rest := ids.Range(ids.ID(n/2+1), ids.ID(n))
+	for i := 1; i <= n; i++ {
+		if i <= n/2 {
+			bc.Node(ids.ID(i)).Corrupt(half, 7)
+		} else {
+			bc.Node(ids.ID(i)).Corrupt(rest, 7)
+		}
+	}
+	start := sched.Now()
+	recovered := false
+	for sched.Now()-start < deadline {
+		if _, ok := bc.Converged(); ok {
+			recovered = true
+			break
+		}
+		sched.RunUntil(sched.Now() + 1000)
+	}
+	return workload.Row{X: n, Y: float64(sched.Now() - start), Valid: recovered, Note: "split-brain"}
+}
+
+// e9Cell measures the MWMR register emulation's write latency.
+func e9Cell(seed int64, n int) workload.Row {
+	mems, c, err := memCluster(seed, n)
+	if err != nil {
+		return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+	}
+	ok := c.Sched.RunWhile(func() bool {
+		_, has := mems[1].VS().CurrentView()
+		return !has
+	}, 6_000_000)
+	if !ok {
+		return workload.Row{X: n, Note: "no view"}
+	}
+	const opsWanted = 8
+	start := c.Sched.Now()
+	done := 0
+	for i := 0; i < opsWanted; i++ {
+		who := ids.ID(i%n + 1)
+		h := mems[who].Write("reg", fmt.Sprintf("v%d", i))
+		if c.Sched.RunWhile(func() bool { return !h.Done() }, 4_000_000) {
+			done++
+		}
+	}
+	elapsed := c.Sched.Now() - start
+	if done == 0 {
+		return workload.Row{X: n, Note: "no ops"}
+	}
+	return workload.Row{X: n, Y: float64(elapsed) / float64(done), Valid: done == opsWanted,
+		Note: fmt.Sprintf("%d/%d writes", done, opsWanted)}
+}
+
+// e10Cell builds the cell function for one degree-gap arm of the E10
+// ablation (DESIGN.md §4 note 5): delicate replacement latency and
+// spurious resets under the given staleness tolerance.
+func e10Cell(gap int) func(seed int64, n int) workload.Row {
+	return func(seed int64, n int) workload.Row {
+		opts := core.DefaultClusterOptions(seed)
+		opts.Node.RecSA = recsa.Options{DegreeGap: gap}
+		c, err := core.BootstrapCluster(n, opts)
+		if err != nil {
+			return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+		}
+		c.RunFor(800)
+		target := ids.Range(1, ids.ID(n-1))
+		start := c.Sched.Now()
+		c.Node(1).Estab(target)
+		ok := c.Sched.RunWhile(func() bool {
+			cfg, conv := c.ConvergedConfig()
+			return !(conv && cfg.Equal(target))
+		}, 10_000_000)
+		resets := uint64(0)
+		c.EachAlive(func(node *core.Node) { resets += node.SA.Metrics().Resets })
+		return workload.Row{X: n, Y: float64(c.Sched.Now() - start), Valid: ok,
+			Note: fmt.Sprintf("spurious resets=%d", resets)}
+	}
+}

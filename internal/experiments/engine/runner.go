@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// Config selects the grid to run and how to run it.
+type Config struct {
+	// Seed is the base random seed; every cell derives its own seed
+	// from it (see DeriveSeed).
+	Seed int64
+	// Sizes overrides each experiment's DefaultSizes when non-empty.
+	Sizes []int
+	// Repeats is the number of repeats per (experiment, series, size)
+	// cell; values below 1 run one repeat.
+	Repeats int
+	// Workers bounds the worker pool; values below 1 use
+	// runtime.NumCPU(). Workers only changes wall-clock time, never
+	// results.
+	Workers int
+	// Only, when non-nil, restricts the run to the listed experiment
+	// IDs (upper-case, e.g. "E2").
+	Only map[string]bool
+}
+
+// Cell identifies one point of the run grid.
+type Cell struct {
+	Experiment string `json:"experiment"`
+	Series     string `json:"series,omitempty"`
+	N          int    `json:"n"`
+	Repeat     int    `json:"repeat"`
+	Seed       int64  `json:"seed"`
+}
+
+// Result is the measurement of one cell.
+type Result struct {
+	Cell
+	Value float64 `json:"value"`
+	Valid bool    `json:"valid"`
+	Note  string  `json:"note,omitempty"`
+}
+
+// Summary is the grouped mean/std of one (experiment, series, size) over
+// its repeats.
+type Summary struct {
+	Experiment string  `json:"experiment"`
+	Series     string  `json:"series,omitempty"`
+	Metric     string  `json:"metric"`
+	N          int     `json:"n"`
+	Repeats    int     `json:"repeats"`
+	Valid      int     `json:"valid"`
+	Mean       float64 `json:"mean"`
+	Std        float64 `json:"std"`
+	Min        float64 `json:"min"`
+	Max        float64 `json:"max"`
+}
+
+// Report is the full outcome of a run: one Result per cell in grid order
+// plus the grouped summaries. It contains no wall-clock or scheduling
+// information, so two runs of the same Config (any Workers value) produce
+// byte-identical emissions.
+type Report struct {
+	Seed    int64     `json:"seed"`
+	Repeats int       `json:"repeats"`
+	Cells   []Result  `json:"cells"`
+	Summary []Summary `json:"summary"`
+}
+
+// DeriveSeed computes the seed of one cell from the base seed and the
+// cell coordinates, via FNV-1a over "id|series|n|rep". Cells get
+// decorrelated deterministic seeds independent of scheduling order.
+func DeriveSeed(base int64, id, series string, n, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d", id, series, n, rep)
+	return base + int64(h.Sum64())
+}
+
+// sizesFor clamps the requested sweep to the descriptor's MinSize and
+// drops duplicates created by clamping, preserving order.
+func sizesFor(d Descriptor, requested []int) []int {
+	src := requested
+	if len(src) == 0 {
+		src = d.DefaultSizes
+	}
+	out := make([]int, 0, len(src))
+	seen := map[int]bool{}
+	for _, n := range src {
+		if n < d.MinSize {
+			n = d.MinSize
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Run executes the configured grid over a bounded worker pool and returns
+// the per-cell results (in deterministic grid order) and grouped
+// summaries.
+func Run(cfg Config) (*Report, error) {
+	descs := All()
+	if cfg.Only != nil {
+		matched := map[string]bool{}
+		kept := descs[:0]
+		for _, d := range descs {
+			if cfg.Only[d.ID] {
+				matched[d.ID] = true
+				kept = append(kept, d)
+			}
+		}
+		for id := range cfg.Only {
+			if !matched[id] {
+				return nil, fmt.Errorf("engine: unknown experiment %q", id)
+			}
+		}
+		descs = kept
+	}
+	if len(descs) == 0 {
+		return nil, fmt.Errorf("engine: no experiments registered")
+	}
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+
+	type job struct {
+		cell Cell
+		run  CellFunc
+	}
+	var jobs []job
+	for _, d := range descs {
+		sizes := sizesFor(d, cfg.Sizes)
+		for _, spec := range d.Series {
+			for _, n := range sizes {
+				for rep := 0; rep < repeats; rep++ {
+					jobs = append(jobs, job{
+						cell: Cell{
+							Experiment: d.ID,
+							Series:     spec.Key,
+							N:          n,
+							Repeat:     rep,
+							Seed:       DeriveSeed(cfg.Seed, d.ID, spec.Key, n, rep),
+						},
+						run: spec.Run,
+					})
+				}
+			}
+		}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// Each worker writes only results[i] for the indices it drains, so
+	// the output order is the grid order regardless of scheduling.
+	results := make([]Result, len(jobs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				row := j.run(j.cell.Seed, j.cell.N)
+				results[i] = Result{
+					Cell:  j.cell,
+					Value: row.Y,
+					Valid: row.Valid,
+					Note:  row.Note,
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{Seed: cfg.Seed, Repeats: repeats, Cells: results}
+	rep.Summary = summarize(descs, results)
+	return rep, nil
+}
+
+// summarize groups the cell results by (experiment, series, size) and
+// reduces repeats via workload.Aggregate, preserving grid order.
+func summarize(descs []Descriptor, results []Result) []Summary {
+	metric := map[string]string{}
+	for _, d := range descs {
+		metric[d.ID] = d.Metric
+	}
+	type key struct {
+		exp, series string
+	}
+	var order []key
+	rows := map[key][]workload.Row{}
+	for _, r := range results {
+		k := key{r.Experiment, r.Series}
+		if _, seen := rows[k]; !seen {
+			order = append(order, k)
+		}
+		rows[k] = append(rows[k], workload.Row{X: r.N, Y: r.Value, Valid: r.Valid, Note: r.Note})
+	}
+	var out []Summary
+	for _, k := range order {
+		for _, a := range workload.Aggregate(rows[k]) {
+			out = append(out, Summary{
+				Experiment: k.exp,
+				Series:     k.series,
+				Metric:     metric[k.exp],
+				N:          a.X,
+				Repeats:    a.Repeats,
+				Valid:      a.Valid,
+				Mean:       a.Mean,
+				Std:        a.Std,
+				Min:        a.Min,
+				Max:        a.Max,
+			})
+		}
+	}
+	return out
+}

@@ -2,393 +2,188 @@
 // E1–E10 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
 // empirical tables; each experiment here operationalizes one of its
 // theorems or explicit asymptotic claims, producing the series recorded in
-// EXPERIMENTS.md. Both bench_test.go and cmd/benchtab drive these
-// functions.
+// EXPERIMENTS.md.
+//
+// The per-cell simulations live in cells.go; this file registers them
+// with the engine registry (internal/experiments/engine), which
+// bench_test.go and cmd/benchtab drive. The exported EN functions are
+// kept as thin sequential wrappers over the registry for tests and
+// direct callers.
 package experiments
 
 import (
 	"fmt"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/counter"
-	"repro/internal/ids"
-	"repro/internal/label"
-	"repro/internal/netsim"
-	"repro/internal/recsa"
-	"repro/internal/sim"
-	"repro/internal/vs"
+	"repro/internal/experiments/engine"
 	"repro/internal/workload"
 )
 
 // Sizes is the default N sweep.
 var Sizes = []int{4, 8, 16, 24}
 
-// SmallSizes keeps `go test -bench` wall time modest.
-var SmallSizes = []int{4, 8}
+func init() {
+	engine.MustRegister(engine.Descriptor{
+		ID: "E1", Title: "delicate replacement latency", Metric: "vticks",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Name: "E1 delicate replacement (ticks)", Run: e1Cell},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E2", Title: "brute-force recovery", Metric: "vticks",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Name: "E2 brute-force recovery (ticks)", Run: e2Cell},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E3", Title: "spurious recMA triggers", Metric: "count",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Name: "E3 spurious recMA triggers (count)", Run: e3Cell},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E4", Title: "label creations", Metric: "creations",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Key: "arbitrary", Name: "E4 label creations (arbitrary start)", Run: e4ArbitraryCell},
+			{Key: "postreco", Name: "E4 label creations (post-rebuild)", Run: e4PostRebuildCell},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E5", Title: "counter increment latency", Metric: "vticks/op",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Name: "E5 counter increment latency (ticks/op)", Run: e5Cell},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E6", Title: "VS reconfiguration service gap", Metric: "vticks",
+		DefaultSizes: Sizes, MinSize: 5,
+		Series: []engine.SeriesSpec{
+			{Name: "E6 VS reconfig service gap (ticks)", Run: e6Cell},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E7", Title: "join latency", Metric: "vticks",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Name: "E7 join latency (ticks)", Run: e7Cell},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E8", Title: "recovery vs coherent-start baseline", Metric: "vticks",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Key: "selfstab", Name: "E8 recovery: self-stabilizing (ticks)", Run: e8SelfStabCell},
+			{Key: "baseline", Name: "E8 recovery: baseline (ticks; deadline = never)",
+				Run: e8BaselineCell, ExpectInvalid: true},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E9", Title: "register write latency", Metric: "vticks/op",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Name: "E9 register write latency (ticks/op)", Run: e9Cell},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		ID: "E10", Title: "degree-gap ablation", Metric: "vticks",
+		DefaultSizes: Sizes,
+		Series: []engine.SeriesSpec{
+			{Key: "gap1", Name: "E10 delicate replacement, degree gap 1", Run: e10Cell(1)},
+			{Key: "gap2", Name: "E10 delicate replacement, degree gap 2", Run: e10Cell(2)},
+		},
+	})
+}
 
-const deadline sim.Time = 400_000
+// runSeries sweeps one registered series sequentially over sizes, using
+// the same base seed for every size (the pre-engine contract kept for
+// tests and direct callers; the engine derives decorrelated per-cell
+// seeds instead).
+func runSeries(id, key string, seed int64, sizes []int) workload.Series {
+	d, ok := engine.Get(id)
+	if !ok {
+		panic(fmt.Sprintf("experiments: %s not registered", id))
+	}
+	for _, spec := range d.Series {
+		if spec.Key != key {
+			continue
+		}
+		s := workload.Series{Name: spec.Name}
+		for _, n := range sizes {
+			if n < d.MinSize {
+				n = d.MinSize
+			}
+			s.Rows = append(s.Rows, spec.Run(seed, n))
+		}
+		return s
+	}
+	panic(fmt.Sprintf("experiments: %s has no series %q", id, key))
+}
 
-// E1DelicateLatency measures Figure 2 / Theorem 3.16: the virtual time a
-// delicate replacement takes from estab() to a system-wide installed
-// configuration, as N grows.
+// E1DelicateLatency measures Figure 2 / Theorem 3.16 (see e1Cell).
 func E1DelicateLatency(seed int64, sizes []int) workload.Series {
-	s := workload.Series{Name: "E1 delicate replacement (ticks)"}
-	for _, n := range sizes {
-		c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
-		if err != nil {
-			continue
-		}
-		c.RunFor(800)
-		target := ids.Range(1, ids.ID(n-1))
-		start := c.Sched.Now()
-		if !c.Node(1).Estab(target) {
-			s.Add(n, 0, false, "estab rejected")
-			continue
-		}
-		ok := c.Sched.RunWhile(func() bool {
-			cfg, conv := c.ConvergedConfig()
-			return !(conv && cfg.Equal(target))
-		}, 10_000_000)
-		s.Add(n, float64(c.Sched.Now()-start), ok, "estab→installed")
-	}
-	return s
+	return runSeries("E1", "", seed, sizes)
 }
 
-// E2BruteForceConvergence measures Theorem 3.15: virtual time to converge
-// from a fully corrupted state (all layers randomized, stale packets in
-// the channels).
+// E2BruteForceConvergence measures Theorem 3.15 (see e2Cell).
 func E2BruteForceConvergence(seed int64, sizes []int) workload.Series {
-	s := workload.Series{Name: "E2 brute-force recovery (ticks)"}
-	for _, n := range sizes {
-		c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
-		if err != nil {
-			continue
-		}
-		c.RunFor(800)
-		d, ok := workload.MeasureConvergence(c, 4*n, deadline)
-		s.Add(n, float64(d), ok, "corrupt→converged")
-	}
-	return s
+	return runSeries("E2", "", seed, sizes)
 }
 
-// E3SpuriousTriggers measures Lemma 3.18: the number of reconfiguration
-// triggerings caused by corrupted recMA flags, against the O(N²·cap)
-// bound. Only the management layer is corrupted; recSA stays clean, so
-// every triggering is attributable to stale flags.
+// E3SpuriousTriggers measures Lemma 3.18 (see e3Cell).
 func E3SpuriousTriggers(seed int64, sizes []int) workload.Series {
-	s := workload.Series{Name: "E3 spurious recMA triggers (count)"}
-	for _, n := range sizes {
-		opts := core.DefaultClusterOptions(seed)
-		c, err := core.BootstrapCluster(n, opts)
-		if err != nil {
-			continue
-		}
-		c.RunFor(800)
-		rng := c.Sched.Rand()
-		c.EachAlive(func(node *core.Node) {
-			node.MA.CorruptState(rng, c.IDs())
-		})
-		c.RunFor(20_000)
-		total := uint64(0)
-		c.EachAlive(func(node *core.Node) {
-			m := node.MA.Metrics()
-			total += m.TriggeredNoMaj + m.TriggeredPredict
-		})
-		bound := n * n * netsim.DefaultOptions().Capacity
-		s.Add(n, float64(total), int(total) <= bound,
-			fmt.Sprintf("bound N²·cap=%d", bound))
-	}
-	return s
+	return runSeries("E3", "", seed, sizes)
 }
 
-// E4LabelCreations measures Theorem 4.4: label creations until a global
-// maximal label, from an arbitrary corrupted state (bound O(N(N²+m)))
-// versus right after a clean rebuild (bound O(N²)).
+// E4LabelCreations measures Theorem 4.4 in both arms: creations from an
+// arbitrary corrupted start and right after a clean rebuild.
 func E4LabelCreations(seed int64, sizes []int) []workload.Series {
-	arbitrary := workload.Series{Name: "E4 label creations (arbitrary start)"}
-	postReco := workload.Series{Name: "E4 label creations (post-rebuild)"}
-	const m = 8
-	for _, n := range sizes {
-		members := ids.Range(1, ids.ID(n))
-		stores := make(map[ids.ID]*label.Store, n)
-		members.Each(func(id ids.ID) {
-			stores[id] = label.NewStore(id, members, label.DefaultStoreOptions(n, m))
-		})
-		rng := newRng(seed)
-		// Corrupt: inject wild labels everywhere.
-		members.Each(func(id ids.ID) {
-			for k := 0; k < n; k++ {
-				cr := ids.ID(rng.Intn(n) + 1)
-				stores[id].InjectMax(cr, label.Pair{ML: label.Label{
-					Creator: cr, Sting: rng.Intn(64),
-					Antistings: []int{rng.Intn(64)},
-				}})
-			}
-		})
-		rounds := exchangeLabels(stores, members, 400)
-		total := uint64(0)
-		members.Each(func(id ids.ID) { total += stores[id].Metrics().Creations })
-		arbitrary.Add(n, float64(total), rounds >= 0,
-			fmt.Sprintf("bound N(N²+m)=%d", n*(n*n+m)))
-
-		// Post-rebuild: clean structures, count to the next agreement.
-		members.Each(func(id ids.ID) { stores[id].Rebuild(members) })
-		base := uint64(0)
-		members.Each(func(id ids.ID) { base += stores[id].Metrics().Creations })
-		exchangeLabels(stores, members, 400)
-		total = 0
-		members.Each(func(id ids.ID) { total += stores[id].Metrics().Creations })
-		postReco.Add(n, float64(total-base), true, fmt.Sprintf("bound N²=%d", n*n))
+	return []workload.Series{
+		runSeries("E4", "arbitrary", seed, sizes),
+		runSeries("E4", "postreco", seed, sizes),
 	}
-	return []workload.Series{arbitrary, postReco}
 }
 
-// E5CounterIncrement measures Theorem 4.6 operationally: virtual-time
-// latency per completed increment and total throughput.
+// E5CounterIncrement measures Theorem 4.6 operationally (see e5Cell).
 func E5CounterIncrement(seed int64, sizes []int) workload.Series {
-	s := workload.Series{Name: "E5 counter increment latency (ticks/op)"}
-	for _, n := range sizes {
-		mgrs := map[ids.ID]*counter.Manager{}
-		opts := core.DefaultClusterOptions(seed)
-		opts.AppFactory = func(self ids.ID) core.App {
-			m := counter.NewManager(self)
-			mgrs[self] = m
-			return m
-		}
-		c, err := core.BootstrapCluster(n, opts)
-		if err != nil {
-			continue
-		}
-		c.RunFor(800)
-		const opsWanted = 10
-		start := c.Sched.Now()
-		done := 0
-		for i := 0; i < opsWanted; i++ {
-			who := ids.ID(i%n + 1)
-			op := mgrs[who].Increment(c.Node(who))
-			if c.Sched.RunWhile(func() bool { return !op.Done() }, 4_000_000) {
-				if _, err := op.Result(); err == nil {
-					done++
-				}
-			}
-		}
-		elapsed := c.Sched.Now() - start
-		if done == 0 {
-			s.Add(n, 0, false, "no ops completed")
-			continue
-		}
-		s.Add(n, float64(elapsed)/float64(done), done == opsWanted,
-			fmt.Sprintf("%d/%d ops", done, opsWanted))
-	}
-	return s
+	return runSeries("E5", "", seed, sizes)
 }
 
-// vsHarness builds a VS cluster for E6.
-type countingApp struct{ delivered int }
-
-func (a *countingApp) InitState() any { return 0 }
-func (a *countingApp) Apply(state any, r vs.Round) any {
-	v, _ := state.(int)
-	return v + len(r.Inputs)
-}
-func (a *countingApp) Fetch() any         { return "x" }
-func (a *countingApp) Deliver(r vs.Round) { a.delivered++ }
-
-// E6VSReconfiguration measures Theorem 4.13: the service gap (virtual
-// ticks without round progress) around a coordinator-led delicate
-// reconfiguration, and whether the replica state survived.
+// E6VSReconfiguration measures Theorem 4.13 (see e6Cell). Sizes below 5
+// are raised to 5.
 func E6VSReconfiguration(seed int64, sizes []int) workload.Series {
-	s := workload.Series{Name: "E6 VS reconfig service gap (ticks)"}
-	for _, n := range sizes {
-		mgrs := map[ids.ID]*vs.Manager{}
-		opts := core.DefaultClusterOptions(seed)
-		opts.Node.EvalConf = func(ids.Set, ids.Set) bool { return false }
-		eval := func(cur ids.Set, trusted ids.Set) bool {
-			return cur.Diff(trusted).Size() > 0
-		}
-		opts.AppFactory = func(self ids.ID) core.App {
-			m := vs.NewManager(self, &countingApp{}, eval)
-			mgrs[self] = m
-			return m
-		}
-		c, err := core.BootstrapCluster(n, opts)
-		if err != nil {
-			continue
-		}
-		// Wait for a first view and some rounds.
-		ok := c.Sched.RunWhile(func() bool {
-			_, has := mgrs[1].CurrentView()
-			return !has
-		}, 6_000_000)
-		if !ok {
-			s.Add(n, 0, false, "no initial view")
-			continue
-		}
-		c.RunFor(3000)
-		state0, _ := mgrs[1].Replica().State.(int)
-		// Crash the highest non-coordinator: evalConf starts firing.
-		v, _ := mgrs[1].CurrentView()
-		victim := ids.ID(n)
-		if victim == v.Coordinator() {
-			victim = ids.ID(n - 1)
-		}
-		c.Crash(victim)
-		start := c.Sched.Now()
-		ok = c.Sched.RunWhile(func() bool {
-			cfg, conv := c.ConvergedConfig()
-			if !conv || cfg.Contains(victim) {
-				return true
-			}
-			good := true
-			c.EachAlive(func(node *core.Node) {
-				nv, has := mgrs[node.Self()].CurrentView()
-				if !has || nv.Set.Contains(victim) {
-					good = false
-				}
-			})
-			return !good
-		}, 20_000_000)
-		gap := c.Sched.Now() - start
-		state1, _ := mgrs[1].Replica().State.(int)
-		preserved := state1 >= state0
-		s.Add(n, float64(gap), ok && preserved,
-			fmt.Sprintf("state %d→%d preserved=%v", state0, state1, preserved))
-	}
-	return s
+	return runSeries("E6", "", seed, sizes)
 }
 
-// E7JoinLatency measures Theorem 3.26: time for a joining processor to
-// become a participant, at increasing cluster sizes.
+// E7JoinLatency measures Theorem 3.26 (see e7Cell).
 func E7JoinLatency(seed int64, sizes []int) workload.Series {
-	s := workload.Series{Name: "E7 join latency (ticks)"}
-	for _, n := range sizes {
-		c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
-		if err != nil {
-			continue
-		}
-		c.RunFor(800)
-		j, err := c.AddJoiner(ids.ID(n + 10))
-		if err != nil {
-			continue
-		}
-		start := c.Sched.Now()
-		ok := c.Sched.RunWhile(func() bool { return !j.IsParticipant() }, 6_000_000)
-		s.Add(n, float64(c.Sched.Now()-start), ok, "join→participant")
-	}
-	return s
+	return runSeries("E7", "", seed, sizes)
 }
 
-// E8BaselineComparison reproduces the paper's headline claim (§1): after a
-// transient fault, the self-stabilizing scheme recovers while the
+// E8BaselineComparison reproduces the paper's headline claim (§1): after
+// a transient fault the self-stabilizing scheme recovers while the
 // coherent-start baseline stays split forever (reported as the deadline).
 func E8BaselineComparison(seed int64, sizes []int) []workload.Series {
-	ours := workload.Series{Name: "E8 recovery: self-stabilizing (ticks)"}
-	base := workload.Series{Name: "E8 recovery: baseline (ticks; deadline = never)"}
-	for _, n := range sizes {
-		c, err := core.BootstrapCluster(n, core.DefaultClusterOptions(seed))
-		if err != nil {
-			continue
-		}
-		c.RunFor(800)
-		d, ok := workload.MeasureConvergence(c, 2*n, deadline)
-		ours.Add(n, float64(d), ok, "corrupt→converged")
-
-		sched := sim.NewScheduler(seed)
-		net := netsim.New(sched, netsim.DefaultOptions())
-		bc, err := baseline.NewCluster(net, n)
-		if err != nil {
-			continue
-		}
-		sched.RunUntil(800)
-		half := ids.Range(1, ids.ID(n/2))
-		rest := ids.Range(ids.ID(n/2+1), ids.ID(n))
-		for i := 1; i <= n; i++ {
-			if i <= n/2 {
-				bc.Node(ids.ID(i)).Corrupt(half, 7)
-			} else {
-				bc.Node(ids.ID(i)).Corrupt(rest, 7)
-			}
-		}
-		start := sched.Now()
-		recovered := false
-		for sched.Now()-start < deadline {
-			if _, ok := bc.Converged(); ok {
-				recovered = true
-				break
-			}
-			sched.RunUntil(sched.Now() + 1000)
-		}
-		base.Add(n, float64(sched.Now()-start), recovered, "split-brain")
+	return []workload.Series{
+		runSeries("E8", "selfstab", seed, sizes),
+		runSeries("E8", "baseline", seed, sizes),
 	}
-	return []workload.Series{ours, base}
 }
 
-// E9SharedMemory measures the MWMR register emulation's operation latency.
+// E9SharedMemory measures the MWMR register emulation's operation latency
+// (see e9Cell).
 func E9SharedMemory(seed int64, sizes []int) workload.Series {
-	s := workload.Series{Name: "E9 register write latency (ticks/op)"}
-	for _, n := range sizes {
-		mems, c, err := memCluster(seed, n)
-		if err != nil {
-			continue
-		}
-		ok := c.Sched.RunWhile(func() bool {
-			_, has := mems[1].VS().CurrentView()
-			return !has
-		}, 6_000_000)
-		if !ok {
-			s.Add(n, 0, false, "no view")
-			continue
-		}
-		const opsWanted = 8
-		start := c.Sched.Now()
-		done := 0
-		for i := 0; i < opsWanted; i++ {
-			who := ids.ID(i%n + 1)
-			h := mems[who].Write("reg", fmt.Sprintf("v%d", i))
-			if c.Sched.RunWhile(func() bool { return !h.Done() }, 4_000_000) {
-				done++
-			}
-		}
-		elapsed := c.Sched.Now() - start
-		if done == 0 {
-			s.Add(n, 0, false, "no ops")
-			continue
-		}
-		s.Add(n, float64(elapsed)/float64(done), done == opsWanted,
-			fmt.Sprintf("%d/%d writes", done, opsWanted))
-	}
-	return s
+	return runSeries("E9", "", seed, sizes)
 }
 
 // E10Ablation compares the degree-gap staleness tolerance (DESIGN.md §4
-// note 5): paper-strict gap 1 versus the default 2, measuring recovery
-// time and spurious resets during a delicate replacement.
+// note 5): paper-strict gap 1 versus the default 2.
 func E10Ablation(seed int64, sizes []int) []workload.Series {
-	out := make([]workload.Series, 0, 2)
-	for _, gap := range []int{1, 2} {
-		s := workload.Series{Name: fmt.Sprintf("E10 delicate replacement, degree gap %d", gap)}
-		for _, n := range sizes {
-			opts := core.DefaultClusterOptions(seed)
-			opts.Node.RecSA = recsa.Options{DegreeGap: gap}
-			c, err := core.BootstrapCluster(n, opts)
-			if err != nil {
-				continue
-			}
-			c.RunFor(800)
-			target := ids.Range(1, ids.ID(n-1))
-			start := c.Sched.Now()
-			c.Node(1).Estab(target)
-			ok := c.Sched.RunWhile(func() bool {
-				cfg, conv := c.ConvergedConfig()
-				return !(conv && cfg.Equal(target))
-			}, 10_000_000)
-			resets := uint64(0)
-			c.EachAlive(func(node *core.Node) { resets += node.SA.Metrics().Resets })
-			s.Add(n, float64(c.Sched.Now()-start), ok,
-				fmt.Sprintf("spurious resets=%d", resets))
-		}
-		out = append(out, s)
+	return []workload.Series{
+		runSeries("E10", "gap1", seed, sizes),
+		runSeries("E10", "gap2", seed, sizes),
 	}
-	return out
 }

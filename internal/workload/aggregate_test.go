@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateGroupsAndStats(t *testing.T) {
+	rows := []Row{
+		{X: 4, Y: 10, Valid: true},
+		{X: 8, Y: 7, Valid: true},
+		{X: 4, Y: 14, Valid: true},
+		{X: 4, Y: 12, Valid: false},
+		{X: 8, Y: 7, Valid: true},
+	}
+	aggs := Aggregate(rows)
+	if len(aggs) != 2 {
+		t.Fatalf("got %d groups, want 2", len(aggs))
+	}
+	a4 := aggs[0]
+	if a4.X != 4 || a4.Repeats != 3 || a4.Valid != 2 {
+		t.Errorf("x=4 group: %+v", a4)
+	}
+	if a4.Mean != 12 || a4.Min != 10 || a4.Max != 14 {
+		t.Errorf("x=4 stats: %+v", a4)
+	}
+	if want := 2.0; math.Abs(a4.Std-want) > 1e-12 {
+		t.Errorf("x=4 std = %v, want %v (sample std of 10,14,12)", a4.Std, want)
+	}
+	a8 := aggs[1]
+	if a8.X != 8 || a8.Repeats != 2 || a8.Valid != 2 || a8.Mean != 7 || a8.Std != 0 {
+		t.Errorf("x=8 group: %+v", a8)
+	}
+}
+
+func TestAggregateSingleRepeat(t *testing.T) {
+	aggs := Aggregate([]Row{{X: 4, Y: 3, Valid: true}})
+	if len(aggs) != 1 {
+		t.Fatalf("got %d groups, want 1", len(aggs))
+	}
+	a := aggs[0]
+	if a.Std != 0 || a.Mean != 3 || a.Min != 3 || a.Max != 3 || a.Repeats != 1 {
+		t.Errorf("single repeat: %+v", a)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	if aggs := Aggregate(nil); len(aggs) != 0 {
+		t.Errorf("Aggregate(nil) = %v, want empty", aggs)
+	}
+}

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/ids"
@@ -115,6 +116,66 @@ type Row struct {
 // Add appends a row.
 func (s *Series) Add(x int, y float64, valid bool, note string) {
 	s.Rows = append(s.Rows, Row{X: x, Y: y, Valid: valid, Note: note})
+}
+
+// Agg summarizes repeated measurements at one x: the mean/std/min/max of
+// the Y values across repeats, plus how many repeats were valid. All
+// repeats enter the statistics with whatever Y they reported — a
+// timed-out repeat contributes the value measured at its deadline, and a
+// repeat that failed outright (e.g. a rejected estab) contributes its
+// zero — so always read Mean alongside Valid: a group with Valid <
+// Repeats mixes failure sentinels into the stats.
+type Agg struct {
+	X       int
+	Repeats int
+	Valid   int
+	Mean    float64
+	Std     float64
+	Min     float64
+	Max     float64
+}
+
+// Aggregate groups rows by X (in first-seen order) and reduces each group
+// of repeats to mean and sample standard deviation. A group with a single
+// repeat reports Std 0.
+func Aggregate(rows []Row) []Agg {
+	var order []int
+	groups := map[int][]Row{}
+	for _, r := range rows {
+		if _, seen := groups[r.X]; !seen {
+			order = append(order, r.X)
+		}
+		groups[r.X] = append(groups[r.X], r)
+	}
+	out := make([]Agg, 0, len(order))
+	for _, x := range order {
+		g := groups[x]
+		a := Agg{X: x, Repeats: len(g), Min: g[0].Y, Max: g[0].Y}
+		sum := 0.0
+		for _, r := range g {
+			sum += r.Y
+			if r.Valid {
+				a.Valid++
+			}
+			if r.Y < a.Min {
+				a.Min = r.Y
+			}
+			if r.Y > a.Max {
+				a.Max = r.Y
+			}
+		}
+		a.Mean = sum / float64(len(g))
+		if len(g) > 1 {
+			ss := 0.0
+			for _, r := range g {
+				d := r.Y - a.Mean
+				ss += d * d
+			}
+			a.Std = math.Sqrt(ss / float64(len(g)-1))
+		}
+		out = append(out, a)
+	}
+	return out
 }
 
 // Render prints the series as a fixed-width table, the format the
