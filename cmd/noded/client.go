@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// runClient implements the `noded client` subcommand: a thin HTTP
+// wrapper so shell scripts can drive a live cluster.
+func runClient(args []string) error {
+	fs := flag.NewFlagSet("noded client", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8101", "daemon client API base URL")
+		timeout = fs.Duration("timeout", 60*time.Second, "deadline for wait and per-request operations")
+		exclude = fs.Int("exclude", 0, "wait: additionally require this id out of config and view")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &client{base: base, http: &http.Client{Timeout: *timeout}}
+	sub := fs.Arg(0)
+	rest := fs.Args()
+	if len(rest) > 0 {
+		rest = rest[1:]
+	}
+
+	switch sub {
+	case "status":
+		st, err := c.status()
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "wait":
+		return c.wait(*timeout, *exclude)
+	case "get", "sync-get":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: %s <register>", sub)
+		}
+		resp, err := c.get(rest[0], sub == "sync-get")
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
+	case "put":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: put <register> <value>")
+		}
+		resp, err := c.put(rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
+	case "propose":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: propose <key> <value>")
+		}
+		return c.propose(rest[0], rest[1])
+	case "log":
+		n := 10
+		if len(rest) == 1 {
+			v, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("usage: log [n]")
+			}
+			n = v
+		}
+		return c.log(n)
+	case "":
+		return fmt.Errorf("missing client subcommand (status|wait|get|sync-get|put|propose|log)")
+	default:
+		return fmt.Errorf("unknown client subcommand %q", sub)
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) do(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+func (c *client) status() (Status, error) {
+	var st Status
+	err := c.do(http.MethodGet, "/v1/status", nil, &st)
+	return st, err
+}
+
+// wait polls status until the node serves (and, with exclude, until the
+// configuration and view no longer contain the excluded id).
+func (c *client) wait(timeout time.Duration, exclude int) error {
+	deadline := time.Now().Add(timeout)
+	var last Status
+	var lastErr error
+	for time.Now().Before(deadline) {
+		st, err := c.status()
+		lastErr = err
+		if err == nil {
+			last = st
+			if st.Serving && !contains(st.Config, exclude) && !contains(st.ViewMembers, exclude) {
+				return printJSON(st)
+			}
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("wait timed out; last error: %w", lastErr)
+	}
+	return fmt.Errorf("wait timed out; last status: serving=%v config=%v view=%v",
+		last.Serving, last.Config, last.ViewMembers)
+}
+
+func (c *client) get(name string, sync bool) (RegResponse, error) {
+	path := "/v1/reg/" + name
+	if sync {
+		path += "?sync=1"
+	}
+	var resp RegResponse
+	err := c.do(http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+func (c *client) put(name, value string) (RegResponse, error) {
+	var resp RegResponse
+	err := c.do(http.MethodPut, "/v1/reg/"+name, []byte(value), &resp)
+	return resp, err
+}
+
+func (c *client) propose(key, value string) error {
+	body, _ := json.Marshal(ProposeRequest{Key: key, Value: value})
+	var resp map[string]bool
+	if err := c.do(http.MethodPost, "/v1/smr/propose", body, &resp); err != nil {
+		return err
+	}
+	return printJSON(resp)
+}
+
+func (c *client) log(n int) error {
+	var entries []LogEntry
+	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/smr/log?n=%d", n), nil, &entries); err != nil {
+		return err
+	}
+	return printJSON(entries)
+}
+
+func contains(xs []int, x int) bool {
+	if x == 0 {
+		return false
+	}
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func printJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}

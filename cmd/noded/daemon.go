@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/recsa"
+	"repro/internal/regmem"
+	"repro/internal/smr"
+	"repro/internal/transport"
+)
+
+// Daemon is one live processor: the full reconfiguration stack with the
+// MWMR shared-memory service on top, plus the HTTP client API. It is
+// transport-generic — production runs it on tcp, the tests on inproc.
+type Daemon struct {
+	self      ids.ID
+	tr        transport.Transport
+	node      *core.Node
+	mem       *regmem.SharedMemory
+	opTimeout time.Duration
+}
+
+// NewDaemon builds and wires the stack. peers is every node of the
+// cluster (the connection universe); members is the initial
+// configuration (empty = start as a joiner and acquire participation
+// through the joining protocol).
+func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, maxN int, opTimeout time.Duration) (*Daemon, error) {
+	if opTimeout <= 0 {
+		opTimeout = 30 * time.Second
+	}
+	// Coordinator-led delicate reconfiguration (Algorithm 4.6): the
+	// view coordinator reconfigures when a configuration member is no
+	// longer trusted. recMA's prediction path stays disabled, exactly
+	// as the paper's modified Algorithm 3.2 prescribes for the vs
+	// service; its majority-loss trigger remains active.
+	mem := regmem.New(self, func(cur ids.Set, trusted ids.Set) bool {
+		return cur.Diff(trusted).Size() > 0
+	})
+	initial := recsa.NotParticipant()
+	if !members.Empty() {
+		initial = recsa.ConfigOf(members)
+	}
+	node, err := core.NewNode(tr, core.Params{
+		Self:     self,
+		N:        maxN,
+		Initial:  initial,
+		EvalConf: func(ids.Set, ids.Set) bool { return false },
+		App:      mem,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{self: self, tr: tr, node: node, mem: mem, opTimeout: opTimeout}
+	others := peers.Remove(self)
+	if !tr.Inspect(self, func() {
+		node.ConnectAll(others)
+		node.Detector.Bootstrap(others)
+	}) {
+		return nil, fmt.Errorf("noded: wiring node %v failed", self)
+	}
+	return d, nil
+}
+
+// Node exposes the underlying core node (tests).
+func (d *Daemon) Node() *core.Node { return d.node }
+
+// Status is the introspection document served at /v1/status.
+type Status struct {
+	ID           int    `json:"id"`
+	Ticks        uint64 `json:"ticks"`
+	Participant  bool   `json:"participant"`
+	NoReco       bool   `json:"noReco"`
+	HasConfig    bool   `json:"hasConfig"`
+	Config       []int  `json:"config"`
+	Trusted      []int  `json:"trusted"`
+	Participants []int  `json:"participants"`
+	HasView      bool   `json:"hasView"`
+	ViewCoord    int    `json:"viewCoordinator"`
+	ViewMembers  []int  `json:"viewMembers"`
+	// Serving means the node can make progress on client operations: it
+	// participates, holds an agreed configuration, and sits in an
+	// installed view.
+	Serving bool `json:"serving"`
+}
+
+// RegResponse answers register reads and writes.
+type RegResponse struct {
+	Name  string `json:"name"`
+	Value string `json:"value,omitempty"`
+	Found bool   `json:"found,omitempty"`
+	Done  bool   `json:"done"`
+}
+
+// ProposeRequest submits a raw SMR command.
+type ProposeRequest struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// LogEntry is one applied SMR command.
+type LogEntry struct {
+	View   string `json:"view"`
+	Rnd    uint64 `json:"rnd"`
+	Member int    `json:"member"`
+	Cmd    string `json:"cmd"`
+}
+
+func (d *Daemon) status() (Status, bool) {
+	var st Status
+	ok := d.tr.Inspect(d.self, func() {
+		st.ID = int(d.self)
+		st.Ticks = d.node.Ticks()
+		st.Participant = d.node.IsParticipant()
+		st.NoReco = d.node.NoReco()
+		cfg, has := d.node.Quorum()
+		st.HasConfig = has
+		st.Config = setInts(cfg)
+		st.Trusted = setInts(d.node.Trusted())
+		st.Participants = setInts(d.node.Participants())
+		if v, hasV := d.mem.VS().CurrentView(); hasV {
+			st.HasView = true
+			st.ViewCoord = int(v.Coordinator())
+			st.ViewMembers = setInts(v.Set)
+		}
+		st.Serving = st.Participant && st.HasConfig && st.HasView
+	})
+	return st, ok
+}
+
+// waitHandle polls an operation handle from outside the node context
+// until it completes or the deadline passes.
+func (d *Daemon) waitHandle(h *regmem.Handle) bool {
+	deadline := time.Now().Add(d.opTimeout)
+	for time.Now().Before(deadline) {
+		done := false
+		if !d.tr.Inspect(d.self, func() { done = h.Done() }) {
+			return false
+		}
+		if done {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Handler returns the client API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.status()
+		if !ok {
+			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			return
+		}
+		writeJSON(w, st)
+	})
+
+	mux.HandleFunc("GET /v1/reg/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if r.URL.Query().Get("sync") != "" {
+			var h *regmem.Handle
+			if !d.tr.Inspect(d.self, func() { h = d.mem.SyncRead(name) }) {
+				httpErr(w, http.StatusServiceUnavailable, "node is down")
+				return
+			}
+			if !d.waitHandle(h) {
+				httpErr(w, http.StatusGatewayTimeout, "sync read did not complete (retry)")
+				return
+			}
+			var resp RegResponse
+			if !d.tr.Inspect(d.self, func() {
+				v, found := h.Value()
+				resp = RegResponse{Name: name, Value: v, Found: found, Done: true}
+			}) {
+				httpErr(w, http.StatusServiceUnavailable, "node is down")
+				return
+			}
+			writeJSON(w, resp)
+			return
+		}
+		var resp RegResponse
+		if !d.tr.Inspect(d.self, func() {
+			v, found := d.mem.Read(name)
+			resp = RegResponse{Name: name, Value: v, Found: found, Done: true}
+		}) {
+			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			return
+		}
+		writeJSON(w, resp)
+	})
+
+	putReg := func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		value := string(body)
+		var h *regmem.Handle
+		if !d.tr.Inspect(d.self, func() { h = d.mem.Write(name, value) }) {
+			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			return
+		}
+		if !d.waitHandle(h) {
+			httpErr(w, http.StatusGatewayTimeout, "write did not complete (retry)")
+			return
+		}
+		writeJSON(w, RegResponse{Name: name, Value: value, Done: true})
+	}
+	mux.HandleFunc("PUT /v1/reg/{name}", putReg)
+	mux.HandleFunc("POST /v1/reg/{name}", putReg)
+
+	mux.HandleFunc("POST /v1/smr/propose", func(w http.ResponseWriter, r *http.Request) {
+		var req ProposeRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			httpErr(w, http.StatusBadRequest, "decode: "+err.Error())
+			return
+		}
+		accepted := false
+		if !d.tr.Inspect(d.self, func() {
+			accepted = d.mem.SMR().Submit(smr.KVCmd{Op: smr.KVPut, Key: req.Key, Value: req.Value})
+		}) {
+			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			return
+		}
+		if !accepted {
+			httpErr(w, http.StatusTooManyRequests, "submission queue full (retry)")
+			return
+		}
+		writeJSON(w, map[string]bool{"accepted": true})
+	})
+
+	mux.HandleFunc("GET /v1/smr/log", func(w http.ResponseWriter, r *http.Request) {
+		n := 10
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		var entries []LogEntry
+		if !d.tr.Inspect(d.self, func() {
+			log := d.mem.SMR().Log()
+			if len(log) > n {
+				log = log[len(log)-n:]
+			}
+			entries = make([]LogEntry, 0, len(log))
+			for _, a := range log {
+				entries = append(entries, LogEntry{
+					View:   a.View.String(),
+					Rnd:    a.Rnd,
+					Member: int(a.Member),
+					Cmd:    fmt.Sprint(a.Cmd),
+				})
+			}
+		}) {
+			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			return
+		}
+		writeJSON(w, entries)
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

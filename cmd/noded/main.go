@@ -1,0 +1,208 @@
+// Command noded runs one processor of the self-stabilizing
+// reconfiguration stack as a real networked process: a core.Node with
+// the vs/smr/regmem service stack on the TCP transport backend, plus a
+// small HTTP API for clients. A shell script can drive a live cluster
+// through bootstrap → crash → delicate reconfiguration → recovery (see
+// scripts/noded_demo.sh).
+//
+// Daemon:
+//
+//	noded -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102,..." \
+//	      -http 127.0.0.1:8101 [-members 1,2,3] [-seed 1] \
+//	      [-loss 0.02] [-dup 0.01] [-tick 2ms]
+//
+// Client:
+//
+//	noded client -addr http://127.0.0.1:8101 status
+//	noded client -addr ... wait [-exclude 3] [-timeout 60s]
+//	noded client -addr ... put <register> <value>
+//	noded client -addr ... get <register> | sync-get <register>
+//	noded client -addr ... propose <key> <value>
+//	noded client -addr ... log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+)
+
+func main() {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "client" {
+		err = runClient(args[1:])
+	} else {
+		err = runDaemon(args)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noded:", err)
+		os.Exit(1)
+	}
+}
+
+func runDaemon(args []string) error {
+	fs := flag.NewFlagSet("noded", flag.ContinueOnError)
+	var (
+		id       = fs.Int("id", 0, "this node's identifier (>= 1, required)")
+		peers    = fs.String("peers", "", `cluster address book "1=host:port,2=host:port,..." (required)`)
+		httpAddr = fs.String("http", "127.0.0.1:0", "client API listen address")
+		members  = fs.String("members", "", `initial configuration ids "1,2,3" ("none" to start as a joiner; default: all peers)`)
+		seed     = fs.Int64("seed", 1, "random seed component")
+		loss     = fs.Float64("loss", 0, "injected packet loss probability")
+		dup      = fs.Float64("dup", 0, "injected packet duplication probability")
+		tick     = fs.Duration("tick", 2*time.Millisecond, "node timer period")
+		jitter   = fs.Duration("jitter", time.Millisecond, "node timer jitter bound")
+		capacity = fs.Int("capacity", 256, "bounded link/queue capacity")
+		maxN     = fs.Int("maxn", 16, "system bound N (failure detector sizing)")
+		opTO     = fs.Duration("op-timeout", 30*time.Second, "write/sync-read completion deadline")
+		verbose  = fs.Bool("v", false, "log transport diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	book, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+	self := ids.ID(*id)
+	if !self.Valid() {
+		return fmt.Errorf("-id is required and must be >= 1")
+	}
+	if _, ok := book[self]; !ok {
+		return fmt.Errorf("-peers has no entry for own id %v", self)
+	}
+	initial, err := parseMembers(*members, book)
+	if err != nil {
+		return err
+	}
+
+	cfg := tcp.Config{
+		Addrs: book,
+		// Decorrelate per-process randomness while keeping runs
+		// reproducible from (seed, id).
+		Seed: *seed*1_000_003 + int64(self),
+		Opts: transport.Options{
+			Capacity:   *capacity,
+			LossProb:   *loss,
+			DupProb:    *dup,
+			TickEvery:  *tick,
+			TickJitter: *jitter,
+		},
+	}
+	if *verbose {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "noded[%v] "+format+"\n", append([]any{self}, a...)...)
+		}
+	}
+	tr := tcp.New(cfg)
+	defer tr.Close()
+
+	d, err := NewDaemon(tr, self, bookIDs(book), initial, *maxN, *opTO)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return fmt.Errorf("client API listen: %w", err)
+	}
+	fmt.Printf("noded: id=%v transport=%s http=%s members=%v\n",
+		self, book[self], ln.Addr(), initial)
+	srv := &http.Server{Handler: d.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("noded: id=%v shutting down (%v)\n", self, sig)
+		srv.Close()
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+// parsePeers parses "1=host:port,2=host:port" into an address book.
+func parsePeers(s string) (map[ids.ID]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-peers is required")
+	}
+	book := make(map[ids.ID]string)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id=host:port", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil || !ids.ID(n).Valid() {
+			return nil, fmt.Errorf("peer %q: bad id", part)
+		}
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, fmt.Errorf("peer %q: empty address", part)
+		}
+		if _, dup := book[ids.ID(n)]; dup {
+			return nil, fmt.Errorf("peer %q: duplicate id", part)
+		}
+		book[ids.ID(n)] = addr
+	}
+	if len(book) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return book, nil
+}
+
+// parseMembers parses the initial configuration: "" = all peers,
+// "none" = start as a joiner, otherwise a comma list of ids.
+func parseMembers(s string, book map[ids.ID]string) (ids.Set, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return bookIDs(book), nil
+	case "none":
+		return ids.Set{}, nil
+	}
+	out := ids.Set{}
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || !ids.ID(n).Valid() {
+			return ids.Set{}, fmt.Errorf("member %q: bad id", part)
+		}
+		out = out.Add(ids.ID(n))
+	}
+	return out, nil
+}
+
+func bookIDs(book map[ids.ID]string) ids.Set {
+	out := ids.Set{}
+	for id := range book {
+		out = out.Add(id)
+	}
+	return out
+}
+
+func setInts(s ids.Set) []int {
+	out := make([]int, 0, s.Size())
+	s.Each(func(id ids.ID) { out = append(out, int(id)) })
+	sort.Ints(out)
+	return out
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -26,13 +27,13 @@ func main() {
 	ticks := flag.Int64("ticks", 120_000, "virtual-time budget")
 	flag.Parse()
 
-	if err := run(*scenario, *n, *seed, sim.Time(*ticks)); err != nil {
+	if err := run(os.Stdout, *scenario, *n, *seed, sim.Time(*ticks)); err != nil {
 		fmt.Fprintln(os.Stderr, "recsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scenario string, n int, seed int64, budget sim.Time) error {
+func run(w io.Writer, scenario string, n int, seed int64, budget sim.Time) error {
 	opts := core.DefaultClusterOptions(seed)
 	var (
 		c   *core.Cluster
@@ -49,7 +50,7 @@ func run(scenario string, n int, seed int64, budget sim.Time) error {
 
 	report := func(phase string) {
 		cfg, ok := c.ConvergedConfig()
-		fmt.Printf("t=%-8d %-22s converged=%-5v config=%v alive=%v\n",
+		fmt.Fprintf(w, "t=%-8d %-22s converged=%-5v config=%v alive=%v\n",
 			c.Sched.Now(), phase, ok, cfg, c.Alive())
 	}
 
@@ -57,20 +58,20 @@ func run(scenario string, n int, seed int64, budget sim.Time) error {
 	switch scenario {
 	case "bootstrap", "coldstart":
 		d, ok := c.RunUntilConverged(budget)
-		fmt.Printf("t=%-8d convergence after %d ticks (ok=%v)\n", c.Sched.Now(), d, ok)
+		fmt.Fprintf(w, "t=%-8d convergence after %d ticks (ok=%v)\n", c.Sched.Now(), d, ok)
 	case "corrupt":
 		c.RunFor(800)
 		report("pre-fault")
-		fmt.Println("--- injecting transient fault: all layers randomized, stale packets ---")
+		fmt.Fprintln(w, "--- injecting transient fault: all layers randomized, stale packets ---")
 		d, ok := workload.MeasureConvergence(c, 4*n, budget)
-		fmt.Printf("t=%-8d recovered after %d ticks (ok=%v)\n", c.Sched.Now(), d, ok)
+		fmt.Fprintf(w, "t=%-8d recovered after %d ticks (ok=%v)\n", c.Sched.Now(), d, ok)
 	case "crash":
 		c.RunFor(800)
 		report("pre-crash")
 		for i := n; i > n/2; i-- {
 			c.Crash(ids.ID(i))
 		}
-		fmt.Printf("--- crashed processors %d..%d (majority of the configuration) ---\n", n/2+1, n)
+		fmt.Fprintf(w, "--- crashed processors %d..%d (majority of the configuration) ---\n", n/2+1, n)
 		start := c.Sched.Now()
 		ok := c.Sched.RunWhile(func() bool {
 			cfg, conv := c.ConvergedConfig()
@@ -81,7 +82,7 @@ func run(scenario string, n int, seed int64, budget sim.Time) error {
 			// live majority again.
 			return cfg.Intersect(c.Alive()).Size() < cfg.MajoritySize()
 		}, 20_000_000)
-		fmt.Printf("t=%-8d reconfigured after %d ticks (ok=%v)\n",
+		fmt.Fprintf(w, "t=%-8d reconfigured after %d ticks (ok=%v)\n",
 			c.Sched.Now(), c.Sched.Now()-start, ok)
 	case "join":
 		c.RunFor(800)
@@ -91,7 +92,7 @@ func run(scenario string, n int, seed int64, budget sim.Time) error {
 			return err
 		}
 		ok := c.Sched.RunWhile(func() bool { return !j.IsParticipant() }, 10_000_000)
-		fmt.Printf("t=%-8d joiner p%d participant=%v\n", c.Sched.Now(), n+10, ok)
+		fmt.Fprintf(w, "t=%-8d joiner p%d participant=%v\n", c.Sched.Now(), n+10, ok)
 	case "churn":
 		churn := workload.NewChurn(c, workload.ChurnOptions{
 			Interval: 2000, Joins: true, Crashes: true, MinAlive: 3, MaxEvents: 8,
@@ -99,16 +100,16 @@ func run(scenario string, n int, seed int64, budget sim.Time) error {
 		churn.Start()
 		c.RunFor(budget)
 		churn.Stop()
-		fmt.Printf("churn executed: joined=%v crashed=%v\n", churn.Joined, churn.Crashed)
+		fmt.Fprintf(w, "churn executed: joined=%v crashed=%v\n", churn.Joined, churn.Crashed)
 	default:
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
 	report("end")
 
-	fmt.Println("--- per-node metrics ---")
+	fmt.Fprintln(w, "--- per-node metrics ---")
 	c.EachAlive(func(node *core.Node) {
 		m := node.SA.Metrics()
-		fmt.Printf("%-4v resets=%-3d bruteInstalls=%-3d delicateInstalls=%-3d transitions=%-4d adoptions=%-4d\n",
+		fmt.Fprintf(w, "%-4v resets=%-3d bruteInstalls=%-3d delicateInstalls=%-3d transitions=%-4d adoptions=%-4d\n",
 			node.Self(), m.Resets, m.BruteInstalls, m.DelicateInstalls, m.PhaseTransitions, m.Adoptions)
 	})
 	return nil

@@ -7,8 +7,10 @@
 // virtually synchronous state machine replication, and an MWMR shared
 // memory emulation.
 //
-// The implementation lives under internal/ (see DESIGN.md for the map);
-// runnable demonstrations are under examples/, and the benchmark suite in
-// bench_test.go regenerates the experiment tables recorded in
+// The implementation lives under internal/ (see README.md for the
+// quickstart and DESIGN.md for the map); runnable demonstrations are
+// under examples/, cmd/noded runs the stack as real networked processes
+// over the transport subsystem (DESIGN.md §8), and the benchmark suite
+// in bench_test.go regenerates the experiment tables recorded in
 // EXPERIMENTS.md.
 package repro

@@ -1,0 +1,60 @@
+package ids
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Set has no exported fields (its member slice is immutable by contract),
+// so the transport wire codec serializes it through the standard binary
+// marshaling interfaces: a uvarint member count followed by varint deltas
+// between consecutive members. Delta coding keeps dense identifier ranges
+// — the common case for configurations — to about one byte per member.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s Set) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 1+2*len(s.members))
+	buf = binary.AppendUvarint(buf, uint64(len(s.members)))
+	prev := ID(0)
+	for _, m := range s.members {
+		buf = binary.AppendUvarint(buf, uint64(m-prev))
+		prev = m
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The wire may
+// carry adversarial bytes (the transport backends inject faults), so the
+// decoder validates strict ascension and bounds instead of trusting the
+// producer; any violation yields an error, never a malformed Set.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return fmt.Errorf("ids: truncated set header")
+	}
+	data = data[k:]
+	const maxMembers = 1 << 20 // sanity bound against corrupted counts
+	if n > maxMembers {
+		return fmt.Errorf("ids: set size %d exceeds bound", n)
+	}
+	members := make([]ID, 0, n)
+	prev := ID(0)
+	for i := uint64(0); i < n; i++ {
+		d, k := binary.Uvarint(data)
+		if k <= 0 {
+			return fmt.Errorf("ids: truncated set member %d", i)
+		}
+		data = data[k:]
+		id := prev + ID(d)
+		if id <= prev || !id.Valid() {
+			return fmt.Errorf("ids: non-ascending or invalid member %v", id)
+		}
+		members = append(members, id)
+		prev = id
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("ids: %d trailing bytes after set", len(data))
+	}
+	s.members = members
+	return nil
+}

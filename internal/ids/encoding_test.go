@@ -1,0 +1,68 @@
+package ids
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestSetBinaryRoundTrip(t *testing.T) {
+	cases := []Set{
+		{},
+		NewSet(1),
+		NewSet(1, 2, 3, 4, 5),
+		NewSet(7, 1000, 3, 99999),
+		Range(1, 64),
+	}
+	for _, in := range cases {
+		data, err := in.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", in, err)
+		}
+		var out Set
+		if err := out.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", in, err)
+		}
+		if !in.Equal(out) {
+			t.Fatalf("round trip %v -> %v", in, out)
+		}
+	}
+}
+
+func TestSetUnmarshalRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":         {},
+		"truncated":     {5, 1, 1},
+		"zero delta":    {2, 1, 0},
+		"huge count":    {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		"trailing junk": {1, 1, 9, 9},
+	}
+	for name, data := range cases {
+		var s Set
+		if err := s.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: garbage accepted as %v", name, s)
+		}
+	}
+}
+
+// TestSetGobRoundTrip exercises the path the TCP wire codec uses: gob
+// picks up the BinaryMarshaler implementation, including for sets nested
+// inside structs.
+func TestSetGobRoundTrip(t *testing.T) {
+	type carrier struct {
+		A Set
+		B Set
+	}
+	in := carrier{A: NewSet(2, 4, 6), B: Set{}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	var out carrier
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !in.A.Equal(out.A) || !in.B.Equal(out.B) {
+		t.Fatalf("gob round trip: %v != %v", in, out)
+	}
+}

@@ -19,17 +19,19 @@ import (
 	"repro/internal/vs"
 )
 
-// writeCmd stores Value into register Name; Writer/Seq identify the write
-// for completion tracking.
-type writeCmd struct {
+// WriteCmd stores Value into register Name; Writer/Seq identify the write
+// for completion tracking. The command types are exported because they
+// travel between processes inside vs rounds (transport/wire registers
+// them with the codec).
+type WriteCmd struct {
 	Name   string
 	Value  string
 	Writer ids.ID
 	Seq    uint64
 }
 
-// markerCmd is the no-op flushed by synchronous reads.
-type markerCmd struct {
+// MarkerCmd is the no-op flushed by synchronous reads.
+type MarkerCmd struct {
 	Reader ids.ID
 	Seq    uint64
 }
@@ -42,7 +44,7 @@ func (regMachine) Init() any { return map[string]string{} }
 
 func (regMachine) Apply(state any, cmd any) any {
 	m, _ := state.(map[string]string)
-	c, ok := cmd.(writeCmd)
+	c, ok := cmd.(WriteCmd)
 	if !ok {
 		return state // markers and garbage leave the state untouched
 	}
@@ -100,13 +102,17 @@ func New(self ids.ID, eval vs.EvalConf) *SharedMemory {
 // VS exposes the underlying virtual-synchrony manager.
 func (s *SharedMemory) VS() *vs.Manager { return s.mgr }
 
+// SMR exposes the underlying replicated state machine (cmd/noded's
+// propose endpoint submits raw commands through it).
+func (s *SharedMemory) SMR() *smr.Replica { return s.rep }
+
 // Write stores value into the named register. The handle completes once
 // the write has been delivered in a multicast round (and is thus visible
 // to every view member).
 func (s *SharedMemory) Write(name, value string) *Handle {
 	s.nextSeq++
 	h := &Handle{}
-	cmd := writeCmd{Name: name, Value: value, Writer: s.self, Seq: s.nextSeq}
+	cmd := WriteCmd{Name: name, Value: value, Writer: s.self, Seq: s.nextSeq}
 	if !s.rep.Submit(cmd) {
 		return h // stays un-done; caller retries
 	}
@@ -129,7 +135,7 @@ func (s *SharedMemory) Read(name string) (string, bool) {
 func (s *SharedMemory) SyncRead(name string) *Handle {
 	s.nextSeq++
 	h := &Handle{}
-	if !s.rep.Submit(markerCmd{Reader: s.self, Seq: s.nextSeq}) {
+	if !s.rep.Submit(MarkerCmd{Reader: s.self, Seq: s.nextSeq}) {
 		return h
 	}
 	s.reads[s.nextSeq] = h
@@ -154,14 +160,14 @@ func (s *SharedMemory) Deliver(r vs.Round) {
 	s.rep.Deliver(r)
 	for _, in := range r.Inputs {
 		switch c := in.(type) {
-		case writeCmd:
+		case WriteCmd:
 			if c.Writer == s.self {
 				if h, ok := s.writes[c.Seq]; ok {
 					h.done = true
 					delete(s.writes, c.Seq)
 				}
 			}
-		case markerCmd:
+		case MarkerCmd:
 			if c.Reader == s.self {
 				if h, ok := s.reads[c.Seq]; ok {
 					name := s.pendingReadName[c.Seq]

@@ -1,244 +1,28 @@
-// Package runtime is the live counterpart of internal/netsim: it drives
-// the same protocol step machines with real goroutines and channels — one
-// goroutine per node, bounded channels as the lossy links, wall-clock
-// tickers as the unknown-rate timers of the asynchronous model. The
-// runnable examples use it; tests and benchmarks prefer the deterministic
-// simulator.
-//
-// Concurrency discipline: each node's handler is invoked only from that
-// node's own goroutine (ticks, deliveries and Inspect closures are all
-// funneled through one channel), so the step machines need no locks.
-// Cross-node sends are non-blocking — a full inbox drops the packet, which
-// is exactly the bounded-capacity link of the paper's model.
+// Package runtime is the historical name of the live in-process backend;
+// it is now a thin compatibility layer over transport/inproc, which
+// implements the same one-goroutine-per-node discipline behind the
+// pluggable transport.Transport interface. New code should use
+// repro/internal/transport/inproc (or transport/tcp for multi-process
+// deployments) directly.
 package runtime
 
 import (
-	"fmt"
-	"math/rand"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"repro/internal/ids"
-	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/transport/inproc"
 )
 
-// Options configures the live network.
-type Options struct {
-	// Capacity bounds each node's inbox (the link capacity analogue).
-	Capacity int
-	// MinDelay/MaxDelay bound artificial delivery latency.
-	MinDelay, MaxDelay time.Duration
-	// LossProb drops packets at send time.
-	LossProb float64
-	// TickEvery is the node timer period (jittered ±25%).
-	TickEvery time.Duration
-}
+// Options is the unified transport fault/timing configuration. Compared
+// to the pre-transport runtime options it gains DupProb and TickJitter,
+// closing the fault-model gap with the simulator.
+type Options = transport.Options
 
 // DefaultOptions returns a mildly adversarial live configuration.
-func DefaultOptions() Options {
-	return Options{
-		Capacity:  256,
-		MinDelay:  200 * time.Microsecond,
-		MaxDelay:  2 * time.Millisecond,
-		LossProb:  0.05,
-		TickEvery: 2 * time.Millisecond,
-	}
-}
+func DefaultOptions() Options { return transport.LiveDefaults() }
 
-type inboxItem struct {
-	from    ids.ID
-	payload any
-	ctl     func() // control closure (Inspect); nil for packets
-}
+// Live is the goroutine-per-node transport (now inproc.Net).
+type Live = inproc.Net
 
-type liveNode struct {
-	id      ids.ID
-	handler netsim.Handler
-	inbox   chan inboxItem
-	done    chan struct{}
-}
-
-// Live is a goroutine-per-node transport implementing core.Transport.
-type Live struct {
-	opts Options
-
-	mu     sync.RWMutex
-	nodes  map[ids.ID]*liveNode
-	closed bool
-
-	seed    int64
-	rngSeq  atomic.Int64
-	wg      sync.WaitGroup
-	dropped atomic.Uint64
-}
-
-// New creates a live network. seed derives the per-node random sources so
-// runs are loosely reproducible (scheduling is still up to the Go runtime).
-func New(seed int64, opts Options) *Live {
-	if opts.Capacity <= 0 {
-		opts.Capacity = 256
-	}
-	if opts.TickEvery <= 0 {
-		opts.TickEvery = 2 * time.Millisecond
-	}
-	if opts.MaxDelay < opts.MinDelay {
-		opts.MaxDelay = opts.MinDelay
-	}
-	return &Live{opts: opts, seed: seed, nodes: make(map[ids.ID]*liveNode)}
-}
-
-// Rand implements core.Transport: a fresh, independently seeded source per
-// call, so no source is shared across goroutines.
-func (l *Live) Rand() *rand.Rand {
-	return rand.New(rand.NewSource(l.seed + l.rngSeq.Add(1)*7919))
-}
-
-// Dropped returns the number of packets dropped by full inboxes or loss.
-func (l *Live) Dropped() uint64 { return l.dropped.Load() }
-
-// AddNode implements core.Transport: register the handler and start its
-// goroutine.
-func (l *Live) AddNode(id ids.ID, h netsim.Handler) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return fmt.Errorf("runtime: network closed")
-	}
-	if _, ok := l.nodes[id]; ok {
-		return fmt.Errorf("runtime: node %v already registered", id)
-	}
-	n := &liveNode{
-		id:      id,
-		handler: h,
-		inbox:   make(chan inboxItem, l.opts.Capacity),
-		done:    make(chan struct{}),
-	}
-	l.nodes[id] = n
-	l.wg.Add(1)
-	go l.run(n)
-	return nil
-}
-
-func (l *Live) run(n *liveNode) {
-	defer l.wg.Done()
-	rng := l.Rand()
-	jitter := func() time.Duration {
-		q := int64(l.opts.TickEvery / 4)
-		if q <= 0 {
-			return l.opts.TickEvery
-		}
-		return l.opts.TickEvery + time.Duration(rng.Int63n(2*q)-q)
-	}
-	timer := time.NewTimer(jitter())
-	defer timer.Stop()
-	for {
-		select {
-		case <-n.done:
-			return
-		case item := <-n.inbox:
-			if item.ctl != nil {
-				item.ctl()
-			} else {
-				n.handler.Receive(item.from, item.payload)
-			}
-		case <-timer.C:
-			n.handler.Tick()
-			timer.Reset(jitter())
-		}
-	}
-}
-
-// Send implements core.Transport. It never blocks: loss, full inboxes and
-// unknown destinations silently drop, as the bounded-link model allows.
-func (l *Live) Send(from, to ids.ID, payload any) {
-	l.mu.RLock()
-	dst, ok := l.nodes[to]
-	closed := l.closed
-	l.mu.RUnlock()
-	if !ok || closed {
-		l.dropped.Add(1)
-		return
-	}
-	// Loss and delay come from a cheap thread-local-ish source; crypto
-	// quality is irrelevant here.
-	r := rand.Int63() //nolint:gosec
-	if l.opts.LossProb > 0 && float64(r%1000)/1000 < l.opts.LossProb {
-		l.dropped.Add(1)
-		return
-	}
-	deliver := func() {
-		select {
-		case dst.inbox <- inboxItem{from: from, payload: payload}:
-		default:
-			l.dropped.Add(1) // bounded link: overflow is omission
-		}
-	}
-	span := l.opts.MaxDelay - l.opts.MinDelay
-	delay := l.opts.MinDelay
-	if span > 0 {
-		delay += time.Duration(r % int64(span))
-	}
-	if delay <= 0 {
-		deliver()
-		return
-	}
-	time.AfterFunc(delay, deliver)
-}
-
-// Inspect runs fn inside the node's goroutine and waits for it — the only
-// safe way to read node state from outside.
-func (l *Live) Inspect(id ids.ID, fn func()) bool {
-	l.mu.RLock()
-	n, ok := l.nodes[id]
-	l.mu.RUnlock()
-	if !ok {
-		return false
-	}
-	done := make(chan struct{})
-	select {
-	case n.inbox <- inboxItem{ctl: func() { fn(); close(done) }}:
-	case <-n.done:
-		return false
-	}
-	select {
-	case <-done:
-		return true
-	case <-n.done:
-		return false
-	}
-}
-
-// Crash stop-fails a node: its goroutine exits and its inbox drains to
-// nowhere.
-func (l *Live) Crash(id ids.ID) {
-	l.mu.Lock()
-	n, ok := l.nodes[id]
-	if ok {
-		delete(l.nodes, id)
-	}
-	l.mu.Unlock()
-	if ok {
-		close(n.done)
-	}
-}
-
-// Close stops every node and waits for their goroutines.
-func (l *Live) Close() {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return
-	}
-	l.closed = true
-	nodes := make([]*liveNode, 0, len(l.nodes))
-	for _, n := range l.nodes {
-		nodes = append(nodes, n)
-	}
-	l.nodes = make(map[ids.ID]*liveNode)
-	l.mu.Unlock()
-	for _, n := range nodes {
-		close(n.done)
-	}
-	l.wg.Wait()
-}
+// New creates a live network. seed derives the per-node random sources
+// so runs are loosely reproducible (scheduling is still up to the Go
+// runtime).
+func New(seed int64, opts Options) *Live { return inproc.New(seed, opts) }

@@ -1,0 +1,280 @@
+// Package conformance is the shared behavioral test suite every
+// transport backend must pass: registration and tick semantics, lossless
+// and fully-lossy delivery, duplication injection, crash stop-failure,
+// Inspect serialization, Close idempotence, and — the money test — a
+// full reconfiguration-stack cluster converging on the backend.
+//
+// Backends invoke Run from their own test files, so `go test ./...`
+// exercises the suite against simnet, inproc and tcp in one sweep (the
+// CI -race run covers the live backends' concurrency).
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/recsa"
+	"repro/internal/transport"
+)
+
+// Backend describes one transport implementation under test.
+type Backend struct {
+	// Name labels the subtests.
+	Name string
+	// New builds a fresh transport able to host any of the given node
+	// identifiers. The suite closes it.
+	New func(t *testing.T, seed int64, opts transport.Options, universe ids.Set) Harness
+}
+
+// Harness couples a transport with the way model time advances on it:
+// virtual (the test pumps a scheduler) or real (the test sleeps).
+type Harness struct {
+	Net transport.Transport
+	// Settle lets the medium make roughly d of model-time progress.
+	Settle func(d time.Duration)
+}
+
+// handler counts events; its fields are only touched from the node's
+// execution context (writes by the backend, reads via Inspect).
+type handler struct {
+	ticks    int
+	received int
+	lastFrom ids.ID
+	lastPay  any
+}
+
+func (h *handler) Receive(from ids.ID, payload any) {
+	h.received++
+	h.lastFrom = from
+	h.lastPay = payload
+}
+
+func (h *handler) Tick() { h.ticks++ }
+
+// quietOpts is a fault-free configuration for exact-delivery assertions.
+func quietOpts() transport.Options {
+	return transport.Options{
+		Capacity:  64,
+		MinDelay:  0,
+		MaxDelay:  2 * time.Millisecond,
+		TickEvery: time.Millisecond,
+	}
+}
+
+// await polls cond (outside any node context) every settle step until it
+// holds or the model-time budget runs out.
+func await(h Harness, budget time.Duration, cond func() bool) bool {
+	step := 20 * time.Millisecond
+	for spent := time.Duration(0); spent < budget; spent += step {
+		if cond() {
+			return true
+		}
+		h.Settle(step)
+	}
+	return cond()
+}
+
+// inspected reads a value from inside the node's execution context.
+func inspected[T any](t *testing.T, h Harness, id ids.ID, read func() T) T {
+	t.Helper()
+	var out T
+	if !h.Net.Inspect(id, func() { out = read() }) {
+		t.Fatalf("Inspect(%v) failed", id)
+	}
+	return out
+}
+
+// Run executes the conformance suite against the backend.
+func Run(t *testing.T, b Backend) {
+	universe := ids.Range(1, 8)
+
+	t.Run("TicksAndRegistration", func(t *testing.T) {
+		h := b.New(t, 1, quietOpts(), universe)
+		defer h.Net.Close()
+		ha := &handler{}
+		if err := h.Net.AddNode(1, ha); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.AddNode(1, &handler{}); err == nil {
+			t.Fatal("duplicate AddNode accepted")
+		}
+		if !await(h, 5*time.Second, func() bool {
+			return inspected(t, h, 1, func() int { return ha.ticks }) >= 5
+		}) {
+			t.Fatal("node never ticked")
+		}
+		if !h.Net.Alive().Contains(1) {
+			t.Fatal("registered node not alive")
+		}
+	})
+
+	t.Run("LosslessDelivery", func(t *testing.T) {
+		h := b.New(t, 2, quietOpts(), universe)
+		defer h.Net.Close()
+		src, dst := &handler{}, &handler{}
+		if err := h.Net.AddNode(1, src); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.AddNode(2, dst); err != nil {
+			t.Fatal(err)
+		}
+		const k = 20
+		for i := 0; i < k; i++ {
+			h.Net.Send(1, 2, i)
+		}
+		if !await(h, 10*time.Second, func() bool {
+			return inspected(t, h, 2, func() int { return dst.received }) == k
+		}) {
+			got := inspected(t, h, 2, func() int { return dst.received })
+			t.Fatalf("delivered %d/%d", got, k)
+		}
+		// No spurious duplication without DupProb.
+		h.Settle(100 * time.Millisecond)
+		if got := inspected(t, h, 2, func() int { return dst.received }); got != k {
+			t.Fatalf("delivered %d after settling, want exactly %d", got, k)
+		}
+		from := inspected(t, h, 2, func() ids.ID { return dst.lastFrom })
+		if from != 1 {
+			t.Fatalf("sender identity %v, want p1", from)
+		}
+	})
+
+	t.Run("TotalLossDeliversNothing", func(t *testing.T) {
+		opts := quietOpts()
+		opts.LossProb = 1
+		h := b.New(t, 3, opts, universe)
+		defer h.Net.Close()
+		dst := &handler{}
+		if err := h.Net.AddNode(1, &handler{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.AddNode(2, dst); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			h.Net.Send(1, 2, i)
+		}
+		h.Settle(200 * time.Millisecond)
+		if got := inspected(t, h, 2, func() int { return dst.received }); got != 0 {
+			t.Fatalf("full loss delivered %d packets", got)
+		}
+	})
+
+	t.Run("DuplicationInjection", func(t *testing.T) {
+		opts := quietOpts()
+		opts.DupProb = 1
+		h := b.New(t, 4, opts, universe)
+		defer h.Net.Close()
+		dst := &handler{}
+		if err := h.Net.AddNode(1, &handler{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.AddNode(2, dst); err != nil {
+			t.Fatal(err)
+		}
+		h.Net.Send(1, 2, "once")
+		if !await(h, 5*time.Second, func() bool {
+			return inspected(t, h, 2, func() int { return dst.received }) >= 2
+		}) {
+			got := inspected(t, h, 2, func() int { return dst.received })
+			t.Fatalf("DupProb=1 delivered %d copies, want >= 2", got)
+		}
+	})
+
+	t.Run("CrashStopsNode", func(t *testing.T) {
+		h := b.New(t, 5, quietOpts(), universe)
+		defer h.Net.Close()
+		victim := &handler{}
+		if err := h.Net.AddNode(1, &handler{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.AddNode(2, victim); err != nil {
+			t.Fatal(err)
+		}
+		if !await(h, 5*time.Second, func() bool {
+			return inspected(t, h, 2, func() int { return victim.ticks }) > 0
+		}) {
+			t.Fatal("victim never ticked")
+		}
+		h.Net.Crash(2)
+		if h.Net.Alive().Contains(2) {
+			t.Fatal("crashed node still alive")
+		}
+		if h.Net.Inspect(2, func() {}) {
+			t.Fatal("Inspect of crashed node succeeded")
+		}
+		// Unknown/crashed destinations drop silently.
+		h.Net.Send(1, 2, "into the void")
+		h.Net.Send(1, 99, "into the void")
+		h.Settle(50 * time.Millisecond)
+	})
+
+	t.Run("CloseIdempotent", func(t *testing.T) {
+		h := b.New(t, 6, quietOpts(), universe)
+		if err := h.Net.AddNode(1, &handler{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.AddNode(3, &handler{}); err == nil {
+			t.Fatal("AddNode after Close accepted")
+		}
+	})
+
+	t.Run("FullStackConvergence", func(t *testing.T) {
+		// A 3-node reconfiguration stack bootstraps to an agreed
+		// configuration under mild faults — the subsystem's reason to
+		// exist, demonstrated per backend.
+		opts := transport.Options{
+			Capacity:   32,
+			MinDelay:   0,
+			MaxDelay:   2 * time.Millisecond,
+			LossProb:   0.05,
+			DupProb:    0.02,
+			TickEvery:  time.Millisecond,
+			TickJitter: time.Millisecond,
+		}
+		h := b.New(t, 7, opts, universe)
+		defer h.Net.Close()
+		all := ids.Range(1, 3)
+		nodes := make(map[ids.ID]*core.Node)
+		for i := ids.ID(1); i <= 3; i++ {
+			n, err := core.NewNode(h.Net, core.Params{
+				Self: i, N: 16, Initial: recsa.ConfigOf(all),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = n
+		}
+		for i := ids.ID(1); i <= 3; i++ {
+			if !h.Net.Inspect(i, func() {
+				nodes[i].ConnectAll(all.Remove(i))
+				nodes[i].Detector.Bootstrap(all.Remove(i))
+			}) {
+				t.Fatalf("wiring node %v failed", i)
+			}
+		}
+		converged := func() bool {
+			for i := ids.ID(1); i <= 3; i++ {
+				ok := inspected(t, h, i, func() bool {
+					q, has := nodes[i].Quorum()
+					return has && q.Equal(all) && nodes[i].NoReco()
+				})
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if !await(h, 60*time.Second, converged) {
+			t.Fatal("full stack never converged on this backend")
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// SimTick is the wall-clock duration one virtual tick of the simulator
+// stands for when converting between the unified Options (durations) and
+// netsim.Options (virtual ticks).
+const SimTick = time.Millisecond
+
+// Options is the backend-independent fault and timing configuration — one
+// adversary description that simulated and live runs share, so the fault
+// model injected into a netsim experiment is the same one a live cluster
+// faces. Durations are wall-clock; the simnet backend maps them to
+// virtual ticks at SimTick per tick.
+type Options struct {
+	// Capacity bounds in-flight packets per directed link (simnet) or
+	// the per-node inbox and per-peer send queue (inproc, tcp). Sends
+	// beyond the bound are dropped — the paper's bounded-capacity link.
+	Capacity int
+	// MinDelay/MaxDelay bound artificial per-packet delivery latency;
+	// independent draws produce reordering. The tcp backend adds no
+	// artificial delay on top of the real network unless MaxDelay > 0.
+	MinDelay, MaxDelay time.Duration
+	// LossProb is the probability a packet is silently dropped at send.
+	LossProb float64
+	// DupProb is the probability a delivered packet is delivered twice.
+	DupProb float64
+	// TickEvery is the node timer period; each firing is delayed by an
+	// independent jitter drawn from [0, TickJitter] (timer rates are
+	// unknown in the asynchronous model).
+	TickEvery, TickJitter time.Duration
+}
+
+// DefaultOptions mirrors netsim.DefaultOptions at SimTick scale: the
+// moderately adversarial configuration (10% loss, 5% duplication, link
+// capacity 8, overlapping delays) used throughout the tests.
+func DefaultOptions() Options { return FromNetsim(netsim.DefaultOptions()) }
+
+// LiveDefaults is a gentler configuration for long-lived live clusters:
+// roomier queues and lower loss, with the duplication and jitter knobs
+// still on so the live adversary stays a superset of a real network.
+func LiveDefaults() Options {
+	return Options{
+		Capacity:   256,
+		MinDelay:   200 * time.Microsecond,
+		MaxDelay:   2 * time.Millisecond,
+		LossProb:   0.05,
+		DupProb:    0.02,
+		TickEvery:  2 * time.Millisecond,
+		TickJitter: time.Millisecond,
+	}
+}
+
+// Netsim converts the unified configuration to the simulator's
+// virtual-tick units (rounding delays up so sub-tick durations stay
+// nonzero where they were nonzero).
+func (o Options) Netsim() netsim.Options {
+	return netsim.Options{
+		Capacity:   o.Capacity,
+		MinDelay:   toTicks(o.MinDelay),
+		MaxDelay:   toTicks(o.MaxDelay),
+		LossProb:   o.LossProb,
+		DupProb:    o.DupProb,
+		TickEvery:  toTicks(o.TickEvery),
+		TickJitter: toTicks(o.TickJitter),
+	}
+}
+
+// FromNetsim lifts a simulator configuration to the unified form.
+func FromNetsim(o netsim.Options) Options {
+	return Options{
+		Capacity:   o.Capacity,
+		MinDelay:   time.Duration(o.MinDelay) * SimTick,
+		MaxDelay:   time.Duration(o.MaxDelay) * SimTick,
+		LossProb:   o.LossProb,
+		DupProb:    o.DupProb,
+		TickEvery:  time.Duration(o.TickEvery) * SimTick,
+		TickJitter: time.Duration(o.TickJitter) * SimTick,
+	}
+}
+
+func toTicks(d time.Duration) sim.Time {
+	if d <= 0 {
+		return 0
+	}
+	return sim.Time((d + SimTick - 1) / SimTick)
+}

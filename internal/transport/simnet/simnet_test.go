@@ -1,0 +1,53 @@
+package simnet_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+	"repro/internal/transport/simnet"
+)
+
+func TestConformance(t *testing.T) {
+	conformance.Run(t, conformance.Backend{
+		Name: "simnet",
+		New: func(t *testing.T, seed int64, opts transport.Options, _ ids.Set) conformance.Harness {
+			n := simnet.New(seed, opts)
+			return conformance.Harness{Net: n, Settle: n.RunFor}
+		},
+	})
+}
+
+// TestDeterminism: two same-seeded simnet transports execute identical
+// event sequences — the property the experiment suite depends on.
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		n := simnet.New(42, transport.DefaultOptions())
+		defer n.Close()
+		h1, h2 := &nopHandler{}, &nopHandler{}
+		if err := n.AddNode(1, h1); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddNode(2, h2); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			n.Send(1, 2, i)
+			n.RunFor(10 * time.Millisecond)
+		}
+		st := n.Network().Stats()
+		return st.Delivered, st.DroppedBy.Loss
+	}
+	d1, l1 := run()
+	d2, l2 := run()
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("same seed diverged: delivered %d/%d, lost %d/%d", d1, d2, l1, l2)
+	}
+}
+
+type nopHandler struct{}
+
+func (nopHandler) Receive(ids.ID, any) {}
+func (nopHandler) Tick()               {}

@@ -1,0 +1,563 @@
+// Package tcp is the multi-process backend of the transport subsystem:
+// nodes run in separate OS processes and exchange the stack's messages
+// over TCP using the versioned length-prefixed codec of transport/wire.
+// cmd/noded builds on it.
+//
+// Topology: every node listens on its address from the cluster address
+// book (Config.Addrs); for each destination the transport maintains one
+// outbound connection, dialed lazily and redialed with backoff after a
+// failure. Sends never block: while a destination is unreachable (or
+// its send queue is full) packets are dropped, which is exactly the
+// omission behavior of the paper's bounded-capacity lossy links — the
+// data-link layer's retransmission makes the link fair again once the
+// destination returns.
+//
+// Fault injection: the same transport.Options adversary as the other
+// backends (probabilistic loss and duplication, optional artificial
+// delay) is applied at send time, so a live cluster can be driven under
+// the exact fault model of the simulated experiments.
+//
+// Concurrency discipline matches transport/inproc: one goroutine per
+// local node owns its handler; deliveries, ticks and Inspect closures
+// are funneled through the node's inbox channel.
+package tcp
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// Config describes a node's place in the cluster.
+type Config struct {
+	// Addrs is the cluster address book: node id → "host:port". A node
+	// may listen on a ":0" address; the resolved port is visible via
+	// Addr. Destinations missing from the book are unreachable (sends
+	// to them are dropped).
+	Addrs map[ids.ID]string
+	// Seed derives the per-node random sources and fault draws.
+	Seed int64
+	// Opts is the unified fault/timing configuration. Artificial
+	// MinDelay/MaxDelay are only applied when MaxDelay > 0; the real
+	// network already supplies delay and reordering.
+	Opts transport.Options
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RedialBackoff is the initial pause after a failed dial, doubling
+	// up to 16x (default 50ms).
+	RedialBackoff time.Duration
+	// WriteTimeout bounds one frame write (default 2s).
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 50 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.Opts.Capacity <= 0 {
+		c.Opts.Capacity = 256
+	}
+	if c.Opts.TickEvery <= 0 {
+		c.Opts.TickEvery = 2 * time.Millisecond
+	}
+	if c.Opts.MaxDelay < c.Opts.MinDelay {
+		c.Opts.MaxDelay = c.Opts.MinDelay
+	}
+}
+
+// Stats aggregates transport-level counters.
+type Stats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64 // loss, full queues, unreachable destinations
+	Duplicated uint64
+	Redials    uint64
+	DecodeErrs uint64
+}
+
+type inboxItem struct {
+	from    ids.ID
+	payload any
+	ctl     func()
+}
+
+type node struct {
+	id       ids.ID
+	handler  transport.Handler
+	inbox    chan inboxItem
+	done     chan struct{}
+	listener net.Listener
+}
+
+// Net is the TCP transport.
+type Net struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	local  map[ids.ID]*node
+	links  map[ids.ID]*link
+	conns  map[net.Conn]struct{} // accepted inbound connections
+	closed bool
+
+	rngMu  sync.Mutex
+	rng    *rand.Rand // fault-injection draws
+	rngSeq atomic.Int64
+
+	wg sync.WaitGroup
+
+	sent, delivered, dropped, dups, redials, decodeErrs atomic.Uint64
+}
+
+var _ transport.Transport = (*Net)(nil)
+
+// New builds a TCP transport for this process. It opens no sockets until
+// AddNode (listeners) and Send (outbound connections).
+func New(cfg Config) *Net {
+	cfg.fill()
+	return &Net{
+		cfg:   cfg,
+		local: make(map[ids.ID]*node),
+		links: make(map[ids.ID]*link),
+		conns: make(map[net.Conn]struct{}),
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ 0x7c3f)), //nolint:gosec
+	}
+}
+
+// Stats returns a snapshot of the transport counters.
+func (t *Net) Stats() Stats {
+	return Stats{
+		Sent:       t.sent.Load(),
+		Delivered:  t.delivered.Load(),
+		Dropped:    t.dropped.Load(),
+		Duplicated: t.dups.Load(),
+		Redials:    t.redials.Load(),
+		DecodeErrs: t.decodeErrs.Load(),
+	}
+}
+
+// Addr returns the resolved listen address of a local node ("" when the
+// node is not local or not yet listening).
+func (t *Net) Addr(id ids.ID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if n, ok := t.local[id]; ok {
+		return n.listener.Addr().String()
+	}
+	return ""
+}
+
+// Rand implements transport.Transport: a fresh, independently seeded
+// source per call.
+func (t *Net) Rand() *rand.Rand {
+	return rand.New(rand.NewSource(t.cfg.Seed + t.rngSeq.Add(1)*7919)) //nolint:gosec
+}
+
+// AddNode implements transport.Transport: listen on the node's address
+// book entry and start its handler goroutine.
+func (t *Net) AddNode(id ids.ID, h transport.Handler) error {
+	addr, ok := t.cfg.Addrs[id]
+	if !ok {
+		return fmt.Errorf("tcp: node %v has no address book entry", id)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("tcp: transport closed")
+	}
+	if _, dup := t.local[id]; dup {
+		return fmt.Errorf("tcp: node %v already registered", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("tcp: listen %v on %s: %w", id, addr, err)
+	}
+	n := &node{
+		id:       id,
+		handler:  h,
+		inbox:    make(chan inboxItem, t.cfg.Opts.Capacity),
+		done:     make(chan struct{}),
+		listener: ln,
+	}
+	t.local[id] = n
+	t.wg.Add(2)
+	go t.runNode(n)
+	go t.acceptLoop(n)
+	return nil
+}
+
+// runNode owns the node's handler: ticks, deliveries, Inspect closures.
+func (t *Net) runNode(n *node) {
+	defer t.wg.Done()
+	rng := t.Rand()
+	period := func() time.Duration {
+		d := t.cfg.Opts.TickEvery
+		if j := int64(t.cfg.Opts.TickJitter); j > 0 {
+			d += time.Duration(rng.Int63n(j + 1))
+		}
+		return d
+	}
+	timer := time.NewTimer(period())
+	defer timer.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case item := <-n.inbox:
+			if item.ctl != nil {
+				item.ctl()
+			} else {
+				t.delivered.Add(1)
+				n.handler.Receive(item.from, item.payload)
+			}
+		case <-timer.C:
+			n.handler.Tick()
+			timer.Reset(period())
+		}
+	}
+}
+
+// acceptLoop accepts inbound connections on the node's listener.
+func (t *Net) acceptLoop(n *node) {
+	defer t.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed (crash or transport close)
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes one inbound connection and routes messages to local
+// nodes. A decode error tears the connection down; the remote side
+// redials.
+func (t *Net) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	r, err := wire.NewReader(conn)
+	if err != nil {
+		t.decodeErrs.Add(1)
+		t.logf("tcp: %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	for {
+		msg, err := r.ReadMsg()
+		if err != nil {
+			return
+		}
+		t.mu.RLock()
+		dst, ok := t.local[msg.To]
+		t.mu.RUnlock()
+		if !ok {
+			t.dropped.Add(1)
+			continue
+		}
+		select {
+		case dst.inbox <- inboxItem{from: msg.From, payload: msg.Payload()}:
+		case <-dst.done:
+			t.dropped.Add(1)
+		default:
+			t.dropped.Add(1) // bounded inbox: overflow is omission
+		}
+	}
+}
+
+// Send implements transport.Transport. It never blocks; loss,
+// duplication and artificial delay are injected here so every backend
+// presents the same adversary.
+func (t *Net) Send(from, to ids.ID, payload any) {
+	t.sent.Add(1)
+	t.mu.RLock()
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		t.dropped.Add(1)
+		return
+	}
+	t.rngMu.Lock()
+	lost := t.cfg.Opts.LossProb > 0 && t.rng.Float64() < t.cfg.Opts.LossProb
+	dup := t.cfg.Opts.DupProb > 0 && t.rng.Float64() < t.cfg.Opts.DupProb
+	var delay time.Duration
+	if span := t.cfg.Opts.MaxDelay - t.cfg.Opts.MinDelay; t.cfg.Opts.MaxDelay > 0 && span > 0 {
+		delay = t.cfg.Opts.MinDelay + time.Duration(t.rng.Int63n(int64(span)))
+	} else if t.cfg.Opts.MaxDelay > 0 {
+		delay = t.cfg.Opts.MinDelay
+	}
+	t.rngMu.Unlock()
+	if lost {
+		t.dropped.Add(1)
+		return
+	}
+	msg := wire.NewMsg(from, to, payload)
+	t.enqueue(msg, delay)
+	if dup {
+		t.dups.Add(1)
+		t.enqueue(msg, delay)
+	}
+}
+
+func (t *Net) enqueue(msg wire.Msg, delay time.Duration) {
+	if delay > 0 {
+		time.AfterFunc(delay, func() { t.enqueue(msg, 0) })
+		return
+	}
+	l := t.link(msg.To)
+	if l == nil {
+		t.dropped.Add(1)
+		return
+	}
+	select {
+	case l.out <- msg:
+	default:
+		t.dropped.Add(1) // bounded send queue: overflow is omission
+	}
+}
+
+// link returns (creating lazily) the outbound link toward a destination,
+// or nil when the destination has no address or the transport is closed.
+func (t *Net) link(to ids.ID) *link {
+	t.mu.RLock()
+	l, ok := t.links[to]
+	closed := t.closed
+	t.mu.RUnlock()
+	if ok {
+		return l
+	}
+	if closed {
+		return nil
+	}
+	addr, have := t.cfg.Addrs[to]
+	if !have {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if l, ok := t.links[to]; ok {
+		return l
+	}
+	l = newLink(t, to, addr)
+	t.links[to] = l
+	t.wg.Add(1)
+	go l.writeLoop()
+	return l
+}
+
+// Inspect implements transport.Transport.
+func (t *Net) Inspect(id ids.ID, fn func()) bool {
+	t.mu.RLock()
+	n, ok := t.local[id]
+	t.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	done := make(chan struct{})
+	select {
+	case n.inbox <- inboxItem{ctl: func() { fn(); close(done) }}:
+	case <-n.done:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// Alive implements transport.Transport (local nodes only; remote
+// liveness is the failure detector's business).
+func (t *Net) Alive() ids.Set {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := ids.Set{}
+	for id := range t.local {
+		out = out.Add(id)
+	}
+	return out
+}
+
+// Crash implements transport.Transport: the node's listener closes, its
+// goroutine exits, and its inbox drains to nowhere.
+func (t *Net) Crash(id ids.ID) {
+	t.mu.Lock()
+	n, ok := t.local[id]
+	if ok {
+		delete(t.local, id)
+	}
+	t.mu.Unlock()
+	if ok {
+		close(n.done)
+		n.listener.Close()
+	}
+}
+
+// Close implements transport.Transport.
+func (t *Net) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	nodes := make([]*node, 0, len(t.local))
+	for _, n := range t.local {
+		nodes = append(nodes, n)
+	}
+	links := make([]*link, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
+	}
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.local = make(map[ids.ID]*node)
+	t.links = make(map[ids.ID]*link)
+	t.mu.Unlock()
+	for _, n := range nodes {
+		close(n.done)
+		n.listener.Close()
+	}
+	for _, l := range links {
+		close(l.done)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+func (t *Net) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// link is one outbound connection toward a destination, redialed with
+// backoff after failures. Frames queued while the destination is down
+// stay in the bounded out channel; overflow drops (lossy link).
+type link struct {
+	t    *Net
+	to   ids.ID
+	addr string
+	out  chan wire.Msg
+	done chan struct{}
+}
+
+func newLink(t *Net, to ids.ID, addr string) *link {
+	return &link{
+		t:    t,
+		to:   to,
+		addr: addr,
+		out:  make(chan wire.Msg, t.cfg.Opts.Capacity),
+		done: make(chan struct{}),
+	}
+}
+
+func (l *link) writeLoop() {
+	defer l.t.wg.Done()
+	var (
+		conn    net.Conn
+		w       *wire.Writer
+		backoff = l.t.cfg.RedialBackoff
+		nextTry time.Time
+	)
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		var msg wire.Msg
+		select {
+		case <-l.done:
+			return
+		case msg = <-l.out:
+		}
+		if conn == nil {
+			if time.Now().Before(nextTry) {
+				l.t.dropped.Add(1) // destination down: omission
+				continue
+			}
+			c, err := net.DialTimeout("tcp", l.addr, l.t.cfg.DialTimeout)
+			if err != nil {
+				l.t.redials.Add(1)
+				l.t.dropped.Add(1)
+				nextTry = time.Now().Add(backoff)
+				if backoff < 16*l.t.cfg.RedialBackoff {
+					backoff *= 2
+				}
+				l.t.logf("tcp: dial %v (%s): %v", l.to, l.addr, err)
+				continue
+			}
+			ww, err := wire.NewWriter(c)
+			if err != nil {
+				c.Close()
+				l.t.dropped.Add(1)
+				continue
+			}
+			conn, w = c, ww
+			backoff = l.t.cfg.RedialBackoff
+			nextTry = time.Time{}
+		}
+		conn.SetWriteDeadline(time.Now().Add(l.t.cfg.WriteTimeout))
+		if err := w.WriteMsg(msg); err != nil {
+			l.t.logf("tcp: write to %v: %v", l.to, err)
+			conn.Close()
+			conn, w = nil, nil
+			l.t.dropped.Add(1)
+			nextTry = time.Now().Add(backoff)
+		}
+	}
+}
+
+// FreeAddrs reserves one loopback address per node by briefly listening
+// on port 0 — a convenience for tests that build multi-transport
+// clusters in one process. The ports are released before returning, so
+// a racing process could in principle claim one; tests on loopback
+// accept that risk.
+func FreeAddrs(nodes ...ids.ID) (map[ids.ID]string, error) {
+	out := make(map[ids.ID]string, len(nodes))
+	for _, id := range nodes {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		out[id] = ln.Addr().String()
+		ln.Close()
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+// Package transport defines the pluggable communication substrate the
+// reconfiguration stack runs on. A Transport carries the netsim.Handler
+// protocol (Receive/Tick) between nodes; three interchangeable backends
+// implement it:
+//
+//   - transport/simnet — adapter over the deterministic discrete-event
+//     simulator (internal/netsim). Tests, benchmarks, and the experiment
+//     suite use it; whole runs are a pure function of the seed.
+//   - transport/inproc — one goroutine per node with bounded channels as
+//     lossy links and wall-clock timers. The examples and in-process
+//     deployments use it.
+//   - transport/tcp — real OS processes over TCP with length-prefixed,
+//     versioned frames (transport/wire). cmd/noded runs on it.
+//
+// All three present the same fault model (transport.Options): bounded
+// link capacity, probabilistic loss and duplication, delivery-delay
+// reordering, and jittered node timers — so an adversary configured for
+// a simulated run injects the same faults into a live one.
+//
+// The Transport interface is a superset of core.Transport: any Transport
+// can be passed directly to core.NewNode.
+package transport
+
+import (
+	"math/rand"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+)
+
+// Handler is the per-node protocol entry point driven by every backend;
+// it is an alias of netsim.Handler, the protocol's original home, so
+// existing step machines work on all backends unchanged.
+type Handler = netsim.Handler
+
+// Transport is a medium nodes attach to. Implementations must make Send
+// safe for concurrent use and must invoke a given node's handler from a
+// single execution context at a time (the step machines are lock-free).
+type Transport interface {
+	// AddNode registers a handler under id and starts its periodic
+	// (jittered) timer. It fails on duplicate registration or after
+	// Close.
+	AddNode(id ids.ID, h Handler) error
+	// Send transmits payload between nodes, subject to the backend's
+	// loss/reorder/duplication behavior. It never blocks; undeliverable
+	// packets are dropped, as the bounded-link model allows.
+	Send(from, to ids.ID, payload any)
+	// Rand returns a random source safe for use from the calling
+	// execution context.
+	Rand() *rand.Rand
+	// Crash stop-fails a node: it takes no further steps and receives
+	// nothing. Crashed nodes never rejoin (the paper models rejoining
+	// as a transient fault on a fresh identifier).
+	Crash(id ids.ID)
+	// Alive returns the identifiers of registered, non-crashed nodes
+	// this transport knows locally (for tcp, the nodes in this
+	// process).
+	Alive() ids.Set
+	// Inspect runs fn inside the node's execution context and waits for
+	// it — the only safe way to read node state from outside. It
+	// reports false for unknown or crashed nodes.
+	Inspect(id ids.ID, fn func()) bool
+	// Close stops every node and releases backend resources (sockets,
+	// goroutines). It is idempotent.
+	Close() error
+}
+
+// Conn is one node's handle on a transport: the Transport/Conn pair is
+// the subsystem's client-facing surface. A Conn pins the sender identity
+// so upper layers cannot forge a peer's origin.
+type Conn struct {
+	t    Transport
+	self ids.ID
+}
+
+// Attach registers h under id and returns the node's connection.
+func Attach(t Transport, id ids.ID, h Handler) (*Conn, error) {
+	if err := t.AddNode(id, h); err != nil {
+		return nil, err
+	}
+	return &Conn{t: t, self: id}, nil
+}
+
+// Self returns the attached node's identifier.
+func (c *Conn) Self() ids.ID { return c.self }
+
+// Transport returns the underlying medium.
+func (c *Conn) Transport() Transport { return c.t }
+
+// Send transmits payload from this node.
+func (c *Conn) Send(to ids.ID, payload any) { c.t.Send(c.self, to, payload) }
+
+// Inspect runs fn inside this node's execution context.
+func (c *Conn) Inspect(fn func()) bool { return c.t.Inspect(c.self, fn) }
+
+// Close crashes the attached node (the Conn-level close is a stop-fail;
+// closing the whole medium is the Transport's Close).
+func (c *Conn) Close() error {
+	c.t.Crash(c.self)
+	return nil
+}

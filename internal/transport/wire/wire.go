@@ -1,0 +1,272 @@
+// Package wire is the versioned codec of the TCP transport backend: the
+// message schema for everything the reconfiguration stack sends between
+// processes — recSA/recMA state broadcasts, joining requests/responses,
+// label/counter gossip and RPCs, and vs replica exchanges — framed as
+// length-prefixed gob over a persistent per-connection stream.
+//
+// Stream layout:
+//
+//	preamble: 6-byte magic "recfg\x00", 1-byte version, 1-byte reserved
+//	frames:   4-byte big-endian payload length, then payload bytes
+//
+// The frame payloads of one connection form a single continuous gob
+// stream (type definitions are transmitted once, on first use), decoded
+// into Msg values. A reader rejects mismatched magic or version at the
+// preamble and over-long frames before buffering them, so a corrupted or
+// hostile peer cannot make it allocate unboundedly.
+//
+// Schema notes. Msg/Packet/Envelope mirror datalink.Packet and
+// core.Envelope with explicit presence booleans instead of pointers: gob
+// omits zero-valued fields, so a pointer to a zero value (e.g. the
+// explicit join-denial &join.Response{}) would silently decode as nil
+// and change protocol semantics. Version bumps are required whenever the
+// schema of any transmitted type changes shape.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/datalink"
+	"repro/internal/ids"
+	"repro/internal/join"
+	"repro/internal/recma"
+	"repro/internal/recsa"
+	"repro/internal/regmem"
+	"repro/internal/smr"
+	"repro/internal/vs"
+)
+
+// Version is the wire-format version; a connection whose preamble
+// carries a different version is refused.
+const Version = 1
+
+// MaxFrame bounds a single frame's payload size.
+const MaxFrame = 4 << 20
+
+var magic = [6]byte{'r', 'e', 'c', 'f', 'g', 0}
+
+const preambleLen = len(magic) + 2 // + version + reserved
+
+func init() {
+	// Concrete types that travel inside `any` slots. Named explicitly so
+	// renaming a Go type does not silently change the wire format.
+	gob.RegisterName("repro/vs.Payload", vs.Payload{})
+	gob.RegisterName("repro/counter.Message", counter.Message{})
+	gob.RegisterName("repro/regmem.WriteCmd", regmem.WriteCmd{})
+	gob.RegisterName("repro/regmem.MarkerCmd", regmem.MarkerCmd{})
+	gob.RegisterName("repro/smr.KVCmd", smr.KVCmd{})
+	gob.RegisterName("repro/smr.BankCmd", smr.BankCmd{})
+	gob.RegisterName("repro/map.ss", map[string]string{})
+	gob.RegisterName("repro/map.si64", map[string]int64{})
+	gob.RegisterName("repro/map.idany", map[ids.ID]any{})
+	gob.RegisterName("repro/ids.Set", ids.Set{})
+	// Primitive payloads (tests and fault-injection garbage).
+	gob.Register("")
+	gob.Register(0)
+	gob.Register(false)
+}
+
+// Msg is one transport send: From/To routing plus the payload in wire
+// form.
+type Msg struct {
+	From, To ids.ID
+	// HasPkt/Pkt carry a datalink.Packet — the only payload the stack
+	// itself produces.
+	HasPkt bool
+	Pkt    Packet
+	// Raw carries any other payload (fault-injection garbage, tests).
+	Raw any
+}
+
+// Packet mirrors datalink.Packet.
+type Packet struct {
+	Kind    int
+	Session uint64
+	Seq     uint8
+	HasEnv  bool
+	Env     Envelope
+	Raw     any // non-Envelope datalink payload
+}
+
+// Envelope mirrors core.Envelope with presence flags for the pointer
+// fields.
+type Envelope struct {
+	HasSA       bool
+	SA          recsa.Message
+	HasMA       bool
+	MA          recma.Message
+	JoinReq     bool
+	HasJoinResp bool
+	JoinResp    join.Response
+	App         any
+}
+
+// NewMsg converts a transport payload into its wire form.
+func NewMsg(from, to ids.ID, payload any) Msg {
+	m := Msg{From: from, To: to}
+	pkt, ok := payload.(datalink.Packet)
+	if !ok {
+		m.Raw = payload
+		return m
+	}
+	m.HasPkt = true
+	m.Pkt = Packet{Kind: int(pkt.Kind), Session: pkt.Session, Seq: pkt.Seq}
+	env, ok := pkt.Payload.(core.Envelope)
+	if !ok {
+		m.Pkt.Raw = pkt.Payload
+		return m
+	}
+	m.Pkt.HasEnv = true
+	w := &m.Pkt.Env
+	if env.RecSA != nil {
+		w.HasSA, w.SA = true, *env.RecSA
+	}
+	if env.RecMA != nil {
+		w.HasMA, w.MA = true, *env.RecMA
+	}
+	w.JoinReq = env.JoinReq
+	if env.JoinResp != nil {
+		w.HasJoinResp, w.JoinResp = true, *env.JoinResp
+	}
+	w.App = env.App
+	return m
+}
+
+// Payload reconstructs the transport payload.
+func (m Msg) Payload() any {
+	if !m.HasPkt {
+		return m.Raw
+	}
+	pkt := datalink.Packet{
+		Kind:    datalink.Kind(m.Pkt.Kind),
+		Session: m.Pkt.Session,
+		Seq:     m.Pkt.Seq,
+	}
+	if !m.Pkt.HasEnv {
+		pkt.Payload = m.Pkt.Raw
+		return pkt
+	}
+	w := m.Pkt.Env
+	env := core.Envelope{JoinReq: w.JoinReq, App: w.App}
+	if w.HasSA {
+		sa := w.SA
+		env.RecSA = &sa
+	}
+	if w.HasMA {
+		ma := w.MA
+		env.RecMA = &ma
+	}
+	if w.HasJoinResp {
+		jr := w.JoinResp
+		env.JoinResp = &jr
+	}
+	pkt.Payload = env
+	return pkt
+}
+
+// Writer frames a gob stream onto w. Not safe for concurrent use.
+type Writer struct {
+	w   *bufio.Writer
+	buf bytes.Buffer
+	enc *gob.Encoder
+}
+
+// NewWriter writes the versioned preamble and returns a frame writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	var pre [preambleLen]byte
+	copy(pre[:], magic[:])
+	pre[len(magic)] = Version
+	if _, err := bw.Write(pre[:]); err != nil {
+		return nil, err
+	}
+	out := &Writer{w: bw}
+	out.enc = gob.NewEncoder(&out.buf)
+	return out, nil
+}
+
+// WriteMsg appends one message to the stream and flushes it.
+func (w *Writer) WriteMsg(m Msg) error {
+	w.buf.Reset()
+	if err := w.enc.Encode(m); err != nil {
+		return fmt.Errorf("wire: encode: %w", err)
+	}
+	if w.buf.Len() > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", w.buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(w.buf.Len()))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.buf.Bytes()); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader validates the preamble and decodes framed messages.
+type Reader struct {
+	fr  *frameReader
+	dec *gob.Decoder
+}
+
+// NewReader consumes and validates the preamble from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var pre [preambleLen]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return nil, fmt.Errorf("wire: preamble: %w", err)
+	}
+	if !bytes.Equal(pre[:len(magic)], magic[:]) {
+		return nil, fmt.Errorf("wire: bad magic %q", pre[:len(magic)])
+	}
+	if v := pre[len(magic)]; v != Version {
+		return nil, fmt.Errorf("wire: version %d, want %d", v, Version)
+	}
+	fr := &frameReader{r: br}
+	return &Reader{fr: fr, dec: gob.NewDecoder(fr)}, nil
+}
+
+// ReadMsg decodes the next message, blocking until a frame arrives.
+func (r *Reader) ReadMsg() (Msg, error) {
+	var m Msg
+	if err := r.dec.Decode(&m); err != nil {
+		return Msg{}, err
+	}
+	return m, nil
+}
+
+// frameReader unwraps length-prefixed frames into the continuous byte
+// stream the gob decoder expects, enforcing MaxFrame before buffering.
+type frameReader struct {
+	r      *bufio.Reader
+	remain int
+}
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	for f.remain == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+			return 0, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > MaxFrame {
+			return 0, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", n)
+		}
+		f.remain = int(n)
+	}
+	if len(p) > f.remain {
+		p = p[:f.remain]
+	}
+	n, err := f.r.Read(p)
+	f.remain -= n
+	return n, err
+}

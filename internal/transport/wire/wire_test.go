@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/datalink"
+	"repro/internal/ids"
+	"repro/internal/join"
+	"repro/internal/label"
+	"repro/internal/recma"
+	"repro/internal/recsa"
+	"repro/internal/regmem"
+	"repro/internal/vs"
+)
+
+func roundTrip(t *testing.T, payloads ...any) []any {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		if err := w.WriteMsg(NewMsg(1, 2, p)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]any, 0, len(payloads))
+	for i := range payloads {
+		m, err := r.ReadMsg()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if m.From != 1 || m.To != 2 {
+			t.Fatalf("read %d: routing %v->%v", i, m.From, m.To)
+		}
+		out = append(out, m.Payload())
+	}
+	return out
+}
+
+func TestFullEnvelopeRoundTrip(t *testing.T) {
+	conf := ids.NewSet(1, 2, 3)
+	saMsg := recsa.Message{
+		FD:     ids.NewSet(1, 2, 3, 4),
+		Part:   conf,
+		Config: recsa.ConfigOf(conf),
+		Prp:    recsa.Notification{Phase: 1, HasSet: true, Set: ids.NewSet(1, 2)},
+		All:    true,
+		Echo: recsa.Echo{
+			Valid: true, Part: conf,
+			Prp: recsa.DefaultNtf(), All: false,
+		},
+	}
+	ctr := counter.Counter{
+		Lbl:  label.Label{Creator: 3, Sting: 2, Antistings: []int{0, 1}},
+		Seqn: 9, WID: 3,
+	}
+	rep := vs.Replica{
+		View:   vs.View{ID: ctr, Set: conf},
+		Status: vs.StatusMulticast,
+		Rnd:    4,
+		State:  map[string]string{"x": "1"},
+		Inputs: map[ids.ID]any{
+			1: regmem.WriteCmd{Name: "x", Value: "2", Writer: 1, Seq: 7},
+			2: regmem.MarkerCmd{Reader: 2, Seq: 3},
+		},
+		Input: regmem.WriteCmd{Name: "y", Value: "0", Writer: 1, Seq: 8},
+		Crd:   3,
+	}
+	app := vs.Payload{
+		Replica: &rep,
+		Counter: counter.Message{
+			Gossip:    counter.Pair{MCT: ctr},
+			HasGossip: true,
+			RPCs:      []counter.RPC{{Kind: counter.ReadReq, Seq: 1}},
+		},
+	}
+	env := core.Envelope{
+		RecSA:    &saMsg,
+		RecMA:    &recma.Message{NoMaj: true},
+		JoinReq:  true,
+		JoinResp: &join.Response{Pass: true, State: map[ids.ID]any{1: "s"}},
+		App:      app,
+	}
+	in := datalink.Packet{Kind: datalink.KindData, Session: 99, Seq: 1, Payload: env}
+
+	got := roundTrip(t, in)[0]
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", in, got)
+	}
+}
+
+// TestZeroValueFieldsSurvive guards the gob nil-vs-zero hazard: pointers
+// to zero values (an explicit join denial, an all-clear recMA message)
+// must arrive as non-nil pointers to zero values, not as nil.
+func TestZeroValueFieldsSurvive(t *testing.T) {
+	env := core.Envelope{
+		RecMA:    &recma.Message{}, // all-clear flags
+		JoinResp: &join.Response{}, // explicit join denial
+	}
+	in := datalink.Packet{Kind: datalink.KindData, Session: 1, Payload: env}
+	got, ok := roundTrip(t, in)[0].(datalink.Packet)
+	if !ok {
+		t.Fatalf("payload type %T", got)
+	}
+	out, ok := got.Payload.(core.Envelope)
+	if !ok {
+		t.Fatalf("envelope type %T", got.Payload)
+	}
+	if out.RecMA == nil || *out.RecMA != (recma.Message{}) {
+		t.Errorf("zero recMA message lost: %+v", out.RecMA)
+	}
+	if out.JoinResp == nil || out.JoinResp.Pass || out.JoinResp.State != nil {
+		t.Errorf("explicit join denial lost: %+v", out.JoinResp)
+	}
+	if out.RecSA != nil {
+		t.Errorf("absent recSA materialized: %+v", out.RecSA)
+	}
+}
+
+func TestControlAndRawPayloads(t *testing.T) {
+	payloads := []any{
+		datalink.Packet{Kind: datalink.KindClean, Session: 7},
+		datalink.Packet{Kind: datalink.KindCleanAck, Session: 7},
+		datalink.Packet{Kind: datalink.KindAck, Session: 7, Seq: 1},
+		"garbage",
+		42,
+	}
+	got := roundTrip(t, payloads...)
+	for i := range payloads {
+		if !reflect.DeepEqual(got[i], payloads[i]) {
+			t.Errorf("payload %d: %#v != %#v", i, got[i], payloads[i])
+		}
+	}
+}
+
+func TestReaderRejectsBadPreamble(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("notrecfg"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad := append([]byte("recfg\x00"), 99, 0)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("rec"))); err == nil {
+		t.Fatal("truncated preamble accepted")
+	}
+}
+
+func TestReaderRejectsOversizeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMsg(NewMsg(1, 2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first frame header to claim an enormous payload.
+	b := buf.Bytes()
+	b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadMsg(); err == nil || err == io.EOF {
+		t.Fatalf("oversize frame not rejected: %v", err)
+	}
+}
+
+func TestStreamReusesTypeDefinitions(t *testing.T) {
+	env := core.Envelope{RecMA: &recma.Message{NoMaj: true}}
+	pkt := datalink.Packet{Kind: datalink.KindData, Session: 3, Payload: env}
+
+	size := func(n int) int {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := w.WriteMsg(NewMsg(1, 2, pkt)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Len()
+	}
+	one, ten := size(1), size(10)
+	perMsg := (ten - one) / 9
+	if perMsg >= one {
+		t.Fatalf("per-message cost %dB not below first-message cost %dB — type definitions resent?", perMsg, one)
+	}
+}
