@@ -15,6 +15,7 @@ func TestParseSizesValid(t *testing.T) {
 		{" 4 , 8 ", []int{4, 8}},
 		{"8,4", []int{8, 4}},            // order preserved
 		{"4,8,4,8,16", []int{4, 8, 16}}, // duplicates dropped
+		{"1,4", []int{1, 4}},            // 1 is legal (E11 shard counts; others clamp to MinSize)
 		{"", nil},                       // empty = per-experiment defaults
 		{"   ", nil},                    // blank = per-experiment defaults
 	}
@@ -31,7 +32,7 @@ func TestParseSizesValid(t *testing.T) {
 }
 
 func TestParseSizesInvalid(t *testing.T) {
-	for _, in := range []string{"x", "4,x", "4,,8", "1", "0", "-3", "4,1", "3.5"} {
+	for _, in := range []string{"x", "4,x", "4,,8", "0", "-3", "3.5"} {
 		if got, err := parseSizes(in); err == nil {
 			t.Errorf("parseSizes(%q) = %v, want error", in, got)
 		}

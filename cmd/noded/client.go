@@ -20,6 +20,7 @@ func runClient(args []string) error {
 		addr    = fs.String("addr", "http://127.0.0.1:8101", "daemon client API base URL")
 		timeout = fs.Duration("timeout", 60*time.Second, "deadline for wait and per-request operations")
 		exclude = fs.Int("exclude", 0, "wait: additionally require this id out of config and view")
+		shardNo = fs.Int("shard", 0, "propose/log: the shard to address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,11 +63,17 @@ func runClient(args []string) error {
 			return err
 		}
 		return printJSON(resp)
+	case "shards":
+		var shards []ShardStatus
+		if err := c.do(http.MethodGet, "/v1/shards", nil, &shards); err != nil {
+			return err
+		}
+		return printJSON(shards)
 	case "propose":
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: propose <key> <value>")
 		}
-		return c.propose(rest[0], rest[1])
+		return c.propose(rest[0], rest[1], *shardNo)
 	case "log":
 		n := 10
 		if len(rest) == 1 {
@@ -76,9 +83,9 @@ func runClient(args []string) error {
 			}
 			n = v
 		}
-		return c.log(n)
+		return c.log(n, *shardNo)
 	case "":
-		return fmt.Errorf("missing client subcommand (status|wait|get|sync-get|put|propose|log)")
+		return fmt.Errorf("missing client subcommand (status|wait|get|sync-get|put|shards|propose|log)")
 	default:
 		return fmt.Errorf("unknown client subcommand %q", sub)
 	}
@@ -139,7 +146,13 @@ func (c *client) wait(timeout time.Duration, exclude int) error {
 		lastErr = err
 		if err == nil {
 			last = st
-			if st.Serving && !contains(st.Config, exclude) && !contains(st.ViewMembers, exclude) {
+			good := st.Serving && !contains(st.Config, exclude) && !contains(st.ViewMembers, exclude)
+			for _, sh := range st.Shards {
+				if contains(sh.ViewMembers, exclude) {
+					good = false
+				}
+			}
+			if good {
 				return printJSON(st)
 			}
 		}
@@ -168,18 +181,18 @@ func (c *client) put(name, value string) (RegResponse, error) {
 	return resp, err
 }
 
-func (c *client) propose(key, value string) error {
+func (c *client) propose(key, value string, shard int) error {
 	body, _ := json.Marshal(ProposeRequest{Key: key, Value: value})
 	var resp map[string]bool
-	if err := c.do(http.MethodPost, "/v1/smr/propose", body, &resp); err != nil {
+	if err := c.do(http.MethodPost, fmt.Sprintf("/v1/smr/propose?shard=%d", shard), body, &resp); err != nil {
 		return err
 	}
 	return printJSON(resp)
 }
 
-func (c *client) log(n int) error {
+func (c *client) log(n, shard int) error {
 	var entries []LogEntry
-	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/smr/log?n=%d", n), nil, &entries); err != nil {
+	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/smr/log?n=%d&shard=%d", n, shard), nil, &entries); err != nil {
 		return err
 	}
 	return printJSON(entries)

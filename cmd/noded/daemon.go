@@ -6,32 +6,37 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/recsa"
 	"repro/internal/regmem"
+	"repro/internal/shard"
 	"repro/internal/smr"
 	"repro/internal/transport"
 )
 
 // Daemon is one live processor: the full reconfiguration stack with the
-// MWMR shared-memory service on top, plus the HTTP client API. It is
-// transport-generic — production runs it on tcp, the tests on inproc.
+// MWMR shared-memory service — one vs/smr/regmem stack per shard,
+// register names routed by the deterministic hash router — plus the
+// HTTP client API. It is transport-generic — production runs it on tcp,
+// the tests on inproc.
 type Daemon struct {
 	self      ids.ID
 	tr        transport.Transport
 	node      *core.Node
-	mem       *regmem.SharedMemory
+	mem       *shard.Map
 	opTimeout time.Duration
 }
 
 // NewDaemon builds and wires the stack. peers is every node of the
 // cluster (the connection universe); members is the initial
 // configuration (empty = start as a joiner and acquire participation
-// through the joining protocol).
-func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, maxN int, opTimeout time.Duration) (*Daemon, error) {
+// through the joining protocol); shards is the register-namespace
+// partition count (raised to 1 if smaller).
+func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, shards, maxN int, opTimeout time.Duration) (*Daemon, error) {
 	if opTimeout <= 0 {
 		opTimeout = 30 * time.Second
 	}
@@ -39,8 +44,9 @@ func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, maxN
 	// view coordinator reconfigures when a configuration member is no
 	// longer trusted. recMA's prediction path stays disabled, exactly
 	// as the paper's modified Algorithm 3.2 prescribes for the vs
-	// service; its majority-loss trigger remains active.
-	mem := regmem.New(self, func(cur ids.Set, trusted ids.Set) bool {
+	// service; its majority-loss trigger remains active. Every shard
+	// applies the same predicate against the shared configuration.
+	mem := shard.New(self, shards, func(cur ids.Set, trusted ids.Set) bool {
 		return cur.Diff(trusted).Size() > 0
 	})
 	initial := recsa.NotParticipant()
@@ -52,7 +58,7 @@ func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, maxN
 		N:        maxN,
 		Initial:  initial,
 		EvalConf: func(ids.Set, ids.Set) bool { return false },
-		App:      mem,
+		Apps:     mem.Apps(),
 	})
 	if err != nil {
 		return nil, err
@@ -71,7 +77,13 @@ func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, maxN
 // Node exposes the underlying core node (tests).
 func (d *Daemon) Node() *core.Node { return d.node }
 
-// Status is the introspection document served at /v1/status.
+// Mem exposes the sharded register map (tests).
+func (d *Daemon) Mem() *shard.Map { return d.mem }
+
+// Status is the introspection document served at /v1/status. The
+// top-level view fields mirror shard 0 (the pre-sharding surface,
+// which scripts and older clients grep); Shards carries every shard's
+// service-layer state.
 type Status struct {
 	ID           int    `json:"id"`
 	Ticks        uint64 `json:"ticks"`
@@ -85,14 +97,29 @@ type Status struct {
 	ViewCoord    int    `json:"viewCoordinator"`
 	ViewMembers  []int  `json:"viewMembers"`
 	// Serving means the node can make progress on client operations: it
-	// participates, holds an agreed configuration, and sits in an
-	// installed view.
-	Serving bool `json:"serving"`
+	// participates, holds an agreed configuration, and every shard sits
+	// in an installed view.
+	Serving bool          `json:"serving"`
+	Shards  []ShardStatus `json:"shards"`
+}
+
+// ShardStatus is one shard's service-layer state: the reconfiguration
+// fields live on the singleton layer (Status), only the view-bearing
+// service layer is per shard.
+type ShardStatus struct {
+	Shard       int    `json:"shard"`
+	HasView     bool   `json:"hasView"`
+	ViewCoord   int    `json:"viewCoordinator,omitempty"`
+	ViewMembers []int  `json:"viewMembers,omitempty"`
+	Registers   int    `json:"registers"`
+	Rounds      uint64 `json:"rounds"`
+	Serving     bool   `json:"serving"`
 }
 
 // RegResponse answers register reads and writes.
 type RegResponse struct {
 	Name  string `json:"name"`
+	Shard int    `json:"shard"`
 	Value string `json:"value,omitempty"`
 	Found bool   `json:"found,omitempty"`
 	Done  bool   `json:"done"`
@@ -124,14 +151,37 @@ func (d *Daemon) status() (Status, bool) {
 		st.Config = setInts(cfg)
 		st.Trusted = setInts(d.node.Trusted())
 		st.Participants = setInts(d.node.Participants())
-		if v, hasV := d.mem.VS().CurrentView(); hasV {
-			st.HasView = true
-			st.ViewCoord = int(v.Coordinator())
-			st.ViewMembers = setInts(v.Set)
+		st.Serving = st.Participant && st.HasConfig
+		st.Shards = make([]ShardStatus, d.mem.N())
+		for i := range st.Shards {
+			st.Shards[i] = d.shardStatusLocked(i, st.Participant && st.HasConfig)
+			st.Serving = st.Serving && st.Shards[i].Serving
 		}
-		st.Serving = st.Participant && st.HasConfig && st.HasView
+		// Shard 0 mirrors into the legacy top-level fields.
+		st.HasView = st.Shards[0].HasView
+		st.ViewCoord = st.Shards[0].ViewCoord
+		st.ViewMembers = st.Shards[0].ViewMembers
 	})
 	return st, ok
+}
+
+// shardStatusLocked reads one shard's status; the caller must already be
+// inside the node's execution context.
+func (d *Daemon) shardStatusLocked(i int, reconfigured bool) ShardStatus {
+	out := ShardStatus{Shard: i}
+	mem, err := d.mem.Mem(i)
+	if err != nil {
+		return out
+	}
+	if v, hasV := mem.VS().CurrentView(); hasV {
+		out.HasView = true
+		out.ViewCoord = int(v.Coordinator())
+		out.ViewMembers = setInts(v.Set)
+	}
+	out.Registers = mem.Registers()
+	out.Rounds = mem.VS().Metrics().RoundsApplied
+	out.Serving = reconfigured && out.HasView
+	return out
 }
 
 // waitHandle polls an operation handle from outside the node context
@@ -151,6 +201,39 @@ func (d *Daemon) waitHandle(h *regmem.Handle) bool {
 	return false
 }
 
+// regName validates the register name of a request; empty (or
+// all-whitespace) names are rejected with 400 before touching the stack.
+func regName(w http.ResponseWriter, r *http.Request) (string, bool) {
+	name := r.PathValue("name")
+	if strings.TrimSpace(name) == "" {
+		httpErr(w, http.StatusBadRequest, "empty register name")
+		return "", false
+	}
+	return name, true
+}
+
+// checkShard validates a client-supplied shard index (path value or
+// query parameter), rejecting malformed or out-of-range values with
+// 400.
+func (d *Daemon) checkShard(w http.ResponseWriter, raw string) (int, bool) {
+	i, err := strconv.Atoi(raw)
+	if err != nil || i < 0 || i >= d.mem.N() {
+		httpErr(w, http.StatusBadRequest,
+			fmt.Sprintf("bad shard %q (node hosts shards 0..%d)", raw, d.mem.N()-1))
+		return 0, false
+	}
+	return i, true
+}
+
+// shardParam resolves the ?shard= query parameter (default 0).
+func (d *Daemon) shardParam(w http.ResponseWriter, r *http.Request) (int, bool) {
+	q := r.URL.Query().Get("shard")
+	if q == "" {
+		return 0, true
+	}
+	return d.checkShard(w, q)
+}
+
 // Handler returns the client API.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -164,11 +247,37 @@ func (d *Daemon) Handler() http.Handler {
 		writeJSON(w, st)
 	})
 
-	mux.HandleFunc("GET /v1/reg/{name}", func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.status()
+		if !ok {
+			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			return
+		}
+		writeJSON(w, st.Shards)
+	})
+
+	mux.HandleFunc("GET /v1/shards/{shard}", func(w http.ResponseWriter, r *http.Request) {
+		i, ok := d.checkShard(w, r.PathValue("shard"))
+		if !ok {
+			return
+		}
+		st, ok := d.status()
+		if !ok {
+			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			return
+		}
+		writeJSON(w, st.Shards[i])
+	})
+
+	getReg := func(w http.ResponseWriter, r *http.Request) {
+		name, ok := regName(w, r)
+		if !ok {
+			return
+		}
 		if r.URL.Query().Get("sync") != "" {
 			var h *regmem.Handle
-			if !d.tr.Inspect(d.self, func() { h = d.mem.SyncRead(name) }) {
+			var sh int
+			if !d.tr.Inspect(d.self, func() { h, sh = d.mem.SyncRead(name) }) {
 				httpErr(w, http.StatusServiceUnavailable, "node is down")
 				return
 			}
@@ -179,7 +288,7 @@ func (d *Daemon) Handler() http.Handler {
 			var resp RegResponse
 			if !d.tr.Inspect(d.self, func() {
 				v, found := h.Value()
-				resp = RegResponse{Name: name, Value: v, Found: found, Done: true}
+				resp = RegResponse{Name: name, Shard: sh, Value: v, Found: found, Done: true}
 			}) {
 				httpErr(w, http.StatusServiceUnavailable, "node is down")
 				return
@@ -190,16 +299,20 @@ func (d *Daemon) Handler() http.Handler {
 		var resp RegResponse
 		if !d.tr.Inspect(d.self, func() {
 			v, found := d.mem.Read(name)
-			resp = RegResponse{Name: name, Value: v, Found: found, Done: true}
+			resp = RegResponse{Name: name, Shard: shard.ShardFor(name, d.mem.N()), Value: v, Found: found, Done: true}
 		}) {
 			httpErr(w, http.StatusServiceUnavailable, "node is down")
 			return
 		}
 		writeJSON(w, resp)
-	})
+	}
+	mux.HandleFunc("GET /v1/reg/{name}", getReg)
 
 	putReg := func(w http.ResponseWriter, r *http.Request) {
-		name := r.PathValue("name")
+		name, ok := regName(w, r)
+		if !ok {
+			return
+		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil {
 			httpErr(w, http.StatusBadRequest, "read body: "+err.Error())
@@ -207,7 +320,8 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		value := string(body)
 		var h *regmem.Handle
-		if !d.tr.Inspect(d.self, func() { h = d.mem.Write(name, value) }) {
+		var sh int
+		if !d.tr.Inspect(d.self, func() { h, sh = d.mem.Write(name, value) }) {
 			httpErr(w, http.StatusServiceUnavailable, "node is down")
 			return
 		}
@@ -215,12 +329,24 @@ func (d *Daemon) Handler() http.Handler {
 			httpErr(w, http.StatusGatewayTimeout, "write did not complete (retry)")
 			return
 		}
-		writeJSON(w, RegResponse{Name: name, Value: value, Done: true})
+		writeJSON(w, RegResponse{Name: name, Shard: sh, Value: value, Done: true})
 	}
 	mux.HandleFunc("PUT /v1/reg/{name}", putReg)
 	mux.HandleFunc("POST /v1/reg/{name}", putReg)
+	// An empty {name} segment does not match the routes above; answer
+	// it with an explicit 400 instead of a bare 404.
+	emptyReg := func(w http.ResponseWriter, r *http.Request) {
+		httpErr(w, http.StatusBadRequest, "empty register name")
+	}
+	mux.HandleFunc("GET /v1/reg/{$}", emptyReg)
+	mux.HandleFunc("PUT /v1/reg/{$}", emptyReg)
+	mux.HandleFunc("POST /v1/reg/{$}", emptyReg)
 
 	mux.HandleFunc("POST /v1/smr/propose", func(w http.ResponseWriter, r *http.Request) {
+		sh, ok := d.shardParam(w, r)
+		if !ok {
+			return
+		}
 		var req ProposeRequest
 		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 			httpErr(w, http.StatusBadRequest, "decode: "+err.Error())
@@ -228,7 +354,11 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		accepted := false
 		if !d.tr.Inspect(d.self, func() {
-			accepted = d.mem.SMR().Submit(smr.KVCmd{Op: smr.KVPut, Key: req.Key, Value: req.Value})
+			mem, err := d.mem.Mem(sh)
+			if err != nil {
+				return
+			}
+			accepted = mem.SMR().Submit(smr.KVCmd{Op: smr.KVPut, Key: req.Key, Value: req.Value})
 		}) {
 			httpErr(w, http.StatusServiceUnavailable, "node is down")
 			return
@@ -241,6 +371,10 @@ func (d *Daemon) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/smr/log", func(w http.ResponseWriter, r *http.Request) {
+		sh, ok := d.shardParam(w, r)
+		if !ok {
+			return
+		}
 		n := 10
 		if q := r.URL.Query().Get("n"); q != "" {
 			if v, err := strconv.Atoi(q); err == nil && v > 0 {
@@ -249,7 +383,11 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		var entries []LogEntry
 		if !d.tr.Inspect(d.self, func() {
-			log := d.mem.SMR().Log()
+			mem, err := d.mem.Mem(sh)
+			if err != nil {
+				return
+			}
+			log := mem.SMR().Log()
 			if len(log) > n {
 				log = log[len(log)-n:]
 			}

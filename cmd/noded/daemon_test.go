@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/shard"
+	"repro/internal/transport"
+	"repro/internal/transport/inproc"
+)
+
+// soloDaemon boots a single-node daemon (a 1-member cluster serves by
+// itself) with the given shard count and returns a test server over its
+// handler.
+func soloDaemon(t *testing.T, shards int, opTimeout time.Duration) (*Daemon, *httptest.Server) {
+	t.Helper()
+	tr := inproc.New(31, transport.Options{Capacity: 64, TickEvery: time.Millisecond})
+	t.Cleanup(func() { tr.Close() })
+	one := ids.NewSet(1)
+	d, err := NewDaemon(tr, 1, one, one, shards, 8, opTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func doReq(t *testing.T, method, url string, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestRegHandlersRejectEmptyNames: satellite hardening — register
+// operations on empty or all-whitespace names answer 400, never reach
+// the stack.
+func TestRegHandlersRejectEmptyNames(t *testing.T) {
+	_, srv := soloDaemon(t, 1, time.Second)
+	cases := []struct{ method, path string }{
+		{http.MethodPut, "/v1/reg/"},
+		{http.MethodPost, "/v1/reg/"},
+		{http.MethodGet, "/v1/reg/"},
+		{http.MethodPut, "/v1/reg/%20"},
+		{http.MethodGet, "/v1/reg/%20%09"},
+	}
+	for _, c := range cases {
+		code, body := doReq(t, c.method, srv.URL+c.path, "v")
+		if code != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d (%s), want 400", c.method, c.path, code, body)
+		}
+	}
+}
+
+// TestShardEndpointsRejectBadShard covers the bad-shard error paths of
+// the per-shard status and SMR endpoints.
+func TestShardEndpointsRejectBadShard(t *testing.T) {
+	_, srv := soloDaemon(t, 2, time.Second)
+	for _, path := range []string{
+		"/v1/shards/7",
+		"/v1/shards/-1",
+		"/v1/shards/x",
+		"/v1/smr/log?shard=2",
+		"/v1/smr/log?shard=banana",
+	} {
+		code, body := doReq(t, http.MethodGet, srv.URL+path, "")
+		if code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d (%s), want 400", path, code, body)
+		}
+	}
+	code, body := doReq(t, http.MethodPost, srv.URL+"/v1/smr/propose?shard=9",
+		`{"key":"k","value":"v"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("propose bad shard: status %d (%s), want 400", code, body)
+	}
+}
+
+// TestWriteTimesOutWithoutQuorum: a node whose initial configuration
+// includes an unreachable majority cannot complete writes; the handler
+// reports 504 after the operation deadline instead of hanging.
+func TestWriteTimesOutWithoutQuorum(t *testing.T) {
+	tr := inproc.New(32, transport.Options{Capacity: 64, TickEvery: time.Millisecond})
+	defer tr.Close()
+	// Universe {1,2}, only node 1 alive: the {1,2} configuration never
+	// assembles a trusted majority, so no view forms and writes stall.
+	both := ids.NewSet(1, 2)
+	d, err := NewDaemon(tr, 1, both, both, 1, 8, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	code, body := doReq(t, http.MethodPut, srv.URL+"/v1/reg/stuck", "value")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("write without quorum: status %d (%s), want 504", code, body)
+	}
+	code, body = doReq(t, http.MethodGet, srv.URL+"/v1/reg/stuck?sync=1", "")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("sync read without quorum: status %d (%s), want 504", code, body)
+	}
+}
+
+// TestShardedDaemonServesAcrossShards: a solo daemon with 4 shards
+// reaches serving on every shard, routes writes by the shared hash
+// router, and reports consistent per-shard status.
+func TestShardedDaemonServesAcrossShards(t *testing.T) {
+	const shards = 4
+	_, srv := soloDaemon(t, shards, 10*time.Second)
+	c := &client{base: srv.URL, http: srv.Client()}
+	if err := c.wait(30*time.Second, 0); err != nil {
+		t.Fatalf("sharded solo daemon never served: %v", err)
+	}
+
+	st, err := c.status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != shards {
+		t.Fatalf("status reports %d shards, want %d", len(st.Shards), shards)
+	}
+	for _, sh := range st.Shards {
+		if !sh.Serving || !sh.HasView {
+			t.Fatalf("shard %d not serving after wait: %+v", sh.Shard, sh)
+		}
+	}
+
+	// Writes land on the shard the router names, and reads agree.
+	written := map[int]string{}
+	for want, group := range shard.NamesPerShard(shards, 1) {
+		name := group[0]
+		resp, err := c.put(name, fmt.Sprintf("val%d", want))
+		if err != nil {
+			t.Fatalf("put %s: %v", name, err)
+		}
+		if resp.Shard != want {
+			t.Fatalf("put %s: handler reports shard %d, router says %d", name, resp.Shard, want)
+		}
+		written[want] = name
+	}
+	for sh, name := range written {
+		got, err := c.get(name, true)
+		if err != nil {
+			t.Fatalf("sync-get %s: %v", name, err)
+		}
+		if !got.Found || got.Value != fmt.Sprintf("val%d", sh) || got.Shard != sh {
+			t.Fatalf("sync-get %s = %+v, want val%d on shard %d", name, got, sh, sh)
+		}
+	}
+
+	// Per-shard status shows the writes distributed: every shard holds
+	// exactly one register.
+	var perShard []ShardStatus
+	if err := getJSON(srv.URL+"/v1/shards", &perShard); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range perShard {
+		if sh.Registers != 1 {
+			t.Errorf("shard %d holds %d registers, want 1", sh.Shard, sh.Registers)
+		}
+	}
+	var one ShardStatus
+	if err := getJSON(srv.URL+"/v1/shards/2", &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Shard != 2 {
+		t.Errorf("GET /v1/shards/2 returned shard %d", one.Shard)
+	}
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -8,8 +8,14 @@
 // Daemon:
 //
 //	noded -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102,..." \
-//	      -http 127.0.0.1:8101 [-members 1,2,3] [-seed 1] \
+//	      -http 127.0.0.1:8101 [-members 1,2,3] [-seed 1] [-shards 4] \
 //	      [-loss 0.02] [-dup 0.01] [-tick 2ms]
+//
+// With -shards N the register namespace is partitioned over N
+// independent vs/smr/regmem stacks (one view, coordinator and round
+// pipeline each) multiplexed over the node's single reconfiguration
+// layer and transport; register names route to shards by deterministic
+// hash, so every node and client agrees on placement.
 //
 // Client:
 //
@@ -17,8 +23,9 @@
 //	noded client -addr ... wait [-exclude 3] [-timeout 60s]
 //	noded client -addr ... put <register> <value>
 //	noded client -addr ... get <register> | sync-get <register>
-//	noded client -addr ... propose <key> <value>
-//	noded client -addr ... log
+//	noded client -addr ... shards
+//	noded client -addr ... [-shard 2] propose <key> <value>
+//	noded client -addr ... [-shard 2] log
 package main
 
 import (
@@ -66,6 +73,7 @@ func runDaemon(args []string) error {
 		tick     = fs.Duration("tick", 2*time.Millisecond, "node timer period")
 		jitter   = fs.Duration("jitter", time.Millisecond, "node timer jitter bound")
 		capacity = fs.Int("capacity", 256, "bounded link/queue capacity")
+		shards   = fs.Int("shards", 1, "register namespace shards (independent service stacks)")
 		maxN     = fs.Int("maxn", 16, "system bound N (failure detector sizing)")
 		opTO     = fs.Duration("op-timeout", 30*time.Second, "write/sync-read completion deadline")
 		verbose  = fs.Bool("v", false, "log transport diagnostics")
@@ -110,7 +118,10 @@ func runDaemon(args []string) error {
 	tr := tcp.New(cfg)
 	defer tr.Close()
 
-	d, err := NewDaemon(tr, self, bookIDs(book), initial, *maxN, *opTO)
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1")
+	}
+	d, err := NewDaemon(tr, self, bookIDs(book), initial, *shards, *maxN, *opTO)
 	if err != nil {
 		return err
 	}
@@ -119,8 +130,8 @@ func runDaemon(args []string) error {
 	if err != nil {
 		return fmt.Errorf("client API listen: %w", err)
 	}
-	fmt.Printf("noded: id=%v transport=%s http=%s members=%v\n",
-		self, book[self], ln.Addr(), initial)
+	fmt.Printf("noded: id=%v transport=%s http=%s members=%v shards=%d\n",
+		self, book[self], ln.Addr(), initial, *shards)
 	srv := &http.Server{Handler: d.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

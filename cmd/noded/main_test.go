@@ -66,7 +66,7 @@ func TestDaemonClusterEndToEnd(t *testing.T) {
 	all := ids.Range(1, 3)
 	clients := make(map[ids.ID]*client)
 	for i := ids.ID(1); i <= 3; i++ {
-		d, err := NewDaemon(tr, i, all, all, 16, 20*time.Second)
+		d, err := NewDaemon(tr, i, all, all, 2, 16, 20*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,8 +95,8 @@ func TestDaemonClusterEndToEnd(t *testing.T) {
 		t.Fatalf("sync-get = %+v, want hello", got)
 	}
 
-	// Propose a raw SMR command and see it in the log.
-	if err := clients[3].propose("audit", "1"); err != nil {
+	// Propose a raw SMR command (addressed to shard 1 of 2).
+	if err := clients[3].propose("audit", "1", 1); err != nil {
 		t.Fatalf("propose: %v", err)
 	}
 

@@ -16,6 +16,10 @@ type ClusterOptions struct {
 	Node Params // template: Self/Initial are set per node
 	// AppFactory builds the per-node application (may be nil).
 	AppFactory func(self ids.ID) App
+	// AppsFactory builds the per-node, per-shard service stacks (index =
+	// shard identifier). When non-nil it takes precedence over
+	// AppFactory.
+	AppsFactory func(self ids.ID) []App
 }
 
 // DefaultClusterOptions returns the standard adversarial configuration.
@@ -96,7 +100,10 @@ func (c *Cluster) AddNode(id ids.ID, initial recsa.Config) (*Node, error) {
 	if p.N == 0 {
 		p.N = 64
 	}
-	if c.opts.AppFactory != nil {
+	switch {
+	case c.opts.AppsFactory != nil:
+		p.Apps = c.opts.AppsFactory(id)
+	case c.opts.AppFactory != nil:
 		p.App = c.opts.AppFactory(id)
 	}
 	n, err := NewNode(c.Net, p)

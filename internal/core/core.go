@@ -54,12 +54,27 @@ type App interface {
 // per-layer state the paper's algorithms each send on their own. Bundling
 // them preserves semantics (each layer still receives the latest state of
 // its counterpart) while keeping one token exchange per peer pair.
+//
+// Sharding: the reconfiguration layers (RecSA/RecMA/Join) are singleton —
+// one quorum system governs every shard — while the service layer above
+// them is instantiated per shard. Shard 0's application payload travels in
+// the legacy App field, so single-shard envelopes are indistinguishable
+// from the pre-sharding format; payloads of shards ≥ 1 ride in ShardApps,
+// each tagged with its shard identifier.
 type Envelope struct {
-	RecSA    *recsa.Message
-	RecMA    *recma.Message
-	JoinReq  bool
-	JoinResp *join.Response
-	App      any
+	RecSA     *recsa.Message
+	RecMA     *recma.Message
+	JoinReq   bool
+	JoinResp  *join.Response
+	App       any // shard 0's application payload
+	ShardApps []ShardApp
+}
+
+// ShardApp is one extra shard's application payload, tagged with the
+// shard it belongs to.
+type ShardApp struct {
+	Shard int
+	App   any
 }
 
 // Params configures a node.
@@ -70,9 +85,13 @@ type Params struct {
 	EvalConf recma.EvalConf
 	JoinApp  join.App
 	App      App
-	Link     datalink.Options
-	FD       fd.Options
-	RecSA    recsa.Options
+	// Apps, when non-empty, replaces the single App with one service
+	// stack per shard (index = shard identifier). The reconfiguration
+	// layers stay singleton; only the application layer is sharded.
+	Apps  []App
+	Link  datalink.Options
+	FD    fd.Options
+	RecSA recsa.Options
 	// Quorum overrides the majority quorum system used by the
 	// management layer (nil keeps majorities).
 	Quorum quorum.System
@@ -89,7 +108,10 @@ type Node struct {
 	MA       *recma.RecMA
 	Joiner   *join.Joiner
 
-	app   App
+	// apps are the per-shard service stacks riding on the singleton
+	// reconfiguration layers (index = shard identifier). An unsharded
+	// node has exactly one entry; a node without an application has none.
+	apps  []App
 	maMsg recma.Message
 	// joinTargets are the processors the joiner polls this tick.
 	joinTargets ids.Set
@@ -120,10 +142,19 @@ func NewNode(net Transport, p Params) (*Node, error) {
 	if p.Initial.Kind == 0 {
 		p.Initial = recsa.NotParticipant()
 	}
+	apps := p.Apps
+	if len(apps) == 0 && p.App != nil {
+		apps = []App{p.App}
+	}
+	for i, a := range apps {
+		if a == nil {
+			return nil, fmt.Errorf("core: nil app for shard %d", i)
+		}
+	}
 	n := &Node{
 		self:            p.Self,
 		net:             net,
-		app:             p.App,
+		apps:            apps,
 		pendingJoinResp: make(map[ids.ID]*join.Response),
 		outbox:          make(map[ids.ID]Envelope),
 	}
@@ -191,6 +222,9 @@ func (n *Node) Participants() ids.Set { return n.SA.Participants() }
 // Estab proposes replacing the configuration with set.
 func (n *Node) Estab(set ids.Set) bool { return n.SA.Estab(set) }
 
+// NumShards returns the number of service stacks hosted on this node.
+func (n *Node) NumShards() int { return len(n.apps) }
+
 // --- netsim.Handler ---
 
 // Tick is the node's periodic timer body: step every layer, snapshot the
@@ -200,8 +234,8 @@ func (n *Node) Tick() {
 	n.SA.Step()
 	n.maMsg = n.MA.Step(n.SA.PeerPart)
 	n.joinTargets = n.Joiner.Step(n.Trusted())
-	if n.app != nil {
-		n.app.Tick(n)
+	for _, app := range n.apps {
+		app.Tick(n)
 	}
 	n.Endpoint.Peers().Each(func(to ids.ID) {
 		n.outbox[to] = n.buildEnvelope(to)
@@ -234,8 +268,16 @@ func (n *Node) buildEnvelope(to ids.ID) Envelope {
 		env.JoinResp = resp
 		delete(n.pendingJoinResp, to)
 	}
-	if n.app != nil {
-		env.App = n.app.Outgoing(to, n)
+	for shard, app := range n.apps {
+		payload := app.Outgoing(to, n)
+		if payload == nil {
+			continue
+		}
+		if shard == 0 {
+			env.App = payload
+		} else {
+			env.ShardApps = append(env.ShardApps, ShardApp{Shard: shard, App: payload})
+		}
 	}
 	return env
 }
@@ -266,7 +308,15 @@ func (n *Node) deliver(from ids.ID, msg any) {
 	if env.JoinResp != nil {
 		n.Joiner.HandleResponse(from, *env.JoinResp)
 	}
-	if env.App != nil && n.app != nil {
-		n.app.HandleApp(from, env.App, n)
+	if env.App != nil && len(n.apps) > 0 {
+		n.apps[0].HandleApp(from, env.App, n)
+	}
+	for _, sa := range env.ShardApps {
+		// Out-of-range shard tags (peer misconfiguration, transient
+		// corruption) are dropped like any other garbage.
+		if sa.App == nil || sa.Shard < 0 || sa.Shard >= len(n.apps) {
+			continue
+		}
+		n.apps[sa.Shard].HandleApp(from, sa.App, n)
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"repro/internal/label"
 	"repro/internal/netsim"
 	"repro/internal/recsa"
+	"repro/internal/regmem"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/vs"
 	"repro/internal/workload"
@@ -327,6 +329,85 @@ func e9Cell(seed int64, n int) workload.Row {
 	}
 	return workload.Row{X: n, Y: float64(elapsed) / float64(done), Valid: done == opsWanted,
 		Note: fmt.Sprintf("%d/%d writes", done, opsWanted)}
+}
+
+// e11Cell builds one arm of E11 "shard scaling": aggregate register
+// throughput on a fixed 3-node cluster whose register namespace is
+// partitioned over the grid size — for this experiment the swept N is
+// the SHARD count (1/2/4/8), not the cluster size. Every shard runs its
+// own vs round pipeline over the shared reconfiguration layer, so the
+// offered load (a fixed batch per shard, issued round-robin across the
+// nodes) completes in roughly 1/N of the single-stack virtual time; the
+// reported value is aggregate completed operations per kilotick (higher
+// is better). The write arm measures register writes, the syncread arm
+// marker-flushed synchronous reads.
+func e11Cell(sync bool) func(seed int64, n int) workload.Row {
+	return func(seed int64, n int) workload.Row {
+		const nodes = 3
+		const opsPerShard = 12
+		maps, c, err := shardedMemCluster(seed, nodes, n)
+		if err != nil {
+			return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+		}
+		allViews := func() bool {
+			for id := ids.ID(1); id <= nodes; id++ {
+				for s := 0; s < n; s++ {
+					mem, err := maps[id].Mem(s)
+					if err != nil {
+						return false
+					}
+					if _, has := mem.VS().CurrentView(); !has {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if !c.Sched.RunWhile(func() bool { return !allViews() }, 8_000_000) {
+			return workload.Row{X: n, Note: "not every shard installed a view"}
+		}
+		names := shard.NamesPerShard(n, opsPerShard)
+		var handles []*regmem.Handle
+		start := c.Sched.Now()
+		k := 0
+		for s := 0; s < n; s++ {
+			for i, name := range names[s] {
+				who := ids.ID(k%nodes + 1)
+				k++
+				var h *regmem.Handle
+				if sync {
+					h, _ = maps[who].SyncRead(name)
+				} else {
+					h, _ = maps[who].Write(name, fmt.Sprintf("v%d", i))
+				}
+				handles = append(handles, h)
+			}
+		}
+		ok := c.Sched.RunWhile(func() bool {
+			for _, h := range handles {
+				if !h.Done() {
+					return true
+				}
+			}
+			return false
+		}, 8_000_000)
+		elapsed := c.Sched.Now() - start
+		done := 0
+		for _, h := range handles {
+			if h.Done() {
+				done++
+			}
+		}
+		if done == 0 || elapsed <= 0 {
+			return workload.Row{X: n, Note: "no ops completed"}
+		}
+		return workload.Row{
+			X:     n,
+			Y:     float64(done) / float64(elapsed) * 1000,
+			Valid: ok,
+			Note:  fmt.Sprintf("%d/%d ops in %d ticks", done, len(handles), elapsed),
+		}
+	}
 }
 
 // e10Cell builds the cell function for one degree-gap arm of the E10

@@ -5,14 +5,14 @@ import (
 	"fmt"
 	"testing"
 
-	_ "repro/internal/experiments" // registers E1–E10
+	_ "repro/internal/experiments" // registers E1–E11
 	"repro/internal/experiments/engine"
 	"repro/internal/workload"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := engine.All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}
@@ -178,6 +178,36 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	if len(bytes.Split(bytes.TrimSpace(c1), []byte("\n"))) != 1+2*2*2 {
 		t.Errorf("unexpected cells CSV shape:\n%s", c1)
+	}
+}
+
+// TestParallelDeterminismE11 extends the determinism regression to the
+// sharded-register experiment: E11 cells run whole multi-shard cluster
+// simulations, and their emissions must still be byte-identical for any
+// worker count.
+func TestParallelDeterminismE11(t *testing.T) {
+	emit := func(workers int) []byte {
+		rep, err := engine.Run(engine.Config{
+			Seed:    42,
+			Sizes:   []int{1, 4},
+			Repeats: 1,
+			Workers: workers,
+			Only:    map[string]bool{"E11": true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := engine.WriteCellsCSV(&out, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.WriteJSON(&out, rep); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	if p1, p8 := emit(1), emit(8); !bytes.Equal(p1, p8) {
+		t.Errorf("E11 emission differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", p1, p8)
 	}
 }
 

@@ -1,7 +1,8 @@
 // Package experiments implements the paper-reproduction experiment suite
-// E1–E10 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
-// empirical tables; each experiment here operationalizes one of its
-// theorems or explicit asymptotic claims, producing the series recorded in
+// E1–E11 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
+// empirical tables; E1–E10 each operationalize one of its theorems or
+// explicit asymptotic claims, and E11 measures the sharded register
+// namespace's scaling (DESIGN.md §9), producing the series recorded in
 // EXPERIMENTS.md.
 //
 // The per-cell simulations live in cells.go; this file registers them
@@ -24,28 +25,28 @@ var Sizes = []int{4, 8, 16, 24}
 func init() {
 	engine.MustRegister(engine.Descriptor{
 		ID: "E1", Title: "delicate replacement latency", Metric: "vticks",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Name: "E1 delicate replacement (ticks)", Run: e1Cell},
 		},
 	})
 	engine.MustRegister(engine.Descriptor{
 		ID: "E2", Title: "brute-force recovery", Metric: "vticks",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Name: "E2 brute-force recovery (ticks)", Run: e2Cell},
 		},
 	})
 	engine.MustRegister(engine.Descriptor{
 		ID: "E3", Title: "spurious recMA triggers", Metric: "count",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Name: "E3 spurious recMA triggers (count)", Run: e3Cell},
 		},
 	})
 	engine.MustRegister(engine.Descriptor{
 		ID: "E4", Title: "label creations", Metric: "creations",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Key: "arbitrary", Name: "E4 label creations (arbitrary start)", Run: e4ArbitraryCell},
 			{Key: "postreco", Name: "E4 label creations (post-rebuild)", Run: e4PostRebuildCell},
@@ -53,7 +54,7 @@ func init() {
 	})
 	engine.MustRegister(engine.Descriptor{
 		ID: "E5", Title: "counter increment latency", Metric: "vticks/op",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Name: "E5 counter increment latency (ticks/op)", Run: e5Cell},
 		},
@@ -67,14 +68,14 @@ func init() {
 	})
 	engine.MustRegister(engine.Descriptor{
 		ID: "E7", Title: "join latency", Metric: "vticks",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Name: "E7 join latency (ticks)", Run: e7Cell},
 		},
 	})
 	engine.MustRegister(engine.Descriptor{
 		ID: "E8", Title: "recovery vs coherent-start baseline", Metric: "vticks",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Key: "selfstab", Name: "E8 recovery: self-stabilizing (ticks)", Run: e8SelfStabCell},
 			{Key: "baseline", Name: "E8 recovery: baseline (ticks; deadline = never)",
@@ -83,17 +84,28 @@ func init() {
 	})
 	engine.MustRegister(engine.Descriptor{
 		ID: "E9", Title: "register write latency", Metric: "vticks/op",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Name: "E9 register write latency (ticks/op)", Run: e9Cell},
 		},
 	})
 	engine.MustRegister(engine.Descriptor{
 		ID: "E10", Title: "degree-gap ablation", Metric: "vticks",
-		DefaultSizes: Sizes,
+		DefaultSizes: Sizes, MinSize: 2,
 		Series: []engine.SeriesSpec{
 			{Key: "gap1", Name: "E10 delicate replacement, degree gap 1", Run: e10Cell(1)},
 			{Key: "gap2", Name: "E10 delicate replacement, degree gap 2", Run: e10Cell(2)},
+		},
+	})
+	engine.MustRegister(engine.Descriptor{
+		// E11 sweeps the SHARD count (the cluster stays 3 nodes): the
+		// grid size is the number of register stacks multiplexed over
+		// one reconfiguration layer.
+		ID: "E11", Title: "shard scaling (N = shards, 3 nodes)", Metric: "ops/kilotick",
+		DefaultSizes: []int{1, 2, 4, 8},
+		Series: []engine.SeriesSpec{
+			{Key: "write", Name: "E11 write throughput (ops/kilotick)", Run: e11Cell(false)},
+			{Key: "syncread", Name: "E11 sync-read throughput (ops/kilotick)", Run: e11Cell(true)},
 		},
 	})
 }
@@ -185,5 +197,15 @@ func E10Ablation(seed int64, sizes []int) []workload.Series {
 	return []workload.Series{
 		runSeries("E10", "gap1", seed, sizes),
 		runSeries("E10", "gap2", seed, sizes),
+	}
+}
+
+// E11ShardScaling measures aggregate write and sync-read throughput as
+// the register namespace is partitioned over 1/2/4/8 shards (see
+// e11Cell; sizes are shard counts).
+func E11ShardScaling(seed int64, shardCounts []int) []workload.Series {
+	return []workload.Series{
+		runSeries("E11", "write", seed, shardCounts),
+		runSeries("E11", "syncread", seed, shardCounts),
 	}
 }

@@ -58,3 +58,31 @@ func TestE10(t *testing.T) {
 		requireValid(t, s)
 	}
 }
+
+func TestE11(t *testing.T) {
+	for _, s := range E11ShardScaling(111, []int{1, 2}) {
+		requireValid(t, s)
+	}
+}
+
+// TestE11ShardScalingSpeedup is the tentpole's acceptance check: with
+// the register namespace split over 4 shards, aggregate write
+// throughput must be at least 2× the single-shard baseline (in the
+// deterministic simulator's virtual time, so the assertion is exact and
+// reproducible).
+func TestE11ShardScalingSpeedup(t *testing.T) {
+	series := E11ShardScaling(42, []int{1, 4})
+	writes := series[0]
+	if len(writes.Rows) != 2 {
+		t.Fatalf("want rows for 1 and 4 shards, got %+v", writes.Rows)
+	}
+	one, four := writes.Rows[0], writes.Rows[1]
+	if !one.Valid || !four.Valid {
+		t.Fatalf("invalid rows: 1-shard %+v, 4-shard %+v", one, four)
+	}
+	if four.Y < 2*one.Y {
+		t.Fatalf("4-shard write throughput %.3f < 2× 1-shard %.3f ops/kilotick", four.Y, one.Y)
+	}
+	t.Logf("write throughput: 1 shard %.3f, 4 shards %.3f ops/kilotick (%.2fx)",
+		one.Y, four.Y, four.Y/one.Y)
+}

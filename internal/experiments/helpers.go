@@ -7,6 +7,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/label"
 	"repro/internal/regmem"
+	"repro/internal/shard"
 )
 
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -76,4 +77,20 @@ func memCluster(seed int64, n int) (map[ids.ID]*regmem.SharedMemory, *core.Clust
 	}
 	c, err := core.BootstrapCluster(n, opts)
 	return mems, c, err
+}
+
+// shardedMemCluster builds an E11 cluster: nodes processors, each
+// hosting one register stack per shard on a singleton reconfiguration
+// layer.
+func shardedMemCluster(seed int64, nodes, shards int) (map[ids.ID]*shard.Map, *core.Cluster, error) {
+	maps := map[ids.ID]*shard.Map{}
+	opts := core.DefaultClusterOptions(seed)
+	opts.Node.EvalConf = func(ids.Set, ids.Set) bool { return false }
+	opts.AppsFactory = func(self ids.ID) []core.App {
+		m := shard.New(self, shards, nil)
+		maps[self] = m
+		return m.Apps()
+	}
+	c, err := core.BootstrapCluster(nodes, opts)
+	return maps, c, err
 }

@@ -1,0 +1,93 @@
+package regmem
+
+import (
+	"fmt"
+	"testing"
+)
+
+// naiveApply is the pre-refactor register machine: every write copies
+// the whole register map (O(registers) per command). Kept here as the
+// baseline the delta-chain State is benchmarked against.
+func naiveApply(state any, cmd any) any {
+	m, _ := state.(map[string]string)
+	c, ok := cmd.(WriteCmd)
+	if !ok {
+		return state
+	}
+	out := make(map[string]string, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	out[c.Name] = c.Value
+	return out
+}
+
+// seedNames pre-generates register names so the benchmark loop measures
+// only the apply itself.
+func seedNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("reg-%d", i)
+	}
+	return names
+}
+
+// BenchmarkApplyDeltaChain measures the restructured O(1)-amortized
+// apply at several resident register counts; the cost must stay flat as
+// the register file grows.
+func BenchmarkApplyDeltaChain(b *testing.B) {
+	for _, regs := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("registers=%d", regs), func(b *testing.B) {
+			m := regMachine{}
+			names := seedNames(regs)
+			state := m.Init()
+			for i, name := range names {
+				state = m.Apply(state, WriteCmd{Name: name, Value: "seed", Writer: 1, Seq: uint64(i)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				state = m.Apply(state, WriteCmd{
+					Name: names[i%regs], Value: "v", Writer: 1, Seq: uint64(i),
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkApplyNaiveCopy is the before side: the full-map copy grows
+// linearly with the register count.
+func BenchmarkApplyNaiveCopy(b *testing.B) {
+	for _, regs := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("registers=%d", regs), func(b *testing.B) {
+			names := seedNames(regs)
+			state := any(map[string]string{})
+			for i, name := range names {
+				state = naiveApply(state, WriteCmd{Name: name, Value: "seed", Writer: 1, Seq: uint64(i)})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				state = naiveApply(state, WriteCmd{
+					Name: names[i%regs], Value: "v", Writer: 1, Seq: uint64(i),
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkReadAfterWrites measures the read path against a state whose
+// overlay chain is mid-cycle (the worst case for the delta walk).
+func BenchmarkReadAfterWrites(b *testing.B) {
+	m := regMachine{}
+	names := seedNames(1024)
+	state := m.Init()
+	for i := 0; i < 3*1024/2; i++ {
+		state = m.Apply(state, WriteCmd{Name: names[i%1024], Value: "v", Writer: 1, Seq: uint64(i)})
+	}
+	st := state.(State)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := st.Get(names[i%1024]); !ok {
+			b.Fatal("lost register")
+		}
+	}
+}

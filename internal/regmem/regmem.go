@@ -36,24 +36,122 @@ type MarkerCmd struct {
 	Seq    uint64
 }
 
-// regMachine is the register file state machine: a map from register name
-// to its current value.
+// State is the register file state: an immutable snapshot of the map
+// from register name to current value. Snapshots share structure — Base
+// is shared among successors and never mutated; writes stack onto an
+// overlay chain (Delta, newest first) until it outgrows the base, at
+// which point the snapshot compacts into a fresh map. A write therefore
+// costs O(1) amortized instead of the O(registers) full-map copy, while
+// every snapshot stays internally consistent (the smr.StateMachine
+// immutability contract). The trade-off is on reads: Get walks the
+// overlay before the base map, so a read costs O(chain length), bounded
+// by the compaction limit max(minCompact, |base|) — acceptable because
+// chains stay short between compactions and sharding keeps each
+// partition's base small (see BenchmarkReadAfterWrites for the measured
+// cost). The fields are exported only because replica states travel
+// between processes inside vs rounds (transport/wire encodes them with
+// gob).
+type State struct {
+	Base  map[string]string // shared among snapshots; never mutated
+	Delta *Delta            // writes since Base, newest first
+	Depth int               // overlay chain length (compaction trigger)
+}
+
+// Delta is one overlaid write in a State's chain.
+type Delta struct {
+	Name, Value string
+	Prev        *Delta
+}
+
+// minCompact keeps tiny states from compacting on every write.
+const minCompact = 16
+
+// asState coerces a replica state value to a State snapshot. Legacy
+// peers (wire MinVersion) replicate the pre-refactor representation, a
+// bare map[string]string; adopting it as the base of an empty chain
+// migrates the register file instead of silently discarding it.
+func asState(state any) State {
+	switch v := state.(type) {
+	case State:
+		return v
+	case map[string]string:
+		return State{Base: v}
+	default:
+		return State{}
+	}
+}
+
+// Get returns the current value of the named register.
+func (s State) Get(name string) (string, bool) {
+	for d := s.Delta; d != nil; d = d.Prev {
+		if d.Name == name {
+			return d.Value, true
+		}
+	}
+	v, ok := s.Base[name]
+	return v, ok
+}
+
+// Len returns the number of registers holding a value. It walks the
+// overlay chain (bounded by the compaction limit) rather than
+// materializing the map.
+func (s State) Len() int {
+	n := len(s.Base)
+	var fresh map[string]bool
+	for d := s.Delta; d != nil; d = d.Prev {
+		if _, inBase := s.Base[d.Name]; inBase || fresh[d.Name] {
+			continue
+		}
+		if fresh == nil {
+			fresh = make(map[string]bool, s.Depth)
+		}
+		fresh[d.Name] = true
+		n++
+	}
+	return n
+}
+
+// snapshot materializes the register map (base plus overlay).
+func (s State) snapshot() map[string]string {
+	out := make(map[string]string, len(s.Base)+s.Depth)
+	for k, v := range s.Base {
+		out[k] = v
+	}
+	// Apply the chain oldest-first so newer writes win.
+	deltas := make([]*Delta, 0, s.Depth)
+	for d := s.Delta; d != nil; d = d.Prev {
+		deltas = append(deltas, d)
+	}
+	for i := len(deltas) - 1; i >= 0; i-- {
+		out[deltas[i].Name] = deltas[i].Value
+	}
+	return out
+}
+
+// put returns the successor snapshot holding name=value.
+func (s State) put(name, value string) State {
+	out := State{Base: s.Base, Delta: &Delta{Name: name, Value: value, Prev: s.Delta}, Depth: s.Depth + 1}
+	if limit := max(minCompact, len(out.Base)); out.Depth > limit {
+		// Compaction costs O(registers) but runs only every ≥limit
+		// writes, keeping the amortized per-write cost O(1). The
+		// trigger depends only on the state itself, so every replica
+		// compacts at the same rounds — applies stay deterministic.
+		out = State{Base: out.snapshot()}
+	}
+	return out
+}
+
+// regMachine is the register file state machine over State snapshots.
 type regMachine struct{}
 
-func (regMachine) Init() any { return map[string]string{} }
+func (regMachine) Init() any { return State{} }
 
 func (regMachine) Apply(state any, cmd any) any {
-	m, _ := state.(map[string]string)
 	c, ok := cmd.(WriteCmd)
 	if !ok {
 		return state // markers and garbage leave the state untouched
 	}
-	out := make(map[string]string, len(m)+1)
-	for k, v := range m {
-		out[k] = v
-	}
-	out[c.Name] = c.Value
-	return out
+	return asState(state).put(c.Name, c.Value)
 }
 
 // Handle tracks an operation until its command has been delivered.
@@ -124,9 +222,13 @@ func (s *SharedMemory) Write(name, value string) *Handle {
 // view this is the value of the last delivered write — the fast,
 // regular-semantics read.
 func (s *SharedMemory) Read(name string) (string, bool) {
-	m, _ := s.mgr.Replica().State.(map[string]string)
-	v, ok := m[name]
-	return v, ok
+	return asState(s.mgr.Replica().State).Get(name)
+}
+
+// Registers returns the number of registers holding a value in the
+// local replica (introspection; cmd/noded's per-shard status).
+func (s *SharedMemory) Registers() int {
+	return asState(s.mgr.Replica().State).Len()
 }
 
 // SyncRead flushes a marker command through a round and then reads, which

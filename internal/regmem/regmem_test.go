@@ -1,6 +1,8 @@
 package regmem
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/core"
@@ -155,5 +157,150 @@ func TestReadUnknownRegister(t *testing.T) {
 	s := New(1, nil)
 	if _, ok := s.Read("nope"); ok {
 		t.Fatal("unknown register returned a value")
+	}
+}
+
+// TestUnknownCommandsLeaveStateUntouched: the register machine ignores
+// markers and any garbage command type — the state value it returns is
+// the very snapshot it was given.
+func TestUnknownCommandsLeaveStateUntouched(t *testing.T) {
+	m := regMachine{}
+	st := m.Apply(m.Init(), WriteCmd{Name: "a", Value: "1", Writer: 1, Seq: 1})
+	for _, cmd := range []any{
+		MarkerCmd{Reader: 2, Seq: 9},
+		"garbage",
+		42,
+		nil,
+		struct{ X int }{7},
+	} {
+		got := m.Apply(st, cmd)
+		if !reflect.DeepEqual(got, st) {
+			t.Fatalf("command %#v changed the state: %#v -> %#v", cmd, st, got)
+		}
+	}
+	s, _ := st.(State)
+	if v, ok := s.Get("a"); !ok || v != "1" {
+		t.Fatalf("state lost its register: %v %v", v, ok)
+	}
+}
+
+// TestLegacyMapStateMigrates: a replica state in the pre-refactor
+// representation (bare map[string]string, as a wire-MinVersion peer
+// replicates it) is adopted as the base of a delta chain instead of
+// being discarded.
+func TestLegacyMapStateMigrates(t *testing.T) {
+	m := regMachine{}
+	legacy := map[string]string{"old": "kept"}
+	st := m.Apply(any(legacy), WriteCmd{Name: "new", Value: "1", Writer: 1, Seq: 1}).(State)
+	if v, ok := st.Get("old"); !ok || v != "kept" {
+		t.Fatalf("legacy register lost in migration: %q %v", v, ok)
+	}
+	if v, ok := st.Get("new"); !ok || v != "1" {
+		t.Fatalf("write onto migrated state lost: %q %v", v, ok)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+}
+
+// TestStateLenCountsOverlayWithoutDoubleCounting: Len must count
+// overlay-only names once and not re-count base names overwritten in
+// the chain.
+func TestStateLenCountsOverlayWithoutDoubleCounting(t *testing.T) {
+	s := State{Base: map[string]string{"a": "0"}}
+	s = s.put("a", "1") // overwrite base name
+	s = s.put("b", "1") // fresh name
+	s = s.put("b", "2") // overwrite fresh name
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (a, b)", s.Len())
+	}
+}
+
+// TestStateSnapshotsAreImmutable: a snapshot taken before later writes
+// keeps reading the old values — the property the O(1) delta-chain
+// restructuring must preserve (smr treats states as immutable).
+func TestStateSnapshotsAreImmutable(t *testing.T) {
+	m := regMachine{}
+	old := m.Apply(m.Init(), WriteCmd{Name: "x", Value: "old", Writer: 1, Seq: 1}).(State)
+	cur := any(old)
+	// Drive far past the compaction threshold, overwriting x repeatedly.
+	for i := 0; i < 10*minCompact; i++ {
+		cur = m.Apply(cur, WriteCmd{Name: "x", Value: fmt.Sprintf("v%d", i), Writer: 1, Seq: uint64(i + 2)})
+		cur = m.Apply(cur, WriteCmd{Name: fmt.Sprintf("r%d", i), Value: "y", Writer: 1, Seq: uint64(i + 2)})
+	}
+	if v, _ := old.Get("x"); v != "old" {
+		t.Fatalf("old snapshot mutated: x=%q, want old", v)
+	}
+	if _, ok := old.Get("r5"); ok {
+		t.Fatal("old snapshot sees a later register")
+	}
+	now := cur.(State)
+	if v, _ := now.Get("x"); v != fmt.Sprintf("v%d", 10*minCompact-1) {
+		t.Fatalf("latest snapshot x=%q", v)
+	}
+	if now.Len() != 1+10*minCompact {
+		t.Fatalf("Len = %d, want %d", now.Len(), 1+10*minCompact)
+	}
+	// Compaction actually ran: the chain is bounded, not 2*10*minCompact
+	// long.
+	if now.Depth > max(minCompact, len(now.Base)) {
+		t.Fatalf("Depth %d exceeds compaction bound (base %d)", now.Depth, len(now.Base))
+	}
+}
+
+// TestHandleCompletionUnderSuspendedRounds: while the coordinator holds
+// the rounds suspended (Algorithm 4.6's delicate-reconfiguration
+// prelude) a write stays pending; once the suspension lifts the handle
+// completes with the state intact (Theorem 4.13's pause-and-resume).
+func TestHandleCompletionUnderSuspendedRounds(t *testing.T) {
+	suspend := false
+	mc := newMemCluster(t, 3, 55, func(cur ids.Set, trusted ids.Set) bool { return suspend })
+	mc.waitView(t)
+	// A pre-suspension write completes normally.
+	h0 := mc.mems[1].Write("warm", "up")
+	if !mc.Sched.RunWhile(func() bool { return !h0.Done() }, 5_000_000) {
+		t.Fatal("warm-up write never completed")
+	}
+	suspend = true
+	mc.RunFor(20_000) // let every member echo the suspend flag
+	h := mc.mems[2].Write("held", "back")
+	mc.RunFor(40_000)
+	if h.Done() {
+		t.Fatal("write completed while rounds were suspended")
+	}
+	suspend = false
+	if !mc.Sched.RunWhile(func() bool { return !h.Done() }, 10_000_000) {
+		t.Fatal("write never completed after suspension lifted")
+	}
+	ok := mc.Sched.RunWhile(func() bool {
+		v1, _ := mc.mems[1].Read("warm")
+		v2, _ := mc.mems[1].Read("held")
+		return v1 != "up" || v2 != "back"
+	}, 5_000_000)
+	if !ok {
+		t.Fatal("state lost across the suspension")
+	}
+}
+
+// TestMarkerFlushOrdering: a sync read issued while a write of the same
+// register is still pending must observe that write — the marker is
+// queued behind it, so the flush cannot complete before the write is
+// delivered and applied.
+func TestMarkerFlushOrdering(t *testing.T) {
+	mc := newMemCluster(t, 3, 56, nil)
+	mc.waitView(t)
+	w := mc.mems[1].Write("ord", "first")
+	r := mc.mems[1].SyncRead("ord") // same node: marker queues behind the write
+	if w.Done() || r.Done() {
+		t.Fatal("handles done before any round ran")
+	}
+	if !mc.Sched.RunWhile(func() bool { return !r.Done() }, 6_000_000) {
+		t.Fatal("sync read never completed")
+	}
+	if !w.Done() {
+		t.Fatal("marker flushed before the earlier write was delivered")
+	}
+	if v, ok := r.Value(); !ok || v != "first" {
+		t.Fatalf("sync read = %q %v, want the pending write's value", v, ok)
 	}
 }

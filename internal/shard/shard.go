@@ -1,0 +1,125 @@
+// Package shard partitions the register namespace across N independent
+// service stacks (vs + smr + regmem), all riding on one node's singleton
+// reconfiguration layers (recSA/recMA/fd) and one transport. Each shard
+// is a self-contained law-governed module in the sense of Minsky's
+// modularization principle: it elects its own view coordinator, orders
+// its own multicast rounds, and replicates its own register file, while
+// the quorum system governing membership stays shared. Register names
+// map to shards through a deterministic hash router, so every processor
+// — and every client talking to any processor — agrees on the placement
+// without coordination.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/regmem"
+	"repro/internal/vs"
+)
+
+// ShardFor routes a register name to one of n shards via FNV-1a. The
+// mapping depends only on (name, n), so all processors agree on it.
+// Non-positive n collapses to a single shard.
+func ShardFor(name string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(n))
+}
+
+// NamesPerShard returns, for each of n shards, per register names the
+// router assigns to it, found by probing sequential candidates
+// ("k0", "k1", …). It is deterministic in (n, per); tests, experiment
+// cells, and scripts use it to construct workloads that touch every
+// shard.
+func NamesPerShard(n, per int) [][]string {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]string, n)
+	remaining := n * per
+	for i := 0; remaining > 0; i++ {
+		name := fmt.Sprintf("k%d", i)
+		s := ShardFor(name, n)
+		if len(out[s]) < per {
+			out[s] = append(out[s], name)
+			remaining--
+		}
+	}
+	return out
+}
+
+// Map owns one service stack per shard for a single processor and routes
+// register operations to the owning shard. Its stacks plug into a
+// core.Node via Apps; the node then tags every outgoing service message
+// with its shard identifier (core.Envelope.ShardApps) so peers demux to
+// their matching stacks.
+type Map struct {
+	self ids.ID
+	mems []*regmem.SharedMemory
+}
+
+// New builds a processor's shard map with n stacks (n < 1 is raised to
+// 1). eval is the per-shard delicate-reconfiguration predicate passed to
+// every stack (may be nil).
+func New(self ids.ID, n int, eval vs.EvalConf) *Map {
+	if n < 1 {
+		n = 1
+	}
+	m := &Map{self: self, mems: make([]*regmem.SharedMemory, n)}
+	for i := range m.mems {
+		m.mems[i] = regmem.New(self, eval)
+	}
+	return m
+}
+
+// N returns the shard count.
+func (m *Map) N() int { return len(m.mems) }
+
+// Apps returns the per-shard service stacks in shard order, for
+// core.Params.Apps.
+func (m *Map) Apps() []core.App {
+	out := make([]core.App, len(m.mems))
+	for i, mem := range m.mems {
+		out[i] = mem
+	}
+	return out
+}
+
+// Mem returns shard i's stack.
+func (m *Map) Mem(i int) (*regmem.SharedMemory, error) {
+	if i < 0 || i >= len(m.mems) {
+		return nil, fmt.Errorf("shard: index %d out of range [0,%d)", i, len(m.mems))
+	}
+	return m.mems[i], nil
+}
+
+// For returns the stack owning the named register and its shard index.
+func (m *Map) For(name string) (*regmem.SharedMemory, int) {
+	i := ShardFor(name, len(m.mems))
+	return m.mems[i], i
+}
+
+// Write routes a register write to its owning shard.
+func (m *Map) Write(name, value string) (*regmem.Handle, int) {
+	mem, i := m.For(name)
+	return mem.Write(name, value), i
+}
+
+// Read serves a fast local read from the owning shard.
+func (m *Map) Read(name string) (string, bool) {
+	mem, _ := m.For(name)
+	return mem.Read(name)
+}
+
+// SyncRead routes a synchronous (marker-flushed) read to its owning
+// shard.
+func (m *Map) SyncRead(name string) (*regmem.Handle, int) {
+	mem, i := m.For(name)
+	return mem.SyncRead(name), i
+}

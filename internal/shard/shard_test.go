@@ -1,0 +1,169 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ids"
+	"repro/internal/regmem"
+	"repro/internal/shard"
+)
+
+func TestShardForDeterministicAndInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		for i := 0; i < 200; i++ {
+			name := fmt.Sprintf("reg-%d", i)
+			s := shard.ShardFor(name, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardFor(%q, %d) = %d out of range", name, n, s)
+			}
+			if again := shard.ShardFor(name, n); again != s {
+				t.Fatalf("ShardFor(%q, %d) unstable: %d vs %d", name, n, s, again)
+			}
+		}
+	}
+	if shard.ShardFor("x", 0) != 0 || shard.ShardFor("x", -3) != 0 {
+		t.Fatal("non-positive shard counts must collapse to shard 0")
+	}
+}
+
+func TestShardForCoversAllShards(t *testing.T) {
+	const n = 8
+	hit := make([]bool, n)
+	for i := 0; i < 512; i++ {
+		hit[shard.ShardFor(fmt.Sprintf("key%d", i), n)] = true
+	}
+	for s, ok := range hit {
+		if !ok {
+			t.Errorf("shard %d never hit by 512 sequential names", s)
+		}
+	}
+}
+
+func TestMapRoutesConsistently(t *testing.T) {
+	m := shard.New(1, 4, nil)
+	if m.N() != 4 {
+		t.Fatalf("N = %d, want 4", m.N())
+	}
+	if len(m.Apps()) != 4 {
+		t.Fatalf("Apps() has %d entries, want 4", len(m.Apps()))
+	}
+	mem, i := m.For("some-register")
+	if i != shard.ShardFor("some-register", 4) {
+		t.Fatalf("For routed to %d, ShardFor says %d", i, shard.ShardFor("some-register", 4))
+	}
+	byIdx, err := m.Mem(i)
+	if err != nil || byIdx != mem {
+		t.Fatalf("Mem(%d) = %v (%v), want the stack For returned", i, byIdx, err)
+	}
+	if _, err := m.Mem(4); err == nil {
+		t.Fatal("Mem(4) on a 4-shard map must fail")
+	}
+	if _, err := m.Mem(-1); err == nil {
+		t.Fatal("Mem(-1) must fail")
+	}
+}
+
+func TestMapCollapsesNonPositiveCounts(t *testing.T) {
+	m := shard.New(1, 0, nil)
+	if m.N() != 1 {
+		t.Fatalf("N = %d, want 1", m.N())
+	}
+}
+
+func TestNamesPerShard(t *testing.T) {
+	for _, n := range []int{1, 2, 8} {
+		names := shard.NamesPerShard(n, 3)
+		if len(names) != n {
+			t.Fatalf("NamesPerShard(%d, 3) has %d groups", n, len(names))
+		}
+		for s, group := range names {
+			if len(group) != 3 {
+				t.Fatalf("shard %d got %d names, want 3", s, len(group))
+			}
+			for _, name := range group {
+				if got := shard.ShardFor(name, n); got != s {
+					t.Fatalf("name %q grouped under shard %d but routes to %d", name, s, got)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedClusterWritesAndIsolation runs a 3-node simulated cluster
+// with 2 shards per node: writes routed to both shards complete, are
+// visible on every node, and each register's value lives only in its
+// owning shard's replicated state — the shards are genuinely
+// independent stacks multiplexed over one reconfiguration layer.
+func TestShardedClusterWritesAndIsolation(t *testing.T) {
+	const n, shards = 3, 2
+	maps := map[ids.ID]*shard.Map{}
+	opts := core.DefaultClusterOptions(61)
+	opts.Node.EvalConf = func(ids.Set, ids.Set) bool { return false }
+	opts.AppsFactory = func(self ids.ID) []core.App {
+		m := shard.New(self, shards, nil)
+		maps[self] = m
+		return m.Apps()
+	}
+	c, err := core.BootstrapCluster(n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(1).NumShards() != shards {
+		t.Fatalf("node hosts %d shards, want %d", c.Node(1).NumShards(), shards)
+	}
+
+	// Wait until every shard of node 1 has an installed view.
+	ok := c.Sched.RunWhile(func() bool {
+		for i := 0; i < shards; i++ {
+			mem, _ := maps[1].Mem(i)
+			if _, has := mem.VS().CurrentView(); !has {
+				return true
+			}
+		}
+		return false
+	}, 6_000_000)
+	if !ok {
+		t.Fatal("not every shard established a view")
+	}
+
+	names := shard.NamesPerShard(shards, 1)
+	h0, s0 := maps[1].Write(names[0][0], "zero")
+	h1, s1 := maps[2].Write(names[1][0], "one")
+	if s0 != 0 || s1 != 1 {
+		t.Fatalf("routing: writes landed on shards %d,%d, want 0,1", s0, s1)
+	}
+	if !c.Sched.RunWhile(func() bool { return !(h0.Done() && h1.Done()) }, 8_000_000) {
+		t.Fatal("cross-shard writes never completed")
+	}
+
+	// Every node reads both registers through the router.
+	ok = c.Sched.RunWhile(func() bool {
+		for id := ids.ID(1); id <= n; id++ {
+			if v, _ := maps[id].Read(names[0][0]); v != "zero" {
+				return true
+			}
+			if v, _ := maps[id].Read(names[1][0]); v != "one" {
+				return true
+			}
+		}
+		return false
+	}, 8_000_000)
+	if !ok {
+		t.Fatal("cross-shard writes not visible everywhere")
+	}
+
+	// Isolation: the register of shard 0 must not exist in shard 1's
+	// replicated state and vice versa.
+	for id := ids.ID(1); id <= n; id++ {
+		for i := 0; i < shards; i++ {
+			mem, _ := maps[id].Mem(i)
+			other := names[1-i][0]
+			st, _ := mem.VS().Replica().State.(regmem.State)
+			if _, leaked := st.Get(other); leaked {
+				t.Fatalf("node %v shard %d holds register %q owned by shard %d", id, i, other, 1-i)
+			}
+		}
+	}
+}

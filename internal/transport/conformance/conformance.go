@@ -1,8 +1,10 @@
 // Package conformance is the shared behavioral test suite every
 // transport backend must pass: registration and tick semantics, lossless
 // and fully-lossy delivery, duplication injection, crash stop-failure,
-// Inspect serialization, Close idempotence, and — the money test — a
-// full reconfiguration-stack cluster converging on the backend.
+// Inspect serialization, Close idempotence, a full reconfiguration-stack
+// cluster converging on the backend, and a sharded register cluster — two
+// service stacks multiplexed over one transport with shard-tagged
+// envelopes — completing writes on every shard concurrently.
 //
 // Backends invoke Run from their own test files, so `go test ./...`
 // exercises the suite against simnet, inproc and tcp in one sweep (the
@@ -10,12 +12,15 @@
 package conformance
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/recsa"
+	"repro/internal/regmem"
+	"repro/internal/shard"
 	"repro/internal/transport"
 )
 
@@ -275,6 +280,120 @@ func Run(t *testing.T, b Backend) {
 		}
 		if !await(h, 60*time.Second, converged) {
 			t.Fatal("full stack never converged on this backend")
+		}
+	})
+
+	t.Run("ShardedServiceStacks", func(t *testing.T) {
+		// Two register shards multiplexed over one transport: each node
+		// hosts two vs/smr/regmem stacks on a singleton reconfiguration
+		// layer, envelopes carry shard-tagged payloads (for tcp, through
+		// the wire codec's version-2 shard field), and writes routed to
+		// both shards complete concurrently and replicate to every node.
+		const n, shards = 3, 2
+		opts := transport.Options{
+			Capacity:   32,
+			MaxDelay:   2 * time.Millisecond,
+			TickEvery:  time.Millisecond,
+			TickJitter: time.Millisecond,
+		}
+		h := b.New(t, 8, opts, universe)
+		defer h.Net.Close()
+		all := ids.Range(1, n)
+		maps := make(map[ids.ID]*shard.Map)
+		nodes := make(map[ids.ID]*core.Node)
+		for i := ids.ID(1); i <= n; i++ {
+			m := shard.New(i, shards, nil)
+			maps[i] = m
+			node, err := core.NewNode(h.Net, core.Params{
+				Self: i, N: 16, Initial: recsa.ConfigOf(all),
+				EvalConf: func(ids.Set, ids.Set) bool { return false },
+				Apps:     m.Apps(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = node
+		}
+		for i := ids.ID(1); i <= n; i++ {
+			if !h.Net.Inspect(i, func() {
+				nodes[i].ConnectAll(all.Remove(i))
+				nodes[i].Detector.Bootstrap(all.Remove(i))
+			}) {
+				t.Fatalf("wiring node %v failed", i)
+			}
+		}
+		// Every shard of every node installs a view.
+		if !await(h, 60*time.Second, func() bool {
+			for i := ids.ID(1); i <= n; i++ {
+				ok := inspected(t, h, i, func() bool {
+					for s := 0; s < shards; s++ {
+						mem, err := maps[i].Mem(s)
+						if err != nil {
+							return false
+						}
+						if _, has := mem.VS().CurrentView(); !has {
+							return false
+						}
+					}
+					return true
+				})
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}) {
+			t.Fatal("not every shard installed a view on this backend")
+		}
+		// One register per shard, written concurrently through node 1's
+		// router.
+		perShard := shard.NamesPerShard(shards, 1)
+		names := make([]string, shards)
+		for s, group := range perShard {
+			names[s] = group[0]
+		}
+		handles := make([]*regmem.Handle, shards)
+		if !h.Net.Inspect(1, func() {
+			for s, name := range names {
+				hnd, got := maps[1].Write(name, fmt.Sprintf("v%d", s))
+				if got != s {
+					t.Errorf("write %q routed to shard %d, want %d", name, got, s)
+				}
+				handles[s] = hnd
+			}
+		}) {
+			t.Fatal("Inspect(1) failed")
+		}
+		if !await(h, 60*time.Second, func() bool {
+			return inspected(t, h, 1, func() bool {
+				for _, hnd := range handles {
+					if !hnd.Done() {
+						return false
+					}
+				}
+				return true
+			})
+		}) {
+			t.Fatal("cross-shard writes never completed")
+		}
+		// Both registers are readable on every node through the router.
+		if !await(h, 60*time.Second, func() bool {
+			for i := ids.ID(1); i <= n; i++ {
+				ok := inspected(t, h, i, func() bool {
+					for s, name := range names {
+						if v, _ := maps[i].Read(name); v != fmt.Sprintf("v%d", s) {
+							return false
+						}
+					}
+					return true
+				})
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}) {
+			t.Fatal("cross-shard writes not visible on every node")
 		}
 	})
 }

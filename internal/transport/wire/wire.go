@@ -11,9 +11,9 @@
 //
 // The frame payloads of one connection form a single continuous gob
 // stream (type definitions are transmitted once, on first use), decoded
-// into Msg values. A reader rejects mismatched magic or version at the
-// preamble and over-long frames before buffering them, so a corrupted or
-// hostile peer cannot make it allocate unboundedly.
+// into Msg values. A reader rejects mismatched magic, versions outside
+// [MinVersion, Version], and over-long frames before buffering them, so
+// a corrupted or hostile peer cannot make it allocate unboundedly.
 //
 // Schema notes. Msg/Packet/Envelope mirror datalink.Packet and
 // core.Envelope with explicit presence booleans instead of pointers: gob
@@ -43,9 +43,24 @@ import (
 	"repro/internal/vs"
 )
 
-// Version is the wire-format version; a connection whose preamble
-// carries a different version is refused.
-const Version = 1
+// Version is the wire-format version written by this build. Version 2
+// added the shard-tagged application payloads (Envelope.HasShards /
+// Shards). The addition is gob-compatible — a version-1 frame simply
+// decodes with HasShards false — so readers accept MinVersion too and
+// single-shard frames carry no format break: shard 0's payload still
+// travels in the legacy App slot.
+//
+// Scope of the compatibility claim: acceptance is read-side only (this
+// build still *writes* Version, which a version-1 reader refuses —
+// full negotiation is a ROADMAP item), and it covers the envelope
+// schema. App-level state representations that changed alongside the
+// bump must migrate on adoption themselves; regmem does (a legacy
+// map[string]string replica state is adopted as the base of a
+// delta-chain State rather than discarded).
+const Version = 2
+
+// MinVersion is the oldest preamble version a Reader accepts.
+const MinVersion = 1
 
 // MaxFrame bounds a single frame's payload size.
 const MaxFrame = 4 << 20
@@ -61,6 +76,7 @@ func init() {
 	gob.RegisterName("repro/counter.Message", counter.Message{})
 	gob.RegisterName("repro/regmem.WriteCmd", regmem.WriteCmd{})
 	gob.RegisterName("repro/regmem.MarkerCmd", regmem.MarkerCmd{})
+	gob.RegisterName("repro/regmem.State", regmem.State{})
 	gob.RegisterName("repro/smr.KVCmd", smr.KVCmd{})
 	gob.RegisterName("repro/smr.BankCmd", smr.BankCmd{})
 	gob.RegisterName("repro/map.ss", map[string]string{})
@@ -96,7 +112,13 @@ type Packet struct {
 }
 
 // Envelope mirrors core.Envelope with presence flags for the pointer
-// fields.
+// fields. App carries shard 0's application payload (the only payload
+// before sharding, so unsharded frames keep their exact shape);
+// HasShards/Shards is the version-2 shard-mux field carrying the tagged
+// payloads of shards ≥ 1 with explicit presence — a shard tag of 0 in an
+// entry is preserved even though gob elides zero struct fields, because
+// presence is signalled by HasShards and the entry itself, never by the
+// tag's value.
 type Envelope struct {
 	HasSA       bool
 	SA          recsa.Message
@@ -106,6 +128,14 @@ type Envelope struct {
 	HasJoinResp bool
 	JoinResp    join.Response
 	App         any
+	HasShards   bool
+	Shards      []ShardApp
+}
+
+// ShardApp mirrors core.ShardApp: one shard-tagged application payload.
+type ShardApp struct {
+	Shard int
+	App   any
 }
 
 // NewMsg converts a transport payload into its wire form.
@@ -136,6 +166,13 @@ func NewMsg(from, to ids.ID, payload any) Msg {
 		w.HasJoinResp, w.JoinResp = true, *env.JoinResp
 	}
 	w.App = env.App
+	if env.ShardApps != nil {
+		w.HasShards = true
+		w.Shards = make([]ShardApp, 0, len(env.ShardApps))
+		for _, sa := range env.ShardApps {
+			w.Shards = append(w.Shards, ShardApp{Shard: sa.Shard, App: sa.App})
+		}
+	}
 	return m
 }
 
@@ -166,6 +203,12 @@ func (m Msg) Payload() any {
 	if w.HasJoinResp {
 		jr := w.JoinResp
 		env.JoinResp = &jr
+	}
+	if w.HasShards {
+		env.ShardApps = make([]core.ShardApp, 0, len(w.Shards))
+		for _, sa := range w.Shards {
+			env.ShardApps = append(env.ShardApps, core.ShardApp{Shard: sa.Shard, App: sa.App})
+		}
 	}
 	pkt.Payload = env
 	return pkt
@@ -228,8 +271,8 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if !bytes.Equal(pre[:len(magic)], magic[:]) {
 		return nil, fmt.Errorf("wire: bad magic %q", pre[:len(magic)])
 	}
-	if v := pre[len(magic)]; v != Version {
-		return nil, fmt.Errorf("wire: version %d, want %d", v, Version)
+	if v := pre[len(magic)]; v < MinVersion || v > Version {
+		return nil, fmt.Errorf("wire: version %d, want %d..%d", v, MinVersion, Version)
 	}
 	fr := &frameReader{r: br}
 	return &Reader{fr: fr, dec: gob.NewDecoder(fr)}, nil

@@ -128,6 +128,90 @@ func TestZeroValueFieldsSurvive(t *testing.T) {
 	}
 }
 
+// TestShardTaggedEnvelopeRoundTrip exercises the version-2 shard-mux
+// field: payloads of shards ≥ 1 travel tagged, and — the gob hazard the
+// explicit-presence schema guards — an entry tagged shard 0 survives
+// even though gob elides zero-valued struct fields.
+func TestShardTaggedEnvelopeRoundTrip(t *testing.T) {
+	st := regmem.State{Base: map[string]string{"a": "1"}, Delta: &regmem.Delta{Name: "b", Value: "2"}, Depth: 1}
+	app0 := vs.Payload{Replica: &vs.Replica{Status: vs.StatusMulticast, Rnd: 1, State: st}}
+	app1 := vs.Payload{Replica: &vs.Replica{Status: vs.StatusPropose, Rnd: 2}}
+	env := core.Envelope{
+		App: app0,
+		ShardApps: []core.ShardApp{
+			{Shard: 0, App: app0}, // tag 0 must survive gob's zero elision
+			{Shard: 1, App: app1},
+		},
+	}
+	in := datalink.Packet{Kind: datalink.KindData, Session: 5, Payload: env}
+	got, ok := roundTrip(t, in)[0].(datalink.Packet)
+	if !ok {
+		t.Fatalf("payload type %T", got)
+	}
+	out, ok := got.Payload.(core.Envelope)
+	if !ok {
+		t.Fatalf("envelope type %T", got.Payload)
+	}
+	if len(out.ShardApps) != 2 {
+		t.Fatalf("ShardApps = %+v, want 2 entries", out.ShardApps)
+	}
+	if out.ShardApps[0].Shard != 0 || out.ShardApps[1].Shard != 1 {
+		t.Fatalf("shard tags %d,%d, want 0,1", out.ShardApps[0].Shard, out.ShardApps[1].Shard)
+	}
+	if !reflect.DeepEqual(out, in.Payload) {
+		t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", in.Payload, out)
+	}
+}
+
+// TestUnshardedEnvelopeHasNoShardField: a single-shard envelope encodes
+// exactly as before sharding — no shard field materializes on decode, so
+// shard-0-only deployments see no format break.
+func TestUnshardedEnvelopeHasNoShardField(t *testing.T) {
+	env := core.Envelope{App: vs.Payload{Replica: &vs.Replica{Status: vs.StatusMulticast}}}
+	in := datalink.Packet{Kind: datalink.KindData, Session: 2, Payload: env}
+	got := roundTrip(t, in)[0].(datalink.Packet)
+	out := got.Payload.(core.Envelope)
+	if out.ShardApps != nil {
+		t.Fatalf("unsharded envelope grew ShardApps: %+v", out.ShardApps)
+	}
+	if !reflect.DeepEqual(out, env) {
+		t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", env, out)
+	}
+}
+
+// TestReaderAcceptsMinVersionStream: a stream stamped with the
+// pre-sharding preamble version still decodes (the shard field is a
+// gob-compatible addition; old frames just carry HasShards=false).
+func TestReaderAcceptsMinVersionStream(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := core.Envelope{RecMA: &recma.Message{NoMaj: true}}
+	if err := w.WriteMsg(NewMsg(1, 2, datalink.Packet{Kind: datalink.KindData, Session: 9, Payload: env})); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[6] = MinVersion // rewrite the preamble's version byte
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("MinVersion preamble rejected: %v", err)
+	}
+	m, err := r.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := m.Payload().(datalink.Packet)
+	out := pkt.Payload.(core.Envelope)
+	if out.RecMA == nil || !out.RecMA.NoMaj {
+		t.Fatalf("v1 frame lost content: %+v", out)
+	}
+	if out.ShardApps != nil {
+		t.Fatalf("v1 frame materialized ShardApps: %+v", out.ShardApps)
+	}
+}
+
 func TestControlAndRawPayloads(t *testing.T) {
 	payloads := []any{
 		datalink.Packet{Kind: datalink.KindClean, Session: 7},

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# noded_demo.sh [N] — boot an N-node (default 5) noded cluster as real OS
-# processes talking TCP on localhost, drive it through the HTTP client
-# API: bootstrap → register write/read → kill one node → delicate
-# reconfiguration → write/read in the reconfigured cluster.
+# noded_demo.sh [N] [SHARDS] — boot an N-node (default 5) noded cluster
+# as real OS processes talking TCP on localhost, with the register
+# namespace partitioned over SHARDS (default 1) independent service
+# stacks, and drive it through the HTTP client API: bootstrap →
+# register writes/reads across every shard → kill one node → delicate
+# reconfiguration (all shards) → write/read in the reconfigured cluster.
 #
-# Exits 0 only if every step succeeded. CI runs this with N=3 as the
-# noded smoke job; developers run it with the default 5.
+# Exits 0 only if every step succeeded. CI runs this with N=3 SHARDS=4
+# as the noded smoke job; developers run it with the defaults.
 set -euo pipefail
 
 N="${1:-5}"
+SHARDS="${2:-${SHARDS:-1}}"
 BASE_TCP="${BASE_TCP:-7140}"
 BASE_HTTP="${BASE_HTTP:-8140}"
 TMP="$(mktemp -d)"
@@ -34,10 +37,10 @@ for i in $(seq 1 "$N"); do
   PEERS+="${PEERS:+,}$i=127.0.0.1:$((BASE_TCP + i))"
 done
 
-say "booting $N nodes (peers: $PEERS)"
+say "booting $N nodes × $SHARDS shards (peers: $PEERS)"
 for i in $(seq 1 "$N"); do
   "$BIN" -id "$i" -peers "$PEERS" -http "127.0.0.1:$((BASE_HTTP + i))" \
-    -seed 7 >"$TMP/node$i.log" 2>&1 &
+    -seed 7 -shards "$SHARDS" >"$TMP/node$i.log" 2>&1 &
   PIDS[$i]=$!
 done
 
@@ -60,11 +63,26 @@ OUT="$(client 2 sync-get greeting)"
 echo "$OUT"
 echo "$OUT" | grep -q '"value": "hello"' || { echo "FAIL: read mismatch"; exit 1; }
 
+say "writing/reading one register per shard (keys route by hash)"
+for k in $(seq 0 $((4 * SHARDS - 1))); do
+  client "$(( (k % N) + 1 ))" put "demo-key-$k" "demo-val-$k" >/dev/null
+done
+for k in $(seq 0 $((4 * SHARDS - 1))); do
+  OUT="$(client "$(( ((k + 1) % N) + 1 ))" sync-get "demo-key-$k")"
+  echo "$OUT" | grep -q "\"value\": \"demo-val-$k\"" \
+    || { echo "FAIL: cross-shard read of demo-key-$k"; exit 1; }
+done
+HIT="$(client 1 shards | grep -c '"hasView": true' || true)"
+[ "$HIT" = "$SHARDS" ] || { echo "FAIL: $HIT of $SHARDS shards have views"; exit 1; }
+say "all $SHARDS shards serving with installed views"
+
 say "propose a raw SMR command via node $N and show the log tail"
 client "$N" propose audit demo >/dev/null
 client 1 log 5
 
-COORD="$(client 1 status | grep -o '"viewCoordinator": *[0-9]*' | grep -o '[0-9]*$')"
+# The first viewCoordinator in the document is the top-level (shard 0)
+# one; per-shard entries repeat the field.
+COORD="$(client 1 status | grep -o '"viewCoordinator": *[0-9]*' | grep -o '[0-9]*$' | head -1)"
 VICTIM="$N"
 if [ "$VICTIM" = "$COORD" ]; then VICTIM=$((N - 1)); fi
 say "view coordinator is p$COORD — killing non-coordinator p$VICTIM (SIGKILL)"
@@ -85,4 +103,4 @@ client 1 put after reconfig >/dev/null
 OUT="$(client "$COORD" sync-get after)"
 echo "$OUT" | grep -q '"value": "reconfig"' || { echo "FAIL: post-reconfig write"; exit 1; }
 
-say "SUCCESS: $N-node cluster bootstrapped, survived a kill via delicate reconfiguration, and kept serving"
+say "SUCCESS: $N-node × $SHARDS-shard cluster bootstrapped, survived a kill via delicate reconfiguration, and kept serving"
