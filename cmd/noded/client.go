@@ -1,35 +1,39 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/pkg/client"
 )
 
-// runClient implements the `noded client` subcommand: a thin HTTP
-// wrapper so shell scripts can drive a live cluster.
+// runClient implements the `noded client` subcommand: a thin CLI over
+// the repro/pkg/client cluster client, so shell scripts can drive a
+// live cluster. -addr accepts a comma-separated endpoint list; with
+// more than one, operations fail over across nodes.
 func runClient(args []string) error {
 	fs := flag.NewFlagSet("noded client", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "http://127.0.0.1:8101", "daemon client API base URL")
+		addr    = fs.String("addr", "http://127.0.0.1:8101", "daemon client API base URL(s), comma-separated for failover")
 		timeout = fs.Duration("timeout", 60*time.Second, "deadline for wait and per-request operations")
 		exclude = fs.Int("exclude", 0, "wait: additionally require this id out of config and view")
 		shardNo = fs.Int("shard", 0, "propose/log: the shard to address")
+		shards  = fs.Int("shards", 0, "cluster shard count for client-side routing (0 = unknown)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	base := strings.TrimRight(*addr, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	c, err := client.New(strings.Split(*addr, ","),
+		client.WithTimeout(*timeout), client.WithShards(*shards))
+	if err != nil {
+		return err
 	}
-	c := &client{base: base, http: &http.Client{Timeout: *timeout}}
+	ctx := context.Background()
 	sub := fs.Arg(0)
 	rest := fs.Args()
 	if len(rest) > 0 {
@@ -38,18 +42,34 @@ func runClient(args []string) error {
 
 	switch sub {
 	case "status":
-		st, err := c.status()
+		st, err := c.Status(ctx)
 		if err != nil {
 			return err
 		}
 		return printJSON(st)
+	case "healthz":
+		h, err := c.Healthz(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(h)
 	case "wait":
-		return c.wait(*timeout, *exclude)
+		wctx, cancel := context.WithTimeout(ctx, *timeout)
+		defer cancel()
+		st, err := c.WaitServing(wctx, *exclude)
+		if err != nil {
+			return fmt.Errorf("wait timed out: %w", err)
+		}
+		return printJSON(st)
 	case "get", "sync-get":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: %s <register>", sub)
 		}
-		resp, err := c.get(rest[0], sub == "sync-get")
+		get := c.Read
+		if sub == "sync-get" {
+			get = c.SyncRead
+		}
+		resp, err := get(ctx, rest[0])
 		if err != nil {
 			return err
 		}
@@ -58,22 +78,26 @@ func runClient(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: put <register> <value>")
 		}
-		resp, err := c.put(rest[0], rest[1])
+		resp, err := c.Write(ctx, rest[0], rest[1])
 		if err != nil {
 			return err
 		}
 		return printJSON(resp)
 	case "shards":
-		var shards []ShardStatus
-		if err := c.do(http.MethodGet, "/v1/shards", nil, &shards); err != nil {
+		shs, err := c.ShardStatuses(ctx)
+		if err != nil {
 			return err
 		}
-		return printJSON(shards)
+		return printJSON(shs)
 	case "propose":
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: propose <key> <value>")
 		}
-		return c.propose(rest[0], rest[1], *shardNo)
+		resp, err := c.Propose(ctx, *shardNo, rest[0], rest[1])
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
 	case "log":
 		n := 10
 		if len(rest) == 1 {
@@ -83,131 +107,16 @@ func runClient(args []string) error {
 			}
 			n = v
 		}
-		return c.log(n, *shardNo)
+		entries, err := c.Log(ctx, *shardNo, n)
+		if err != nil {
+			return err
+		}
+		return printJSON(entries)
 	case "":
-		return fmt.Errorf("missing client subcommand (status|wait|get|sync-get|put|shards|propose|log)")
+		return fmt.Errorf("missing client subcommand (status|healthz|wait|get|sync-get|put|shards|propose|log)")
 	default:
 		return fmt.Errorf("unknown client subcommand %q", sub)
 	}
-}
-
-type client struct {
-	base string
-	http *http.Client
-}
-
-func (c *client) do(method, path string, body []byte, out any) error {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequest(method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
-	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(data, out)
-}
-
-func (c *client) status() (Status, error) {
-	var st Status
-	err := c.do(http.MethodGet, "/v1/status", nil, &st)
-	return st, err
-}
-
-// wait polls status until the node serves (and, with exclude, until the
-// configuration and view no longer contain the excluded id).
-func (c *client) wait(timeout time.Duration, exclude int) error {
-	deadline := time.Now().Add(timeout)
-	var last Status
-	var lastErr error
-	for time.Now().Before(deadline) {
-		st, err := c.status()
-		lastErr = err
-		if err == nil {
-			last = st
-			good := st.Serving && !contains(st.Config, exclude) && !contains(st.ViewMembers, exclude)
-			for _, sh := range st.Shards {
-				if contains(sh.ViewMembers, exclude) {
-					good = false
-				}
-			}
-			if good {
-				return printJSON(st)
-			}
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
-	if lastErr != nil {
-		return fmt.Errorf("wait timed out; last error: %w", lastErr)
-	}
-	return fmt.Errorf("wait timed out; last status: serving=%v config=%v view=%v",
-		last.Serving, last.Config, last.ViewMembers)
-}
-
-func (c *client) get(name string, sync bool) (RegResponse, error) {
-	path := "/v1/reg/" + name
-	if sync {
-		path += "?sync=1"
-	}
-	var resp RegResponse
-	err := c.do(http.MethodGet, path, nil, &resp)
-	return resp, err
-}
-
-func (c *client) put(name, value string) (RegResponse, error) {
-	var resp RegResponse
-	err := c.do(http.MethodPut, "/v1/reg/"+name, []byte(value), &resp)
-	return resp, err
-}
-
-func (c *client) propose(key, value string, shard int) error {
-	body, _ := json.Marshal(ProposeRequest{Key: key, Value: value})
-	var resp map[string]bool
-	if err := c.do(http.MethodPost, fmt.Sprintf("/v1/smr/propose?shard=%d", shard), body, &resp); err != nil {
-		return err
-	}
-	return printJSON(resp)
-}
-
-func (c *client) log(n, shard int) error {
-	var entries []LogEntry
-	if err := c.do(http.MethodGet, fmt.Sprintf("/v1/smr/log?n=%d&shard=%d", n, shard), nil, &entries); err != nil {
-		return err
-	}
-	return printJSON(entries)
-}
-
-func contains(xs []int, x int) bool {
-	if x == 0 {
-		return false
-	}
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }
 
 func printJSON(v any) error {

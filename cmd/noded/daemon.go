@@ -16,13 +16,14 @@ import (
 	"repro/internal/shard"
 	"repro/internal/smr"
 	"repro/internal/transport"
+	"repro/pkg/api"
 )
 
 // Daemon is one live processor: the full reconfiguration stack with the
 // MWMR shared-memory service — one vs/smr/regmem stack per shard,
 // register names routed by the deterministic hash router — plus the
-// HTTP client API. It is transport-generic — production runs it on tcp,
-// the tests on inproc.
+// HTTP client API speaking the repro/pkg/api contract. It is
+// transport-generic — production runs it on tcp, the tests on inproc.
 type Daemon struct {
 	self      ids.ID
 	tr        transport.Transport
@@ -80,67 +81,8 @@ func (d *Daemon) Node() *core.Node { return d.node }
 // Mem exposes the sharded register map (tests).
 func (d *Daemon) Mem() *shard.Map { return d.mem }
 
-// Status is the introspection document served at /v1/status. The
-// top-level view fields mirror shard 0 (the pre-sharding surface,
-// which scripts and older clients grep); Shards carries every shard's
-// service-layer state.
-type Status struct {
-	ID           int    `json:"id"`
-	Ticks        uint64 `json:"ticks"`
-	Participant  bool   `json:"participant"`
-	NoReco       bool   `json:"noReco"`
-	HasConfig    bool   `json:"hasConfig"`
-	Config       []int  `json:"config"`
-	Trusted      []int  `json:"trusted"`
-	Participants []int  `json:"participants"`
-	HasView      bool   `json:"hasView"`
-	ViewCoord    int    `json:"viewCoordinator"`
-	ViewMembers  []int  `json:"viewMembers"`
-	// Serving means the node can make progress on client operations: it
-	// participates, holds an agreed configuration, and every shard sits
-	// in an installed view.
-	Serving bool          `json:"serving"`
-	Shards  []ShardStatus `json:"shards"`
-}
-
-// ShardStatus is one shard's service-layer state: the reconfiguration
-// fields live on the singleton layer (Status), only the view-bearing
-// service layer is per shard.
-type ShardStatus struct {
-	Shard       int    `json:"shard"`
-	HasView     bool   `json:"hasView"`
-	ViewCoord   int    `json:"viewCoordinator,omitempty"`
-	ViewMembers []int  `json:"viewMembers,omitempty"`
-	Registers   int    `json:"registers"`
-	Rounds      uint64 `json:"rounds"`
-	Serving     bool   `json:"serving"`
-}
-
-// RegResponse answers register reads and writes.
-type RegResponse struct {
-	Name  string `json:"name"`
-	Shard int    `json:"shard"`
-	Value string `json:"value,omitempty"`
-	Found bool   `json:"found,omitempty"`
-	Done  bool   `json:"done"`
-}
-
-// ProposeRequest submits a raw SMR command.
-type ProposeRequest struct {
-	Key   string `json:"key"`
-	Value string `json:"value"`
-}
-
-// LogEntry is one applied SMR command.
-type LogEntry struct {
-	View   string `json:"view"`
-	Rnd    uint64 `json:"rnd"`
-	Member int    `json:"member"`
-	Cmd    string `json:"cmd"`
-}
-
-func (d *Daemon) status() (Status, bool) {
-	var st Status
+func (d *Daemon) status() (api.Status, bool) {
+	var st api.Status
 	ok := d.tr.Inspect(d.self, func() {
 		st.ID = int(d.self)
 		st.Ticks = d.node.Ticks()
@@ -152,7 +94,7 @@ func (d *Daemon) status() (Status, bool) {
 		st.Trusted = setInts(d.node.Trusted())
 		st.Participants = setInts(d.node.Participants())
 		st.Serving = st.Participant && st.HasConfig
-		st.Shards = make([]ShardStatus, d.mem.N())
+		st.Shards = make([]api.ShardStatus, d.mem.N())
 		for i := range st.Shards {
 			st.Shards[i] = d.shardStatusLocked(i, st.Participant && st.HasConfig)
 			st.Serving = st.Serving && st.Shards[i].Serving
@@ -167,8 +109,8 @@ func (d *Daemon) status() (Status, bool) {
 
 // shardStatusLocked reads one shard's status; the caller must already be
 // inside the node's execution context.
-func (d *Daemon) shardStatusLocked(i int, reconfigured bool) ShardStatus {
-	out := ShardStatus{Shard: i}
+func (d *Daemon) shardStatusLocked(i int, reconfigured bool) api.ShardStatus {
+	out := api.ShardStatus{Shard: i}
 	mem, err := d.mem.Mem(i)
 	if err != nil {
 		return out
@@ -206,7 +148,7 @@ func (d *Daemon) waitHandle(h *regmem.Handle) bool {
 func regName(w http.ResponseWriter, r *http.Request) (string, bool) {
 	name := r.PathValue("name")
 	if strings.TrimSpace(name) == "" {
-		httpErr(w, http.StatusBadRequest, "empty register name")
+		api.WriteError(w, api.Errorf(api.CodeEmptyRegister, "empty register name"))
 		return "", false
 	}
 	return name, true
@@ -218,8 +160,8 @@ func regName(w http.ResponseWriter, r *http.Request) (string, bool) {
 func (d *Daemon) checkShard(w http.ResponseWriter, raw string) (int, bool) {
 	i, err := strconv.Atoi(raw)
 	if err != nil || i < 0 || i >= d.mem.N() {
-		httpErr(w, http.StatusBadRequest,
-			fmt.Sprintf("bad shard %q (node hosts shards 0..%d)", raw, d.mem.N()-1))
+		api.WriteError(w, api.Errorf(api.CodeBadShard,
+			"bad shard %q (node hosts shards 0..%d)", raw, d.mem.N()-1))
 		return 0, false
 	}
 	return i, true
@@ -234,39 +176,54 @@ func (d *Daemon) shardParam(w http.ResponseWriter, r *http.Request) (int, bool) 
 	return d.checkShard(w, q)
 }
 
-// Handler returns the client API.
+// nodeDown answers when the transport refuses to run an inspection —
+// the node is closed or crashing.
+func nodeDown(w http.ResponseWriter) {
+	api.WriteError(w, api.Errorf(api.CodeUnavailable, "node is down"))
+}
+
+// Handler returns the client API: the /v1 contract of repro/pkg/api,
+// every response application/json, every error the uniform envelope.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 
-	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
-		st, ok := d.status()
-		if !ok {
-			httpErr(w, http.StatusServiceUnavailable, "node is down")
-			return
-		}
-		writeJSON(w, st)
+	// Liveness: served without entering the node's execution context,
+	// so it answers even while the stack is wedged mid-reconfiguration.
+	// Scripts and CI poll this (cheap, no view lock) before switching
+	// to the full status wait.
+	mux.HandleFunc("GET "+api.PathHealthz, func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, api.Health{OK: true, ID: int(d.self)})
 	})
 
-	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+api.PathStatus, func(w http.ResponseWriter, r *http.Request) {
 		st, ok := d.status()
 		if !ok {
-			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			nodeDown(w)
 			return
 		}
-		writeJSON(w, st.Shards)
+		api.WriteJSON(w, st)
 	})
 
-	mux.HandleFunc("GET /v1/shards/{shard}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+api.PathShards, func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.status()
+		if !ok {
+			nodeDown(w)
+			return
+		}
+		api.WriteJSON(w, st.Shards)
+	})
+
+	mux.HandleFunc("GET "+api.PathShards+"/{shard}", func(w http.ResponseWriter, r *http.Request) {
 		i, ok := d.checkShard(w, r.PathValue("shard"))
 		if !ok {
 			return
 		}
 		st, ok := d.status()
 		if !ok {
-			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			nodeDown(w)
 			return
 		}
-		writeJSON(w, st.Shards[i])
+		api.WriteJSON(w, st.Shards[i])
 	})
 
 	getReg := func(w http.ResponseWriter, r *http.Request) {
@@ -278,78 +235,80 @@ func (d *Daemon) Handler() http.Handler {
 			var h *regmem.Handle
 			var sh int
 			if !d.tr.Inspect(d.self, func() { h, sh = d.mem.SyncRead(name) }) {
-				httpErr(w, http.StatusServiceUnavailable, "node is down")
+				nodeDown(w)
 				return
 			}
 			if !d.waitHandle(h) {
-				httpErr(w, http.StatusGatewayTimeout, "sync read did not complete (retry)")
+				api.WriteError(w, api.Errorf(api.CodeTimeout,
+					"sync read did not complete (retry)").WithShard(sh))
 				return
 			}
-			var resp RegResponse
+			var resp api.RegResponse
 			if !d.tr.Inspect(d.self, func() {
 				v, found := h.Value()
-				resp = RegResponse{Name: name, Shard: sh, Value: v, Found: found, Done: true}
+				resp = api.RegResponse{Name: name, Shard: sh, Value: v, Found: found, Done: true}
 			}) {
-				httpErr(w, http.StatusServiceUnavailable, "node is down")
+				nodeDown(w)
 				return
 			}
-			writeJSON(w, resp)
+			api.WriteJSON(w, resp)
 			return
 		}
-		var resp RegResponse
+		var resp api.RegResponse
 		if !d.tr.Inspect(d.self, func() {
 			v, found := d.mem.Read(name)
-			resp = RegResponse{Name: name, Shard: shard.ShardFor(name, d.mem.N()), Value: v, Found: found, Done: true}
+			resp = api.RegResponse{Name: name, Shard: shard.ShardFor(name, d.mem.N()), Value: v, Found: found, Done: true}
 		}) {
-			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			nodeDown(w)
 			return
 		}
-		writeJSON(w, resp)
+		api.WriteJSON(w, resp)
 	}
-	mux.HandleFunc("GET /v1/reg/{name}", getReg)
+	mux.HandleFunc("GET "+api.PathReg+"{name}", getReg)
 
 	putReg := func(w http.ResponseWriter, r *http.Request) {
 		name, ok := regName(w, r)
 		if !ok {
 			return
 		}
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		body, err := io.ReadAll(io.LimitReader(r.Body, api.MaxBody))
 		if err != nil {
-			httpErr(w, http.StatusBadRequest, "read body: "+err.Error())
+			api.WriteError(w, api.Errorf(api.CodeBadRequest, "read body: %v", err))
 			return
 		}
 		value := string(body)
 		var h *regmem.Handle
 		var sh int
 		if !d.tr.Inspect(d.self, func() { h, sh = d.mem.Write(name, value) }) {
-			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			nodeDown(w)
 			return
 		}
 		if !d.waitHandle(h) {
-			httpErr(w, http.StatusGatewayTimeout, "write did not complete (retry)")
+			api.WriteError(w, api.Errorf(api.CodeTimeout,
+				"write did not complete (retry)").WithShard(sh))
 			return
 		}
-		writeJSON(w, RegResponse{Name: name, Shard: sh, Value: value, Done: true})
+		api.WriteJSON(w, api.RegResponse{Name: name, Shard: sh, Value: value, Done: true})
 	}
-	mux.HandleFunc("PUT /v1/reg/{name}", putReg)
-	mux.HandleFunc("POST /v1/reg/{name}", putReg)
+	mux.HandleFunc("PUT "+api.PathReg+"{name}", putReg)
+	mux.HandleFunc("POST "+api.PathReg+"{name}", putReg)
 	// An empty {name} segment does not match the routes above; answer
 	// it with an explicit 400 instead of a bare 404.
 	emptyReg := func(w http.ResponseWriter, r *http.Request) {
-		httpErr(w, http.StatusBadRequest, "empty register name")
+		api.WriteError(w, api.Errorf(api.CodeEmptyRegister, "empty register name"))
 	}
-	mux.HandleFunc("GET /v1/reg/{$}", emptyReg)
-	mux.HandleFunc("PUT /v1/reg/{$}", emptyReg)
-	mux.HandleFunc("POST /v1/reg/{$}", emptyReg)
+	mux.HandleFunc("GET "+api.PathReg+"{$}", emptyReg)
+	mux.HandleFunc("PUT "+api.PathReg+"{$}", emptyReg)
+	mux.HandleFunc("POST "+api.PathReg+"{$}", emptyReg)
 
-	mux.HandleFunc("POST /v1/smr/propose", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST "+api.PathSMRPropose, func(w http.ResponseWriter, r *http.Request) {
 		sh, ok := d.shardParam(w, r)
 		if !ok {
 			return
 		}
-		var req ProposeRequest
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-			httpErr(w, http.StatusBadRequest, "decode: "+err.Error())
+		var req api.ProposeRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, api.MaxBody)).Decode(&req); err != nil {
+			api.WriteError(w, api.Errorf(api.CodeBadRequest, "decode: %v", err).WithShard(sh))
 			return
 		}
 		accepted := false
@@ -360,17 +319,18 @@ func (d *Daemon) Handler() http.Handler {
 			}
 			accepted = mem.SMR().Submit(smr.KVCmd{Op: smr.KVPut, Key: req.Key, Value: req.Value})
 		}) {
-			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			nodeDown(w)
 			return
 		}
 		if !accepted {
-			httpErr(w, http.StatusTooManyRequests, "submission queue full (retry)")
+			api.WriteError(w, api.Errorf(api.CodeOverload,
+				"submission queue full (retry)").WithShard(sh))
 			return
 		}
-		writeJSON(w, map[string]bool{"accepted": true})
+		api.WriteJSON(w, api.ProposeResponse{Accepted: true, Shard: sh})
 	})
 
-	mux.HandleFunc("GET /v1/smr/log", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET "+api.PathSMRLog, func(w http.ResponseWriter, r *http.Request) {
 		sh, ok := d.shardParam(w, r)
 		if !ok {
 			return
@@ -381,7 +341,7 @@ func (d *Daemon) Handler() http.Handler {
 				n = v
 			}
 		}
-		var entries []LogEntry
+		var entries []api.LogEntry
 		if !d.tr.Inspect(d.self, func() {
 			mem, err := d.mem.Mem(sh)
 			if err != nil {
@@ -391,9 +351,9 @@ func (d *Daemon) Handler() http.Handler {
 			if len(log) > n {
 				log = log[len(log)-n:]
 			}
-			entries = make([]LogEntry, 0, len(log))
+			entries = make([]api.LogEntry, 0, len(log))
 			for _, a := range log {
-				entries = append(entries, LogEntry{
+				entries = append(entries, api.LogEntry{
 					View:   a.View.String(),
 					Rnd:    a.Rnd,
 					Member: int(a.Member),
@@ -401,22 +361,57 @@ func (d *Daemon) Handler() http.Handler {
 				})
 			}
 		}) {
-			httpErr(w, http.StatusServiceUnavailable, "node is down")
+			nodeDown(w)
 			return
 		}
-		writeJSON(w, entries)
+		api.WriteJSON(w, entries)
 	})
 
-	return mux
+	return envelopeFallbacks(mux)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+// envelopeFallbacks wraps the mux so its built-in plain-text 404/405
+// responses (unknown route, known route with the wrong method) carry
+// the uniform JSON envelope instead: the contract promises
+// application/json on every response. Handler-written JSON errors pass
+// through untouched — they set their Content-Type before WriteHeader.
+func envelopeFallbacks(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+	})
 }
 
-func httpErr(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+type envelopeWriter struct {
+	http.ResponseWriter
+	// rewrote: the plain-text error was replaced with an envelope and
+	// the original body must be swallowed.
+	rewrote bool
+	wrote   bool
+}
+
+func (w *envelopeWriter) WriteHeader(code int) {
+	w.wrote = true
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.Contains(w.Header().Get("Content-Type"), "json") {
+		w.rewrote = true
+		code2 := api.CodeNotFound
+		if code == http.StatusMethodNotAllowed {
+			code2 = api.CodeMethodNotAllowed
+		}
+		e := api.Errorf(code2, "%s", strings.ToLower(http.StatusText(code)))
+		e.HTTPStatus = code
+		api.WriteError(w.ResponseWriter, e)
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
+	if w.rewrote {
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,8 @@ import (
 	"repro/internal/shard"
 	"repro/internal/transport"
 	"repro/internal/transport/inproc"
+	"repro/pkg/api"
+	"repro/pkg/client"
 )
 
 // soloDaemon boots a single-node daemon (a 1-member cluster serves by
@@ -33,7 +36,17 @@ func soloDaemon(t *testing.T, shards int, opTimeout time.Duration) (*Daemon, *ht
 	return d, srv
 }
 
-func doReq(t *testing.T, method, url string, body string) (int, []byte) {
+// soloClient builds a pkg/client over one test server.
+func soloClient(t *testing.T, srv *httptest.Server, shards int) *client.Client {
+	t.Helper()
+	c, err := client.New([]string{srv.URL}, client.WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func doReq(t *testing.T, method, url string, body string) (*http.Response, []byte) {
 	t.Helper()
 	req, err := http.NewRequest(method, url, strings.NewReader(body))
 	if err != nil {
@@ -48,55 +61,93 @@ func doReq(t *testing.T, method, url string, body string) (int, []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp.StatusCode, data
+	return resp, data
 }
 
-// TestRegHandlersRejectEmptyNames: satellite hardening — register
-// operations on empty or all-whitespace names answer 400, never reach
-// the stack.
-func TestRegHandlersRejectEmptyNames(t *testing.T) {
-	_, srv := soloDaemon(t, 1, time.Second)
-	cases := []struct{ method, path string }{
-		{http.MethodPut, "/v1/reg/"},
-		{http.MethodPost, "/v1/reg/"},
-		{http.MethodGet, "/v1/reg/"},
-		{http.MethodPut, "/v1/reg/%20"},
-		{http.MethodGet, "/v1/reg/%20%09"},
+// TestErrorEnvelopeContract: every error path of the API answers the
+// uniform {code, error, shard?} envelope under Content-Type
+// application/json — including the mux fallbacks (unknown route, wrong
+// method), which the stdlib would otherwise serve as plain text.
+func TestErrorEnvelopeContract(t *testing.T) {
+	_, srv := soloDaemon(t, 2, time.Second)
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+		wantCode                 string
+		wantShard                *int
+	}{
+		{"bad shard path", http.MethodGet, "/v1/shards/7", "", 400, api.CodeBadShard, nil},
+		{"negative shard", http.MethodGet, "/v1/shards/-1", "", 400, api.CodeBadShard, nil},
+		{"non-numeric shard", http.MethodGet, "/v1/smr/log?shard=banana", "", 400, api.CodeBadShard, nil},
+		{"propose bad shard", http.MethodPost, "/v1/smr/propose?shard=9", `{"key":"k"}`, 400, api.CodeBadShard, nil},
+		{"empty register", http.MethodPut, "/v1/reg/", "v", 400, api.CodeEmptyRegister, nil},
+		{"whitespace register", http.MethodGet, "/v1/reg/%20%09", "", 400, api.CodeEmptyRegister, nil},
+		{"propose bad json", http.MethodPost, "/v1/smr/propose?shard=1", "not json", 400, api.CodeBadRequest, ptr(1)},
+		{"unknown route", http.MethodGet, "/v1/nope", "", 404, api.CodeNotFound, nil},
+		{"method not allowed", http.MethodDelete, "/v1/status", "", 405, api.CodeMethodNotAllowed, nil},
+		{"propose wrong method", http.MethodGet, "/v1/smr/propose", "", 405, api.CodeMethodNotAllowed, nil},
 	}
 	for _, c := range cases {
-		code, body := doReq(t, c.method, srv.URL+c.path, "v")
-		if code != http.StatusBadRequest {
-			t.Errorf("%s %s: status %d (%s), want 400", c.method, c.path, code, body)
+		t.Run(c.name, func(t *testing.T) {
+			resp, data := doReq(t, c.method, srv.URL+c.path, c.body)
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status %d (%s), want %d", resp.StatusCode, data, c.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+			e := api.DecodeError(resp.StatusCode, data)
+			if e.Code != c.wantCode {
+				t.Fatalf("code %q (%s), want %q", e.Code, data, c.wantCode)
+			}
+			if e.Message == "" {
+				t.Fatalf("empty error message in %s", data)
+			}
+			if c.wantShard != nil && (e.Shard == nil || *e.Shard != *c.wantShard) {
+				t.Fatalf("shard %v, want %d", e.Shard, *c.wantShard)
+			}
+		})
+	}
+}
+
+func ptr(i int) *int { return &i }
+
+// TestEveryResponseIsJSON: 200s carry the contract Content-Type too.
+func TestEveryResponseIsJSON(t *testing.T) {
+	_, srv := soloDaemon(t, 1, time.Second)
+	for _, path := range []string{"/v1/healthz", "/v1/status", "/v1/shards", "/v1/shards/0", "/v1/reg/x", "/v1/smr/log"} {
+		resp, data := doReq(t, http.MethodGet, srv.URL+path, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d (%s)", path, resp.StatusCode, data)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s: Content-Type %q", path, ct)
 		}
 	}
 }
 
-// TestShardEndpointsRejectBadShard covers the bad-shard error paths of
-// the per-shard status and SMR endpoints.
-func TestShardEndpointsRejectBadShard(t *testing.T) {
-	_, srv := soloDaemon(t, 2, time.Second)
-	for _, path := range []string{
-		"/v1/shards/7",
-		"/v1/shards/-1",
-		"/v1/shards/x",
-		"/v1/smr/log?shard=2",
-		"/v1/smr/log?shard=banana",
-	} {
-		code, body := doReq(t, http.MethodGet, srv.URL+path, "")
-		if code != http.StatusBadRequest {
-			t.Errorf("GET %s: status %d (%s), want 400", path, code, body)
-		}
+// TestHealthzIsCheapLiveness: healthz answers without entering the
+// node's execution context and reports the node id.
+func TestHealthzIsCheapLiveness(t *testing.T) {
+	_, srv := soloDaemon(t, 1, time.Second)
+	resp, data := doReq(t, http.MethodGet, srv.URL+"/v1/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d (%s)", resp.StatusCode, data)
 	}
-	code, body := doReq(t, http.MethodPost, srv.URL+"/v1/smr/propose?shard=9",
-		`{"key":"k","value":"v"}`)
-	if code != http.StatusBadRequest {
-		t.Errorf("propose bad shard: status %d (%s), want 400", code, body)
+	var h api.Health
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.ID != 1 {
+		t.Fatalf("healthz %+v", h)
 	}
 }
 
 // TestWriteTimesOutWithoutQuorum: a node whose initial configuration
 // includes an unreachable majority cannot complete writes; the handler
-// reports 504 after the operation deadline instead of hanging.
+// reports a timeout envelope after the operation deadline instead of
+// hanging, naming the shard the operation was routed to.
 func TestWriteTimesOutWithoutQuorum(t *testing.T) {
 	tr := inproc.New(32, transport.Options{Capacity: 64, TickEvery: time.Millisecond})
 	defer tr.Close()
@@ -109,28 +160,43 @@ func TestWriteTimesOutWithoutQuorum(t *testing.T) {
 	}
 	srv := httptest.NewServer(d.Handler())
 	defer srv.Close()
-	code, body := doReq(t, http.MethodPut, srv.URL+"/v1/reg/stuck", "value")
-	if code != http.StatusGatewayTimeout {
-		t.Fatalf("write without quorum: status %d (%s), want 504", code, body)
+	resp, data := doReq(t, http.MethodPut, srv.URL+"/v1/reg/stuck", "value")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("write without quorum: status %d (%s), want 504", resp.StatusCode, data)
 	}
-	code, body = doReq(t, http.MethodGet, srv.URL+"/v1/reg/stuck?sync=1", "")
-	if code != http.StatusGatewayTimeout {
-		t.Fatalf("sync read without quorum: status %d (%s), want 504", code, body)
+	e := api.DecodeError(resp.StatusCode, data)
+	if e.Code != api.CodeTimeout || e.Shard == nil || *e.Shard != 0 {
+		t.Fatalf("write timeout envelope %+v (%s)", e, data)
+	}
+	resp, data = doReq(t, http.MethodGet, srv.URL+"/v1/reg/stuck?sync=1", "")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("sync read without quorum: status %d (%s), want 504", resp.StatusCode, data)
+	}
+	if e := api.DecodeError(resp.StatusCode, data); e.Code != api.CodeTimeout {
+		t.Fatalf("sync-read timeout envelope %+v", e)
+	}
+	// Liveness keeps answering while operations stall.
+	resp, _ = doReq(t, http.MethodGet, srv.URL+"/v1/healthz", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz during stall: %d", resp.StatusCode)
 	}
 }
 
 // TestShardedDaemonServesAcrossShards: a solo daemon with 4 shards
 // reaches serving on every shard, routes writes by the shared hash
-// router, and reports consistent per-shard status.
+// router, and reports consistent per-shard status — all through the
+// public pkg/client.
 func TestShardedDaemonServesAcrossShards(t *testing.T) {
 	const shards = 4
 	_, srv := soloDaemon(t, shards, 10*time.Second)
-	c := &client{base: srv.URL, http: srv.Client()}
-	if err := c.wait(30*time.Second, 0); err != nil {
+	c := soloClient(t, srv, shards)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.WaitServing(ctx, 0); err != nil {
 		t.Fatalf("sharded solo daemon never served: %v", err)
 	}
 
-	st, err := c.status()
+	st, err := c.Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +209,12 @@ func TestShardedDaemonServesAcrossShards(t *testing.T) {
 		}
 	}
 
-	// Writes land on the shard the router names, and reads agree.
+	// Writes land on the shard the router names — pkg/client verifies
+	// the echoed shard against the same router — and reads agree.
 	written := map[int]string{}
 	for want, group := range shard.NamesPerShard(shards, 1) {
 		name := group[0]
-		resp, err := c.put(name, fmt.Sprintf("val%d", want))
+		resp, err := c.Write(ctx, name, fmt.Sprintf("val%d", want))
 		if err != nil {
 			t.Fatalf("put %s: %v", name, err)
 		}
@@ -157,7 +224,7 @@ func TestShardedDaemonServesAcrossShards(t *testing.T) {
 		written[want] = name
 	}
 	for sh, name := range written {
-		got, err := c.get(name, true)
+		got, err := c.SyncRead(ctx, name)
 		if err != nil {
 			t.Fatalf("sync-get %s: %v", name, err)
 		}
@@ -168,8 +235,8 @@ func TestShardedDaemonServesAcrossShards(t *testing.T) {
 
 	// Per-shard status shows the writes distributed: every shard holds
 	// exactly one register.
-	var perShard []ShardStatus
-	if err := getJSON(srv.URL+"/v1/shards", &perShard); err != nil {
+	perShard, err := c.ShardStatuses(ctx)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for _, sh := range perShard {
@@ -177,23 +244,23 @@ func TestShardedDaemonServesAcrossShards(t *testing.T) {
 			t.Errorf("shard %d holds %d registers, want 1", sh.Shard, sh.Registers)
 		}
 	}
-	var one ShardStatus
-	if err := getJSON(srv.URL+"/v1/shards/2", &one); err != nil {
+	one, err := c.ShardStatus(ctx, 2)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if one.Shard != 2 {
 		t.Errorf("GET /v1/shards/2 returned shard %d", one.Shard)
 	}
-}
 
-func getJSON(url string, out any) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
+	// Awkward register names survive the URL round trip — including
+	// the dot segments HTTP path cleaning would otherwise swallow.
+	for _, name := range []string{".", "..", "a/b", "sp ace"} {
+		if _, err := c.Write(ctx, name, "odd"); err != nil {
+			t.Fatalf("write %q: %v", name, err)
+		}
+		got, err := c.SyncRead(ctx, name)
+		if err != nil || !got.Found || got.Value != "odd" || got.Name != name {
+			t.Fatalf("round trip of %q = %+v, %v", name, got, err)
+		}
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s", url, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -17,9 +17,17 @@
 // layer and transport; register names route to shards by deterministic
 // hash, so every node and client agrees on placement.
 //
+// The HTTP surface is the versioned /v1 contract defined in
+// repro/pkg/api (typed documents, uniform JSON error envelope); the
+// client subcommand is a thin CLI over the cluster-aware
+// repro/pkg/client (multi-endpoint failover, client-side shard
+// routing). Use repro/cmd/nodeload to put load on a cluster.
+//
 // Client:
 //
 //	noded client -addr http://127.0.0.1:8101 status
+//	noded client -addr url1,url2,... [-shards 4] ...   # failover + shard routing
+//	noded client -addr ... healthz
 //	noded client -addr ... wait [-exclude 3] [-timeout 60s]
 //	noded client -addr ... put <register> <value>
 //	noded client -addr ... get <register> | sync-get <register>

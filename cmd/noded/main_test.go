@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/transport"
 	"repro/internal/transport/inproc"
+	"repro/pkg/client"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -63,8 +65,9 @@ func TestDaemonClusterEndToEnd(t *testing.T) {
 	})
 	defer tr.Close()
 
+	ctx := context.Background()
 	all := ids.Range(1, 3)
-	clients := make(map[ids.ID]*client)
+	clients := make(map[ids.ID]*client.Client)
 	for i := ids.ID(1); i <= 3; i++ {
 		d, err := NewDaemon(tr, i, all, all, 2, 16, 20*time.Second)
 		if err != nil {
@@ -72,22 +75,33 @@ func TestDaemonClusterEndToEnd(t *testing.T) {
 		}
 		srv := httptest.NewServer(d.Handler())
 		defer srv.Close()
-		clients[i] = &client{base: srv.URL, http: srv.Client()}
+		// One single-endpoint client per node: the waits below are
+		// per-node, so no failover is wanted here.
+		clients[i], err = client.New([]string{srv.URL}, client.WithShards(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wait := func(i ids.ID, timeout time.Duration, exclude int) error {
+		wctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		_, err := clients[i].WaitServing(wctx, exclude)
+		return err
 	}
 
 	// Bootstrap: every node reaches serving state.
 	for i := ids.ID(1); i <= 3; i++ {
-		if err := clients[i].wait(60*time.Second, 0); err != nil {
+		if err := wait(i, 60*time.Second, 0); err != nil {
 			t.Fatalf("node %v never served: %v", i, err)
 		}
 	}
 
 	// Write through one node, read through another (sync read flushes a
 	// marker round, so it must observe the completed write).
-	if _, err := clients[1].put("greeting", "hello"); err != nil {
+	if _, err := clients[1].Write(ctx, "greeting", "hello"); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	got, err := clients[2].get("greeting", true)
+	got, err := clients[2].SyncRead(ctx, "greeting")
 	if err != nil {
 		t.Fatalf("sync-get: %v", err)
 	}
@@ -96,13 +110,13 @@ func TestDaemonClusterEndToEnd(t *testing.T) {
 	}
 
 	// Propose a raw SMR command (addressed to shard 1 of 2).
-	if err := clients[3].propose("audit", "1", 1); err != nil {
-		t.Fatalf("propose: %v", err)
+	if resp, err := clients[3].Propose(ctx, 1, "audit", "1"); err != nil || !resp.Accepted || resp.Shard != 1 {
+		t.Fatalf("propose: %+v, %v", resp, err)
 	}
 
 	// Kill a non-coordinator member; the survivors must drive a
 	// delicate reconfiguration and serve again without the victim.
-	st, err := clients[1].status()
+	st, err := clients[1].Status(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,20 +131,20 @@ func TestDaemonClusterEndToEnd(t *testing.T) {
 		if i == victim {
 			continue
 		}
-		if err := clients[i].wait(120*time.Second, int(victim)); err != nil {
+		if err := wait(i, 120*time.Second, int(victim)); err != nil {
 			t.Fatalf("node %v never reconfigured away from %v: %v", i, victim, err)
 		}
 	}
 
 	// The service survived: old state is intact and new writes work.
-	if _, err := clients[1].put("after", "reconfig"); err != nil {
+	if _, err := clients[1].Write(ctx, "after", "reconfig"); err != nil {
 		t.Fatalf("post-reconfig put: %v", err)
 	}
 	for _, i := range []ids.ID{1, 2, 3} {
 		if i == victim {
 			continue
 		}
-		got, err := clients[i].get("greeting", false)
+		got, err := clients[i].Read(ctx, "greeting")
 		if err != nil {
 			t.Fatalf("post-reconfig get on %v: %v", i, err)
 		}

@@ -1,0 +1,354 @@
+// Command nodeload is the client-side load generator for a noded
+// cluster (ROADMAP: compare simnet-predicted E9/E11 latency with live
+// TCP numbers). It drives many concurrent clients through the public
+// repro/pkg/client — multi-endpoint failover, client-side shard
+// routing — against the cluster's /v1 API and reports throughput plus
+// p50/p95/p99 latency per operation class (write, sync-read), emitted
+// through the experiment engine's table/CSV/JSON writers so live
+// numbers land in the same formats as the simnet experiment tables.
+//
+// Usage:
+//
+//	nodeload -addrs http://127.0.0.1:8141,http://127.0.0.1:8142,... \
+//	         [-clients 8] [-duration 5s] [-ratio 0.5] [-shards 1] \
+//	         [-keys 4] [-timeout 10s] [-wait 60s] [-seed 1] \
+//	         [-format table|csv|json] [-out DIR]
+//
+// -ratio is the write fraction of the mixed workload (the rest are
+// sync-reads, the linearizable read path). With -shards N the key set
+// is built from shard.NamesPerShard so every shard receives traffic,
+// and the shared client routes each key's requests to the shard's
+// preferred endpoint — the client-side shard-aware connection pool.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments/engine"
+	"repro/internal/shard"
+	"repro/pkg/client"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fatal(err)
+	}
+	c, err := client.New(cfg.addrs,
+		client.WithShards(cfg.shards), client.WithTimeout(cfg.timeout))
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if cfg.wait > 0 {
+		wctx, cancel := context.WithTimeout(ctx, cfg.wait)
+		err := waitCluster(wctx, cfg)
+		cancel()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "nodeload: %d clients × %v against %d endpoint(s), write ratio %.2f, %d shard(s), %d key(s)\n",
+		cfg.clients, cfg.duration, len(cfg.addrs), cfg.ratio, cfg.shards, cfg.keys*cfg.shards)
+	res := drive(ctx, c, cfg)
+	rep := buildReport(cfg, res)
+	if err := emit(rep, cfg.format, cfg.out); err != nil {
+		fatal(err)
+	}
+	if res.write.ops+res.sread.ops == 0 {
+		fatal(fmt.Errorf("no operation completed (write errs %d, sync-read errs %d, last: %v)",
+			res.write.errs, res.sread.errs, res.lastErr))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nodeload:", err)
+	os.Exit(1)
+}
+
+type config struct {
+	addrs    []string
+	clients  int
+	duration time.Duration
+	ratio    float64
+	shards   int
+	keys     int
+	timeout  time.Duration
+	wait     time.Duration
+	seed     int64
+	format   string
+	out      string
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("nodeload", flag.ContinueOnError)
+	var (
+		addrs    = fs.String("addrs", "", "comma-separated daemon API base URLs (required; all cluster nodes for failover + shard routing)")
+		clients  = fs.Int("clients", 8, "concurrent client workers")
+		duration = fs.Duration("duration", 5*time.Second, "workload duration")
+		ratio    = fs.Float64("ratio", 0.5, "write fraction of the mix (rest are sync-reads), 0..1")
+		shards   = fs.Int("shards", 1, "cluster shard count (shard-aware key routing)")
+		keys     = fs.Int("keys", 4, "distinct registers per shard")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-operation deadline")
+		wait     = fs.Duration("wait", 60*time.Second, "wait for every endpoint to serve before loading (0 = skip)")
+		seed     = fs.Int64("seed", 1, "workload random seed")
+		format   = fs.String("format", "table", "output format: table, csv or json")
+		out      = fs.String("out", "", "write results to files in DIR instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
+	}
+	cfg := config{
+		clients: *clients, duration: *duration, ratio: *ratio,
+		shards: *shards, keys: *keys, timeout: *timeout, wait: *wait,
+		seed: *seed, format: *format, out: *out,
+	}
+	for _, a := range strings.Split(*addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			cfg.addrs = append(cfg.addrs, a)
+		}
+	}
+	if len(cfg.addrs) == 0 {
+		return config{}, fmt.Errorf("-addrs is required")
+	}
+	if cfg.clients < 1 {
+		return config{}, fmt.Errorf("-clients must be >= 1")
+	}
+	if cfg.duration <= 0 {
+		return config{}, fmt.Errorf("-duration must be positive")
+	}
+	if cfg.ratio < 0 || cfg.ratio > 1 {
+		return config{}, fmt.Errorf("-ratio must be in [0,1]")
+	}
+	if cfg.shards < 1 {
+		return config{}, fmt.Errorf("-shards must be >= 1")
+	}
+	if cfg.keys < 1 {
+		return config{}, fmt.Errorf("-keys must be >= 1")
+	}
+	switch cfg.format {
+	case "table", "csv", "json":
+	default:
+		return config{}, fmt.Errorf("unknown format %q", cfg.format)
+	}
+	return cfg, nil
+}
+
+// waitCluster waits for every endpoint individually: load must only
+// start once each node serves, not merely some node.
+func waitCluster(ctx context.Context, cfg config) error {
+	for _, a := range cfg.addrs {
+		one, err := client.New([]string{a}, client.WithShards(cfg.shards))
+		if err != nil {
+			return err
+		}
+		_, err = one.WaitServing(ctx, 0)
+		one.Close()
+		if err != nil {
+			return fmt.Errorf("endpoint %s never served: %w", a, err)
+		}
+	}
+	return nil
+}
+
+// classStats accumulates one operation class's measurements.
+type classStats struct {
+	latMS []float64 // completed-operation latencies, milliseconds
+	ops   int
+	errs  int
+}
+
+func (s *classStats) merge(o classStats) {
+	s.latMS = append(s.latMS, o.latMS...)
+	s.ops += o.ops
+	s.errs += o.errs
+}
+
+type result struct {
+	write, sread classStats
+	elapsed      time.Duration
+	lastErr      error
+}
+
+// drive runs the mixed workload: cfg.clients workers sharing one
+// cluster client, each picking a key (spread over every shard) and an
+// operation (write with probability cfg.ratio, else sync-read) per
+// iteration until the duration elapses.
+func drive(ctx context.Context, c *client.Client, cfg config) result {
+	keys := make([]string, 0, cfg.shards*cfg.keys)
+	for _, group := range shard.NamesPerShard(cfg.shards, cfg.keys) {
+		keys = append(keys, group...)
+	}
+	var (
+		mu  sync.Mutex
+		res result
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+			var write, sread classStats
+			var lastErr error
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				key := keys[rng.Intn(len(keys))]
+				isWrite := rng.Float64() < cfg.ratio
+				t0 := time.Now()
+				var err error
+				if isWrite {
+					_, err = c.Write(ctx, key, fmt.Sprintf("w%d-%d", w, seq))
+				} else {
+					_, err = c.SyncRead(ctx, key)
+				}
+				lat := time.Since(t0)
+				st := &sread
+				if isWrite {
+					st = &write
+				}
+				if err != nil {
+					st.errs++
+					lastErr = err
+					continue
+				}
+				st.ops++
+				st.latMS = append(st.latMS, float64(lat)/float64(time.Millisecond))
+			}
+			mu.Lock()
+			res.write.merge(write)
+			res.sread.merge(sread)
+			if lastErr != nil {
+				res.lastErr = lastErr
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	return res
+}
+
+// percentile returns the p-th percentile (nearest-rank) of a sorted
+// sample; 0 for an empty one.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// buildReport folds the measurements into an engine.Report so the
+// existing emitters (table for humans, CSV/JSON for tooling and CI)
+// render it; N is the client count, the report's natural x-axis.
+func buildReport(cfg config, res result) *engine.Report {
+	secs := res.elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	note := fmt.Sprintf("%d clients, %v, ratio %.2f, %d shards, %d endpoints",
+		cfg.clients, res.elapsed.Round(time.Millisecond), cfg.ratio, cfg.shards, len(cfg.addrs))
+	rep := &engine.Report{Seed: cfg.seed, Repeats: 1}
+	add := func(series, metric string, value float64, valid bool, rowNote string) {
+		cell := engine.Result{
+			Cell:  engine.Cell{Experiment: "nodeload", Series: series, N: cfg.clients, Seed: cfg.seed},
+			Value: value, Valid: valid, Note: rowNote,
+		}
+		rep.Cells = append(rep.Cells, cell)
+		rep.Summary = append(rep.Summary, engine.Summary{
+			Experiment: "nodeload", Series: series, Metric: metric,
+			N: cfg.clients, Repeats: 1, Valid: b2i(valid),
+			Mean: value, Min: value, Max: value,
+		})
+	}
+	class := func(name string, st classStats) {
+		sort.Float64s(st.latMS)
+		ok := st.ops > 0
+		add(name+".ops", "count", float64(st.ops), ok, note)
+		add(name+".throughput_ops_s", "ops/s", float64(st.ops)/secs, ok, "")
+		add(name+".p50_ms", "ms", percentile(st.latMS, 50), ok, "")
+		add(name+".p95_ms", "ms", percentile(st.latMS, 95), ok, "")
+		add(name+".p99_ms", "ms", percentile(st.latMS, 99), ok, "")
+		add(name+".errors", "count", float64(st.errs), true, "")
+	}
+	class("write", res.write)
+	class("sync-read", res.sread)
+	total := res.write.ops + res.sread.ops
+	add("total.throughput_ops_s", "ops/s", float64(total)/secs, total > 0, "")
+	return rep
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// emit mirrors benchtab's output contract: stdout by default, files
+// under -out DIR (cells.csv + summary.csv, results.json, results.txt).
+func emit(rep *engine.Report, format, dir string) error {
+	if dir == "" {
+		switch format {
+		case "csv":
+			if err := engine.WriteCellsCSV(os.Stdout, rep); err != nil {
+				return err
+			}
+			fmt.Println()
+			return engine.WriteSummaryCSV(os.Stdout, rep)
+		case "json":
+			return engine.WriteJSON(os.Stdout, rep)
+		default:
+			return engine.WriteTable(os.Stdout, rep)
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(io.Writer, *engine.Report) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", filepath.Join(dir, name))
+		return nil
+	}
+	switch format {
+	case "csv":
+		if err := write("cells.csv", engine.WriteCellsCSV); err != nil {
+			return err
+		}
+		return write("summary.csv", engine.WriteSummaryCSV)
+	case "json":
+		return write("results.json", engine.WriteJSON)
+	default:
+		return write("results.txt", engine.WriteTable)
+	}
+}

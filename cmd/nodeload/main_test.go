@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apitest"
+	"repro/pkg/client"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addrs", "127.0.0.1:8141, http://h:2,", "-clients", "3",
+		"-duration", "250ms", "-ratio", "0.8", "-shards", "2", "-format", "csv",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.addrs) != 2 || cfg.clients != 3 || cfg.duration != 250*time.Millisecond ||
+		cfg.ratio != 0.8 || cfg.shards != 2 || cfg.format != "csv" {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	bad := [][]string{
+		{},                                   // missing -addrs
+		{"-addrs", "h:1", "-clients", "0"},   // no workers
+		{"-addrs", "h:1", "-ratio", "1.5"},   // ratio out of range
+		{"-addrs", "h:1", "-ratio", "-0.1"},  // ratio out of range
+		{"-addrs", "h:1", "-duration", "0s"}, // no duration
+		{"-addrs", "h:1", "-shards", "0"},    // bad shard count
+		{"-addrs", "h:1", "-keys", "0"},      // no keys
+		{"-addrs", "h:1", "-format", "xml"},  // unknown format
+	}
+	for _, args := range bad {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p, want float64
+	}{
+		{50, 5}, {95, 10}, {99, 10}, {100, 10}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("p%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("empty sample must report 0")
+	}
+	if got := percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("singleton p99 = %g", got)
+	}
+}
+
+// TestDriveMixedWorkload: the workload loop spreads a write/sync-read
+// mix across every shard and both endpoints (fake cluster from
+// internal/apitest), and the report carries nonzero throughput and
+// parseable percentiles for both classes.
+func TestDriveMixedWorkload(t *testing.T) {
+	const shards = 2
+	nodes := apitest.Cluster(2, shards)
+	var addrs []string
+	for _, n := range nodes {
+		srv := httptest.NewServer(n.Handler())
+		defer srv.Close()
+		addrs = append(addrs, srv.URL)
+	}
+	cfg, err := parseFlags([]string{
+		"-addrs", strings.Join(addrs, ","), "-clients", "4",
+		"-duration", "300ms", "-ratio", "0.5", "-shards", "2", "-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.New(cfg.addrs, client.WithShards(cfg.shards), client.WithTimeout(cfg.timeout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := drive(context.Background(), c, cfg)
+	if res.write.ops == 0 || res.sread.ops == 0 {
+		t.Fatalf("mixed workload ran no ops: %+v / %+v (last err %v)", res.write, res.sread, res.lastErr)
+	}
+	if res.write.errs != 0 || res.sread.errs != 0 {
+		t.Fatalf("errors against healthy fakes: %+v / %+v (last err %v)", res.write, res.sread, res.lastErr)
+	}
+	for _, n := range nodes {
+		if n.Hits.Load() == 0 {
+			t.Fatal("an endpoint saw no traffic: shard routing never spread the load")
+		}
+	}
+
+	rep := buildReport(cfg, res)
+	series := map[string]float64{}
+	valid := map[string]bool{}
+	for _, s := range rep.Summary {
+		series[s.Series] = s.Mean
+		valid[s.Series] = s.Valid == s.Repeats
+	}
+	for _, key := range []string{
+		"write.throughput_ops_s", "write.p50_ms", "write.p95_ms", "write.p99_ms",
+		"sync-read.throughput_ops_s", "sync-read.p50_ms", "sync-read.p95_ms", "sync-read.p99_ms",
+		"total.throughput_ops_s",
+	} {
+		v, ok := series[key]
+		if !ok {
+			t.Fatalf("report lacks series %q", key)
+		}
+		if v <= 0 || !valid[key] {
+			t.Errorf("series %q = %g (valid=%v), want positive and valid", key, v, valid[key])
+		}
+	}
+	if series["write.errors"] != 0 || series["sync-read.errors"] != 0 {
+		t.Errorf("error series nonzero: %g / %g", series["write.errors"], series["sync-read.errors"])
+	}
+	// Percentiles are ordered.
+	if series["write.p50_ms"] > series["write.p95_ms"] || series["write.p95_ms"] > series["write.p99_ms"] {
+		t.Errorf("write percentiles unordered: %g / %g / %g",
+			series["write.p50_ms"], series["write.p95_ms"], series["write.p99_ms"])
+	}
+}
+
+// TestBuildReportEmptyRun: a run that completed nothing marks its
+// percentile and throughput rows invalid instead of fabricating zeros
+// as valid measurements.
+func TestBuildReportEmptyRun(t *testing.T) {
+	cfg := config{clients: 2, seed: 1, ratio: 1, shards: 1, addrs: []string{"x"}}
+	rep := buildReport(cfg, result{elapsed: time.Second, write: classStats{errs: 5}})
+	for _, s := range rep.Summary {
+		switch {
+		case strings.HasSuffix(s.Series, ".errors"):
+			if s.Valid != 1 {
+				t.Errorf("%s should stay valid", s.Series)
+			}
+		case strings.HasPrefix(s.Series, "write.") || strings.HasPrefix(s.Series, "total."):
+			if s.Valid != 0 {
+				t.Errorf("%s valid=%d, want 0 on an empty run", s.Series, s.Valid)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package apitest provides an in-memory fake of the /v1 client-API
+// contract (repro/pkg/api) for tests that need a cluster-shaped server
+// without a live stack: pkg/client's routing/failover tests and
+// cmd/nodeload's workload tests share it, so the fake tracks the wire
+// contract in exactly one place.
+package apitest
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/shard"
+	"repro/pkg/api"
+)
+
+// Node fakes one noded process. Nodes constructed over the same Store
+// act as one replicated cluster (every write is instantly visible on
+// every node). Failing flips the node into answering 503 envelopes on
+// every route — the mid-run failure mode of the failover tests. Hits
+// counts every request the node saw.
+type Node struct {
+	ID      int
+	Shards  int
+	Store   *sync.Map
+	Failing atomic.Bool
+	Hits    atomic.Int64
+}
+
+// Cluster builds n healthy nodes over one shared store.
+func Cluster(n, shards int) []*Node {
+	store := &sync.Map{}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{ID: i + 1, Shards: shards, Store: store}
+	}
+	return nodes
+}
+
+// Handler serves the fake's /v1 surface: healthz, status (always
+// serving, every shard in a view), and register read/sync-read/write
+// with the shard echo computed by the real router.
+func (f *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	serve := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			f.Hits.Add(1)
+			if f.Failing.Load() {
+				api.WriteError(w, api.Errorf(api.CodeUnavailable, "node is down"))
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("GET "+api.PathHealthz, serve(func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, api.Health{OK: true, ID: f.ID})
+	}))
+	mux.HandleFunc("GET "+api.PathStatus, serve(func(w http.ResponseWriter, r *http.Request) {
+		st := api.Status{ID: f.ID, Serving: true, Config: []int{1, 2}}
+		for i := 0; i < f.Shards; i++ {
+			st.Shards = append(st.Shards, api.ShardStatus{Shard: i, HasView: true, Serving: true})
+		}
+		api.WriteJSON(w, st)
+	}))
+	mux.HandleFunc("GET "+api.PathReg+"{name}", serve(func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		resp := api.RegResponse{Name: name, Shard: shard.ShardFor(name, f.Shards), Done: true}
+		if v, found := f.Store.Load(name); found {
+			resp.Value, resp.Found = v.(string), true
+		}
+		api.WriteJSON(w, resp)
+	}))
+	put := serve(func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		body, _ := io.ReadAll(io.LimitReader(r.Body, api.MaxBody))
+		f.Store.Store(name, string(body))
+		api.WriteJSON(w, api.RegResponse{
+			Name: name, Shard: shard.ShardFor(name, f.Shards), Value: string(body), Done: true,
+		})
+	})
+	mux.HandleFunc("PUT "+api.PathReg+"{name}", put)
+	mux.HandleFunc("POST "+api.PathReg+"{name}", put)
+	return mux
+}

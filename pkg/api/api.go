@@ -1,0 +1,314 @@
+// Package api is the versioned wire contract of the noded client API:
+// the typed request/response documents, the uniform JSON error envelope
+// with its canonical error codes, and the route constants. Daemon
+// (cmd/noded), client library (pkg/client), load generator
+// (cmd/nodeload) and tests all share these definitions, so the contract
+// lives in exactly one place.
+//
+// Every response — including every non-200 — carries
+// Content-Type: application/json. Errors are always the envelope
+//
+//	{"code": "<canonical code>", "error": "<human message>", "shard": i}
+//
+// where shard appears only when the failing operation was addressed to
+// a known shard. The envelope is versioned with the routes: a /v1
+// endpoint never changes the meaning of an existing field, it only adds
+// fields.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Version is the API version segment all routes live under.
+const Version = "v1"
+
+// Route constants of the /v1 contract. Register and per-shard routes
+// take a path parameter; use RegPath/ShardPath to build request URLs
+// with correct escaping.
+const (
+	PathStatus     = "/v1/status"
+	PathHealthz    = "/v1/healthz"
+	PathShards     = "/v1/shards"
+	PathReg        = "/v1/reg/"
+	PathSMRPropose = "/v1/smr/propose"
+	PathSMRLog     = "/v1/smr/log"
+)
+
+// MaxBody bounds request and response bodies on both sides of the wire.
+const MaxBody = 1 << 20
+
+// RegPath returns the route of one register, escaping the name so any
+// non-empty register name round-trips through the URL. The dot-segment
+// names "." and ".." are percent-encoded by hand: url.PathEscape
+// leaves them bare, and a bare dot segment would be rewritten away by
+// HTTP path cleaning before it ever reached the handler.
+func RegPath(name string) string {
+	switch name {
+	case ".":
+		return PathReg + "%2E"
+	case "..":
+		return PathReg + "%2E%2E"
+	}
+	return PathReg + url.PathEscape(name)
+}
+
+// ShardPath returns the route of one shard's status document.
+func ShardPath(i int) string {
+	return fmt.Sprintf("%s/%d", PathShards, i)
+}
+
+// Canonical error codes carried by the envelope. Clients should branch
+// on these, never on message text.
+const (
+	// CodeBadRequest: malformed request (unreadable body, bad JSON).
+	CodeBadRequest = "bad_request"
+	// CodeBadShard: the addressed shard index is malformed or outside
+	// the node's shard range.
+	CodeBadShard = "bad_shard"
+	// CodeEmptyRegister: the register name is empty or all whitespace.
+	CodeEmptyRegister = "empty_register"
+	// CodeNotFound: no such route.
+	CodeNotFound = "not_found"
+	// CodeMethodNotAllowed: the route exists but not for this method.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeOverload: the submission queue is full; retry after backoff.
+	CodeOverload = "overload"
+	// CodeUnavailable: the node is down or shutting down.
+	CodeUnavailable = "unavailable"
+	// CodeTimeout: the operation did not complete within the node's
+	// operation deadline (no quorum, mid-reconfiguration); retry.
+	CodeTimeout = "timeout"
+)
+
+// statusOf maps canonical codes to HTTP status codes.
+var statusOf = map[string]int{
+	CodeBadRequest:       http.StatusBadRequest,
+	CodeBadShard:         http.StatusBadRequest,
+	CodeEmptyRegister:    http.StatusBadRequest,
+	CodeNotFound:         http.StatusNotFound,
+	CodeMethodNotAllowed: http.StatusMethodNotAllowed,
+	CodeOverload:         http.StatusTooManyRequests,
+	CodeUnavailable:      http.StatusServiceUnavailable,
+	CodeTimeout:          http.StatusGatewayTimeout,
+}
+
+// StatusOf returns the HTTP status a canonical code is served with
+// (500 for unknown codes).
+func StatusOf(code string) int {
+	if s, ok := statusOf[code]; ok {
+		return s
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeFor returns the canonical code a bare HTTP status maps to, for
+// responses that did not carry a decodable envelope. Statuses shared
+// by several codes map to the most generic one.
+func CodeFor(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusTooManyRequests:
+		return CodeOverload
+	case http.StatusGatewayTimeout:
+		return CodeTimeout
+	}
+	if status >= 500 {
+		return CodeUnavailable
+	}
+	return CodeBadRequest
+}
+
+// Error is the uniform error envelope. It is both the wire document and
+// a Go error value: servers marshal it, clients unmarshal it and return
+// it from calls so callers can branch on Code (and HTTPStatus, which is
+// not serialized — it travels as the response status line).
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"error"`
+	// Shard is the shard the failing operation was addressed to, when
+	// the server knew it.
+	Shard *int `json:"shard,omitempty"`
+	// HTTPStatus is the status line the envelope traveled under;
+	// filled by the server from Code, and by the client from the
+	// response.
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Shard != nil {
+		return fmt.Sprintf("api: %s (shard %d): %s", e.Code, *e.Shard, e.Message)
+	}
+	return fmt.Sprintf("api: %s: %s", e.Code, e.Message)
+}
+
+// Errorf builds an envelope from a canonical code and a format string.
+func Errorf(code, format string, a ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, a...), HTTPStatus: StatusOf(code)}
+}
+
+// WithShard returns a copy of the envelope tagged with the shard the
+// operation was addressed to.
+func (e *Error) WithShard(shard int) *Error {
+	c := *e
+	c.Shard = &shard
+	return &c
+}
+
+// IsRetryable reports whether the error names a condition another node
+// (or a later retry) could serve: server-side faults and per-node
+// overload (each node's submission queue is its own — an idle peer may
+// accept what a busy one refused), not client mistakes.
+func (e *Error) IsRetryable() bool {
+	return e.HTTPStatus >= 500 || e.HTTPStatus == http.StatusTooManyRequests
+}
+
+// DecodeError reconstructs the envelope from a non-2xx response. Bodies
+// that are not an envelope (intermediaries, panics) are folded into a
+// synthetic one so callers always get canonical codes.
+func DecodeError(status int, body []byte) *Error {
+	var e Error
+	if json.Unmarshal(body, &e) == nil && e.Code != "" {
+		e.HTTPStatus = status
+		return &e
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	return &Error{Code: CodeFor(status), Message: msg, HTTPStatus: status}
+}
+
+// WriteJSON writes a 200 response document with the contract's
+// Content-Type.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the envelope under the status its code maps to
+// (HTTPStatus, when set, wins — it lets intercepted statuses pass
+// through unchanged).
+func WriteError(w http.ResponseWriter, e *Error) {
+	status := e.HTTPStatus
+	if status == 0 {
+		status = StatusOf(e.Code)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(e)
+}
+
+// Health is the liveness document at GET /v1/healthz. It is served
+// without touching the node's execution context, so it answers even
+// while the stack is wedged — liveness, not readiness; readiness is
+// Status.Serving.
+type Health struct {
+	OK bool `json:"ok"`
+	ID int  `json:"id"`
+}
+
+// Status is the introspection document at GET /v1/status. The top-level
+// view fields mirror shard 0 (the pre-sharding surface, which scripts
+// and older clients grep); Shards carries every shard's service-layer
+// state.
+type Status struct {
+	ID           int    `json:"id"`
+	Ticks        uint64 `json:"ticks"`
+	Participant  bool   `json:"participant"`
+	NoReco       bool   `json:"noReco"`
+	HasConfig    bool   `json:"hasConfig"`
+	Config       []int  `json:"config"`
+	Trusted      []int  `json:"trusted"`
+	Participants []int  `json:"participants"`
+	HasView      bool   `json:"hasView"`
+	ViewCoord    int    `json:"viewCoordinator"`
+	ViewMembers  []int  `json:"viewMembers"`
+	// Serving means the node can make progress on client operations: it
+	// participates, holds an agreed configuration, and every shard sits
+	// in an installed view.
+	Serving bool          `json:"serving"`
+	Shards  []ShardStatus `json:"shards"`
+}
+
+// ServingWithout reports whether the node serves and the given id has
+// left its configuration and every shard's view. exclude 0 means no
+// exclusion (node ids start at 1).
+func (s Status) ServingWithout(exclude int) bool {
+	if !s.Serving {
+		return false
+	}
+	if intsContain(s.Config, exclude) || intsContain(s.ViewMembers, exclude) {
+		return false
+	}
+	for _, sh := range s.Shards {
+		if intsContain(sh.ViewMembers, exclude) {
+			return false
+		}
+	}
+	return true
+}
+
+func intsContain(xs []int, x int) bool {
+	if x == 0 {
+		return false
+	}
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ShardStatus is one shard's service-layer state at GET /v1/shards and
+// /v1/shards/{shard}: the reconfiguration fields live on the singleton
+// layer (Status); only the view-bearing service layer is per shard.
+type ShardStatus struct {
+	Shard       int    `json:"shard"`
+	HasView     bool   `json:"hasView"`
+	ViewCoord   int    `json:"viewCoordinator,omitempty"`
+	ViewMembers []int  `json:"viewMembers,omitempty"`
+	Registers   int    `json:"registers"`
+	Rounds      uint64 `json:"rounds"`
+	Serving     bool   `json:"serving"`
+}
+
+// RegResponse answers register reads and writes. Shard echoes the shard
+// the server routed the register to; clients configured with the
+// cluster's shard count verify it against their own router.
+type RegResponse struct {
+	Name  string `json:"name"`
+	Shard int    `json:"shard"`
+	Value string `json:"value,omitempty"`
+	Found bool   `json:"found,omitempty"`
+	Done  bool   `json:"done"`
+}
+
+// ProposeRequest submits a raw SMR command at POST /v1/smr/propose.
+type ProposeRequest struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// ProposeResponse acknowledges an accepted SMR submission.
+type ProposeResponse struct {
+	Accepted bool `json:"accepted"`
+	Shard    int  `json:"shard"`
+}
+
+// LogEntry is one applied SMR command at GET /v1/smr/log.
+type LogEntry struct {
+	View   string `json:"view"`
+	Rnd    uint64 `json:"rnd"`
+	Member int    `json:"member"`
+	Cmd    string `json:"cmd"`
+}

@@ -1,0 +1,139 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegPathEscapes(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "/v1/reg/plain",
+		"a/b":     "/v1/reg/a%2Fb",
+		"sp ace":  "/v1/reg/sp%20ace",
+		"q?x=1&y": "/v1/reg/q%3Fx=1&y",
+		// Bare dot segments would be cleaned out of the path; they
+		// must travel percent-encoded.
+		".":  "/v1/reg/%2E",
+		"..": "/v1/reg/%2E%2E",
+	}
+	for name, want := range cases {
+		if got := RegPath(name); got != want {
+			t.Errorf("RegPath(%q) = %q, want %q", name, got, want)
+		}
+	}
+	if got := ShardPath(3); got != "/v1/shards/3" {
+		t.Errorf("ShardPath(3) = %q", got)
+	}
+}
+
+func TestStatusOfCodes(t *testing.T) {
+	cases := map[string]int{
+		CodeBadRequest:       http.StatusBadRequest,
+		CodeBadShard:         http.StatusBadRequest,
+		CodeEmptyRegister:    http.StatusBadRequest,
+		CodeNotFound:         http.StatusNotFound,
+		CodeMethodNotAllowed: http.StatusMethodNotAllowed,
+		CodeOverload:         http.StatusTooManyRequests,
+		CodeUnavailable:      http.StatusServiceUnavailable,
+		CodeTimeout:          http.StatusGatewayTimeout,
+	}
+	for code, want := range cases {
+		if got := StatusOf(code); got != want {
+			t.Errorf("StatusOf(%q) = %d, want %d", code, got, want)
+		}
+	}
+	if StatusOf("no-such-code") != http.StatusInternalServerError {
+		t.Error("unknown code should map to 500")
+	}
+}
+
+// TestErrorEnvelopeRoundTrip: WriteError → DecodeError preserves code,
+// message, shard and status, and the wire form is the documented
+// {code, error, shard?} shape.
+func TestErrorEnvelopeRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, Errorf(CodeTimeout, "write did not complete").WithShard(2))
+
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire["code"] != "timeout" || wire["error"] != "write did not complete" || wire["shard"] != float64(2) {
+		t.Fatalf("wire form %v", wire)
+	}
+
+	e := DecodeError(rec.Code, rec.Body.Bytes())
+	if e.Code != CodeTimeout || e.Message != "write did not complete" {
+		t.Fatalf("decoded %+v", e)
+	}
+	if e.Shard == nil || *e.Shard != 2 {
+		t.Fatalf("decoded shard %v", e.Shard)
+	}
+	if e.HTTPStatus != http.StatusGatewayTimeout || !e.IsRetryable() {
+		t.Fatalf("decoded status %d retryable=%v", e.HTTPStatus, e.IsRetryable())
+	}
+	if !strings.Contains(e.Error(), "timeout") || !strings.Contains(e.Error(), "shard 2") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+// TestDecodeErrorSynthesizesEnvelope: plain-text bodies (intermediaries,
+// panics) fold into a synthetic envelope with a canonical code.
+func TestDecodeErrorSynthesizesEnvelope(t *testing.T) {
+	e := DecodeError(http.StatusBadGateway, []byte("upstream exploded\n"))
+	if e.Code != CodeUnavailable || e.Message != "upstream exploded" || !e.IsRetryable() {
+		t.Fatalf("synthetic 502 envelope %+v", e)
+	}
+	e = DecodeError(http.StatusNotFound, nil)
+	if e.Code != CodeNotFound || e.Message != http.StatusText(http.StatusNotFound) {
+		t.Fatalf("synthetic 404 envelope %+v", e)
+	}
+	e = DecodeError(http.StatusTeapot, []byte(`{"weird":true}`))
+	if e.Code != CodeBadRequest || e.IsRetryable() {
+		t.Fatalf("synthetic 418 envelope %+v", e)
+	}
+	// Overload is retryable: the submission queue is per-node.
+	if !Errorf(CodeOverload, "queue full").IsRetryable() {
+		t.Error("429 overload must be retryable")
+	}
+	if Errorf(CodeBadShard, "bad").IsRetryable() {
+		t.Error("400 must not be retryable")
+	}
+}
+
+func TestServingWithout(t *testing.T) {
+	st := Status{
+		Serving:     true,
+		Config:      []int{1, 2},
+		ViewMembers: []int{1, 2},
+		Shards: []ShardStatus{
+			{Shard: 0, ViewMembers: []int{1, 2}},
+			{Shard: 1, ViewMembers: []int{1, 2, 3}},
+		},
+	}
+	if !st.ServingWithout(0) {
+		t.Error("exclude 0 must mean no exclusion")
+	}
+	if st.ServingWithout(2) {
+		t.Error("id 2 still in config/view")
+	}
+	if st.ServingWithout(3) {
+		t.Error("id 3 still in shard 1's view")
+	}
+	if !st.ServingWithout(9) {
+		t.Error("absent id should pass")
+	}
+	st.Serving = false
+	if st.ServingWithout(9) {
+		t.Error("non-serving node can never pass")
+	}
+}

@@ -1,0 +1,368 @@
+// Package client is the cluster-aware Go client for the noded HTTP API
+// (the /v1 contract in repro/pkg/api). One Client fronts a whole
+// cluster: it is built from every node's API endpoint, keeps a pooled
+// HTTP connection set per node, routes register operations to a
+// preferred node by the same deterministic hash router the servers use
+// (internal/shard.ShardFor), and fails over to the remaining nodes on
+// connect errors and 5xx responses. All operations take a context;
+// calls without a deadline get the client's default timeout.
+//
+// Shard routing is client-side by design: every node hosts every shard,
+// so any node can serve any request, but spreading shard s's traffic
+// onto endpoint s mod len(endpoints) keeps each shard's round pipeline
+// fed from a stable node and spreads load without a coordinator (the
+// same placement-by-hash argument DESIGN.md §9 makes for the servers).
+// When the client knows the cluster's shard count it also verifies the
+// Shard echoed in register responses against its own router, so a
+// client/cluster shard-count mismatch surfaces as an explicit error
+// instead of silent misrouting.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/shard"
+	"repro/pkg/api"
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithShards tells the client the cluster's register shard count, n ≥ 1.
+// It enables shard-aware endpoint routing for register operations and
+// verification of the Shard echoed in register responses. 0 (the
+// default) means unknown: register traffic round-robins and echoes are
+// not checked.
+func WithShards(n int) Option {
+	return func(c *Client) { c.shards = n }
+}
+
+// WithTimeout sets the default per-call deadline applied when the
+// caller's context has none. The default is 30s; 0 disables it.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithPasses sets how many full passes over the endpoint list one call
+// may make before giving up (default 1: every node is tried once).
+func WithPasses(n int) Option {
+	return func(c *Client) {
+		if n >= 1 {
+			c.passes = n
+		}
+	}
+}
+
+// Client is a cluster-aware noded API client. It is safe for concurrent
+// use; the load generator shares one Client across all its workers.
+type Client struct {
+	endpoints []string
+	nodes     []*http.Client
+	shards    int
+	timeout   time.Duration
+	passes    int
+	rr        atomic.Uint64
+}
+
+// New builds a client over the given node API endpoints ("host:port" or
+// full "http://host:port" base URLs). At least one endpoint is
+// required; order is preserved and defines the shard→endpoint mapping.
+func New(endpoints []string, opts ...Option) (*Client, error) {
+	c := &Client{timeout: 30 * time.Second, passes: 1}
+	for _, e := range endpoints {
+		e = strings.TrimRight(strings.TrimSpace(e), "/")
+		if e == "" {
+			continue
+		}
+		if !strings.Contains(e, "://") {
+			e = "http://" + e
+		}
+		c.endpoints = append(c.endpoints, e)
+		// One pooled connection set per node: failover probes must not
+		// evict another node's warm connections, and a slow node's
+		// queue must not head-of-line-block the rest.
+		c.nodes = append(c.nodes, &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+		}})
+	}
+	if len(c.endpoints) == 0 {
+		return nil, fmt.Errorf("client: no endpoints")
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Close releases every per-node pool's idle keep-alive connections.
+// Call it when discarding a Client; the Client is unusable afterwards
+// only in the sense that new requests will re-dial.
+func (c *Client) Close() {
+	for _, hc := range c.nodes {
+		if t, ok := hc.Transport.(*http.Transport); ok {
+			t.CloseIdleConnections()
+		}
+	}
+}
+
+// Endpoints returns the normalized endpoint list in routing order.
+func (c *Client) Endpoints() []string {
+	return append([]string(nil), c.endpoints...)
+}
+
+// Shards returns the configured cluster shard count (0 = unknown).
+func (c *Client) Shards() int { return c.shards }
+
+// endpointFor maps a shard index to its preferred endpoint. The
+// round-robin modulus happens in uint64 so the counter's eventual wrap
+// can never produce a negative index.
+func (c *Client) endpointFor(sh int) int {
+	if sh < 0 || c.shards <= 0 {
+		return int(c.rr.Add(1) % uint64(len(c.endpoints)))
+	}
+	return sh % len(c.endpoints)
+}
+
+// regShard returns the shard a register routes to, or -1 when the
+// client does not know the cluster's shard count.
+func (c *Client) regShard(name string) int {
+	if c.shards <= 0 {
+		return -1
+	}
+	return shard.ShardFor(name, c.shards)
+}
+
+// do runs one API call with failover: the preferred endpoint first,
+// then the rest in ring order, retrying on connect/transport errors and
+// retryable envelopes (5xx, and 429 — submission queues are per-node).
+// Non-retryable envelopes (the request itself is wrong) return
+// immediately — another node would refuse them identically.
+func (c *Client) do(ctx context.Context, pref int, method, path string, body []byte, out any) error {
+	if _, has := ctx.Deadline(); !has && c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var lastErr error
+	for pass := 0; pass < c.passes; pass++ {
+		for k := 0; k < len(c.endpoints); k++ {
+			i := (pref + k) % len(c.endpoints)
+			// Bound each attempt by the default per-call timeout even
+			// when the caller brought a longer deadline: a node that
+			// accepts connections but never answers (wedged handler)
+			// must not consume the whole budget and starve failover.
+			attempt, cancel := ctx, context.CancelFunc(func() {})
+			if c.timeout > 0 {
+				attempt, cancel = context.WithTimeout(ctx, c.timeout)
+			}
+			err := c.once(attempt, i, method, path, body, out)
+			cancel()
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			var ae *api.Error
+			if errors.As(err, &ae) && !ae.IsRetryable() {
+				return err
+			}
+			if ctx.Err() != nil {
+				return lastErr
+			}
+		}
+	}
+	return lastErr
+}
+
+// once issues one request against one endpoint.
+func (c *Client) once(ctx context.Context, i int, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.endpoints[i]+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	resp, err := c.nodes[i].Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", c.endpoints[i], err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, api.MaxBody))
+	if err != nil {
+		return fmt.Errorf("client: %s: read response: %w", c.endpoints[i], err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return api.DecodeError(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	// Decode into a fresh value and assign only on success: a corrupt
+	// 200 body counts as a failed attempt, and a failed attempt must
+	// not leak partially-decoded fields into the result a later
+	// endpoint's answer is merged over.
+	fresh := reflect.New(reflect.TypeOf(out).Elem())
+	if err := json.Unmarshal(data, fresh.Interface()); err != nil {
+		return fmt.Errorf("client: %s: decode %s: %w", c.endpoints[i], path, err)
+	}
+	reflect.ValueOf(out).Elem().Set(fresh.Elem())
+	return nil
+}
+
+// Healthz fetches the liveness document (failing over across nodes).
+func (c *Client) Healthz(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.do(ctx, c.endpointFor(-1), http.MethodGet, api.PathHealthz, nil, &h)
+	return h, err
+}
+
+// Status fetches the node introspection document.
+func (c *Client) Status(ctx context.Context) (api.Status, error) {
+	var st api.Status
+	err := c.do(ctx, c.endpointFor(-1), http.MethodGet, api.PathStatus, nil, &st)
+	return st, err
+}
+
+// ShardStatuses fetches every shard's service-layer status.
+func (c *Client) ShardStatuses(ctx context.Context) ([]api.ShardStatus, error) {
+	var out []api.ShardStatus
+	err := c.do(ctx, c.endpointFor(-1), http.MethodGet, api.PathShards, nil, &out)
+	return out, err
+}
+
+// ShardStatus fetches one shard's service-layer status.
+func (c *Client) ShardStatus(ctx context.Context, sh int) (api.ShardStatus, error) {
+	var out api.ShardStatus
+	err := c.do(ctx, c.endpointFor(sh), http.MethodGet, api.ShardPath(sh), nil, &out)
+	return out, err
+}
+
+// Read serves a fast local read of a register: the routed node's
+// current replica value, no round flush.
+func (c *Client) Read(ctx context.Context, name string) (api.RegResponse, error) {
+	return c.reg(ctx, name, http.MethodGet, api.RegPath(name), nil)
+}
+
+// SyncRead serves a synchronous read: the routed node flushes a marker
+// round first, so the result reflects every write completed before the
+// call started.
+func (c *Client) SyncRead(ctx context.Context, name string) (api.RegResponse, error) {
+	return c.reg(ctx, name, http.MethodGet, api.RegPath(name)+"?sync=1", nil)
+}
+
+// Write replicates value into the named register, completing when the
+// owning shard's round pipeline has delivered it. Delivery is
+// at-least-once: a timed-out attempt may still complete later, and the
+// failover retry then delivers the value a second time — under
+// concurrent writers, such a late duplicate can land after (and win
+// over) a newer write to the same register, as any MWMR last-write
+// re-delivery would.
+func (c *Client) Write(ctx context.Context, name, value string) (api.RegResponse, error) {
+	return c.reg(ctx, name, http.MethodPut, api.RegPath(name), []byte(value))
+}
+
+func (c *Client) reg(ctx context.Context, name, method, path string, body []byte) (api.RegResponse, error) {
+	sh := c.regShard(name)
+	var resp api.RegResponse
+	if err := c.do(ctx, c.endpointFor(sh), method, path, body, &resp); err != nil {
+		return resp, err
+	}
+	if sh >= 0 && resp.Shard != sh {
+		return resp, fmt.Errorf(
+			"client: shard mismatch for %q: server says shard %d, local router (shards=%d) says %d — client and cluster disagree on the shard count",
+			name, resp.Shard, c.shards, sh)
+	}
+	return resp, nil
+}
+
+// Propose submits a raw SMR command to the given shard's replicated
+// state machine. Delivery is at-least-once: if a node accepts the
+// submission but its response is lost, failover re-submits to another
+// node and the command may appear in the replicated log twice. KVPut
+// is idempotent in effect; log-count consumers must tolerate
+// duplicates.
+func (c *Client) Propose(ctx context.Context, sh int, key, value string) (api.ProposeResponse, error) {
+	body, err := json.Marshal(api.ProposeRequest{Key: key, Value: value})
+	if err != nil {
+		return api.ProposeResponse{}, err
+	}
+	var resp api.ProposeResponse
+	err = c.do(ctx, c.endpointFor(sh), http.MethodPost,
+		fmt.Sprintf("%s?shard=%d", api.PathSMRPropose, sh), body, &resp)
+	return resp, err
+}
+
+// Log fetches the tail (up to n entries) of the given shard's applied
+// SMR command log.
+func (c *Client) Log(ctx context.Context, sh, n int) ([]api.LogEntry, error) {
+	var out []api.LogEntry
+	err := c.do(ctx, c.endpointFor(sh), http.MethodGet,
+		fmt.Sprintf("%s?n=%d&shard=%d", api.PathSMRLog, n, sh), nil, &out)
+	return out, err
+}
+
+// WaitServing polls Status until it reports Serving with the excluded
+// id out of the configuration and every shard's view (exclude 0 = no
+// exclusion), or until ctx expires. It returns the first satisfying
+// status. With a multi-endpoint client the poll fails over like any
+// call; to wait for one specific node, build the client on that node's
+// endpoint alone.
+func (c *Client) WaitServing(ctx context.Context, exclude int) (api.Status, error) {
+	var (
+		last    api.Status
+		lastErr error
+		any     bool
+	)
+	// Status fetches are cheap, so probes get a short bound — one
+	// wedged node must not eat the whole wait budget (a probe that
+	// misses it just retries 200ms later). The bound never exceeds the
+	// client's configured per-call timeout.
+	probeTO := 5 * time.Second
+	if c.timeout > 0 && c.timeout < probeTO {
+		probeTO = c.timeout
+	}
+	for {
+		probe, cancel := context.WithTimeout(ctx, probeTO)
+		st, err := c.Status(probe)
+		cancel()
+		if err == nil {
+			last, any = st, true
+			if st.ServingWithout(exclude) {
+				return st, nil
+			}
+		} else {
+			lastErr = err
+		}
+		select {
+		case <-ctx.Done():
+			if any {
+				return last, fmt.Errorf(
+					"client: wait: %w; last status: serving=%v config=%v view=%v",
+					ctx.Err(), last.Serving, last.Config, last.ViewMembers)
+			}
+			if lastErr != nil {
+				return last, fmt.Errorf("client: wait: %w; last error: %w", ctx.Err(), lastErr)
+			}
+			return last, fmt.Errorf("client: wait: %w", ctx.Err())
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/apitest"
+	"repro/internal/shard"
+	"repro/pkg/api"
+)
+
+// cluster builds n fake nodes (internal/apitest, one shared store) and
+// a client over their endpoints.
+func cluster(t *testing.T, n, shards int, opts ...Option) ([]*apitest.Node, *Client) {
+	t.Helper()
+	nodes := apitest.Cluster(n, shards)
+	eps := make([]string, n)
+	for i := range nodes {
+		srv := httptest.NewServer(nodes[i].Handler())
+		t.Cleanup(srv.Close)
+		eps[i] = srv.URL
+	}
+	c, err := New(eps, append([]Option{WithShards(shards)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, c
+}
+
+func TestNewNormalizesEndpoints(t *testing.T) {
+	c, err := New([]string{" 127.0.0.1:8101/ ", "", "http://h:2/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Endpoints()
+	if len(got) != 2 || got[0] != "http://127.0.0.1:8101" || got[1] != "http://h:2" {
+		t.Fatalf("endpoints %v", got)
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("New with no endpoints must fail")
+	}
+	if _, err := New([]string{"  ", ""}); err == nil {
+		t.Error("New with only blank endpoints must fail")
+	}
+}
+
+// TestShardRoutingPrefersEndpointByHash: with a healthy cluster and a
+// known shard count, register traffic for shard s lands on endpoint
+// s mod len(endpoints) — the client-side shard-aware pool.
+func TestShardRoutingPrefersEndpointByHash(t *testing.T) {
+	const shards = 4
+	nodes, c := cluster(t, 2, shards)
+	ctx := context.Background()
+	perShard := shard.NamesPerShard(shards, 2)
+	for sh, names := range perShard {
+		for _, name := range names {
+			before := [2]int64{nodes[0].Hits.Load(), nodes[1].Hits.Load()}
+			if _, err := c.Write(ctx, name, "v"); err != nil {
+				t.Fatalf("write %s: %v", name, err)
+			}
+			want := sh % 2
+			if got := nodes[want].Hits.Load() - before[want]; got != 1 {
+				t.Errorf("write %s (shard %d): endpoint %d saw %d requests, want 1", name, sh, want, got)
+			}
+		}
+	}
+	// Reads agree and echo the router's shard.
+	for sh, names := range perShard {
+		got, err := c.Read(ctx, names[0])
+		if err != nil {
+			t.Fatalf("read %s: %v", names[0], err)
+		}
+		if !got.Found || got.Value != "v" || got.Shard != sh {
+			t.Fatalf("read %s = %+v, want shard %d", names[0], got, sh)
+		}
+	}
+}
+
+// TestFailoverOnMidRunFailure: a node that starts answering 503 mid-run
+// is routed around — every operation still succeeds via the surviving
+// node, and once the node recovers it serves again.
+func TestFailoverOnMidRunFailure(t *testing.T) {
+	const shards = 2
+	nodes, c := cluster(t, 2, shards)
+	ctx := context.Background()
+	names := shard.NamesPerShard(shards, 1)
+
+	for sh, group := range names {
+		if _, err := c.Write(ctx, group[0], "before"); err != nil {
+			t.Fatalf("healthy write shard %d: %v", sh, err)
+		}
+	}
+
+	// Node 0 (preferred for shard 0) starts failing mid-run.
+	nodes[0].Failing.Store(true)
+	survivorBefore := nodes[1].Hits.Load()
+	for sh, group := range names {
+		resp, err := c.Write(ctx, group[0], "after")
+		if err != nil {
+			t.Fatalf("write shard %d with node 0 down: %v", sh, err)
+		}
+		if resp.Shard != sh {
+			t.Fatalf("failover write shard %d echoed %d", sh, resp.Shard)
+		}
+		got, err := c.SyncRead(ctx, group[0])
+		if err != nil || got.Value != "after" {
+			t.Fatalf("sync-read shard %d with node 0 down: %+v, %v", sh, got, err)
+		}
+	}
+	if nodes[1].Hits.Load() == survivorBefore {
+		t.Fatal("survivor never served during the outage")
+	}
+	if _, err := c.Status(ctx); err != nil {
+		t.Fatalf("status with node 0 down: %v", err)
+	}
+
+	nodes[0].Failing.Store(false)
+	if _, err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz after recovery: %v", err)
+	}
+}
+
+// TestFailoverOnConnectError: an endpoint nobody listens on is skipped
+// in favor of a live one.
+func TestFailoverOnConnectError(t *testing.T) {
+	live := apitest.Cluster(1, 1)[0]
+	srv := httptest.NewServer(live.Handler())
+	defer srv.Close()
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // port is now closed: connects are refused
+
+	c, err := New([]string{deadURL, srv.URL}, WithShards(1), WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Write(context.Background(), "k", "v")
+	if err != nil {
+		t.Fatalf("write with dead preferred endpoint: %v", err)
+	}
+	if !resp.Done {
+		t.Fatalf("write response %+v", resp)
+	}
+}
+
+// TestOverloadFailsOver: 429 is a per-node condition (each node owns
+// its submission queue), so an overloaded preferred endpoint is routed
+// around.
+func TestOverloadFailsOver(t *testing.T) {
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, api.Errorf(api.CodeOverload, "submission queue full (retry)").WithShard(0))
+	}))
+	defer busy.Close()
+	idle := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, api.ProposeResponse{Accepted: true, Shard: 0})
+	}))
+	defer idle.Close()
+	c, err := New([]string{busy.URL, idle.URL}, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0's preferred endpoint is the busy one.
+	resp, err := c.Propose(context.Background(), 0, "k", "v")
+	if err != nil || !resp.Accepted {
+		t.Fatalf("propose with overloaded preferred endpoint: %+v, %v", resp, err)
+	}
+}
+
+// TestCorruptBodyDoesNotLeakIntoRetry: a 200 whose body fails to
+// decode counts as a failed attempt, and its partial decode must not
+// bleed into the result taken from the next endpoint.
+func TestCorruptBodyDoesNotLeakIntoRetry(t *testing.T) {
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// Valid prefix that populates Found/Value, then truncation.
+		io.WriteString(w, `{"name":"k","shard":0,"value":"stale","found":true,`)
+	}))
+	defer corrupt.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, api.RegResponse{Name: "k", Shard: 0, Done: true}) // not found: no value
+	}))
+	defer good.Close()
+	c, err := New([]string{corrupt.URL, good.URL}, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(context.Background(), "k")
+	if err != nil {
+		t.Fatalf("read with corrupt preferred endpoint: %v", err)
+	}
+	if got.Found || got.Value != "" || !got.Done {
+		t.Fatalf("partial decode leaked into failover result: %+v", got)
+	}
+}
+
+// TestWedgedNodeDoesNotStarveFailover: an endpoint that accepts the
+// connection but never answers is abandoned after the per-attempt
+// bound (the client timeout), even when the caller brought a much
+// longer deadline — the surviving endpoint still serves the call.
+func TestWedgedNodeDoesNotStarveFailover(t *testing.T) {
+	wedged := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Hang well past the client's 1s per-attempt bound (but not
+		// forever: Server.Close waits for running handlers).
+		select {
+		case <-r.Context().Done():
+		case <-time.After(3 * time.Second):
+		}
+	}))
+	defer wedged.Close()
+	good := apitest.Cluster(1, 1)[0]
+	srv := httptest.NewServer(good.Handler())
+	defer srv.Close()
+
+	c, err := New([]string{wedged.URL, srv.URL}, WithShards(1), WithTimeout(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	resp, err := c.Write(ctx, "k", "v")
+	if err != nil || !resp.Done {
+		t.Fatalf("write with wedged preferred endpoint: %+v, %v", resp, err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("failover took %v; the wedged node consumed the caller's deadline", d)
+	}
+}
+
+// TestClientErrorsDoNotFailOver: a 4xx envelope is the caller's
+// mistake; the client returns it typed, without burning the other
+// endpoints.
+func TestClientErrorsDoNotFailOver(t *testing.T) {
+	var secondary atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, api.Errorf(api.CodeBadShard, "bad shard %q", "9").WithShard(9))
+	}))
+	defer bad.Close()
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		secondary.Add(1)
+		api.WriteJSON(w, api.ShardStatus{})
+	}))
+	defer other.Close()
+
+	c, err := New([]string{bad.URL, other.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rr routing: pin the attempt order by asking every time until the
+	// bad endpoint is hit first at least once.
+	var ae *api.Error
+	for i := 0; i < 2; i++ {
+		_, err = c.ShardStatuses(context.Background())
+		if errors.As(err, &ae) {
+			break
+		}
+	}
+	if ae == nil {
+		t.Fatalf("want *api.Error, got %v", err)
+	}
+	if ae.Code != api.CodeBadShard || ae.HTTPStatus != http.StatusBadRequest {
+		t.Fatalf("decoded envelope %+v", ae)
+	}
+	if ae.Shard == nil || *ae.Shard != 9 {
+		t.Fatalf("envelope shard %v", ae.Shard)
+	}
+	if secondary.Load() > 1 {
+		t.Fatalf("4xx failed over: secondary saw %d requests", secondary.Load())
+	}
+}
+
+// TestShardMismatchSurfaces: a client configured with the wrong shard
+// count gets an explicit error when the server's echo disagrees with
+// its local router.
+func TestShardMismatchSurfaces(t *testing.T) {
+	// Server shards the namespace 4 ways; the client believes 2.
+	node := apitest.Cluster(1, 4)[0]
+	srv := httptest.NewServer(node.Handler())
+	defer srv.Close()
+	c, err := New([]string{srv.URL}, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a name the two routers place differently.
+	name := ""
+	for i := 0; i < 256 && name == ""; i++ {
+		cand := fmt.Sprintf("k%d", i)
+		if shard.ShardFor(cand, 4) != shard.ShardFor(cand, 2) {
+			name = cand
+		}
+	}
+	if name == "" {
+		t.Fatal("no disagreeing name found")
+	}
+	_, err = c.Write(context.Background(), name, "v")
+	if err == nil || !strings.Contains(err.Error(), "shard mismatch") {
+		t.Fatalf("want shard mismatch error, got %v", err)
+	}
+}
+
+// TestWaitServingHonorsContext: the wait loop gives up when the context
+// expires, reporting the last observation.
+func TestWaitServingHonorsContext(t *testing.T) {
+	notServing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, api.Status{ID: 1, Serving: false})
+	}))
+	defer notServing.Close()
+	c, err := New([]string{notServing.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	_, err = c.WaitServing(ctx, 0)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "serving=false") {
+		t.Fatalf("want last status in error, got %v", err)
+	}
+}
+
+// TestWaitServingExcludes: wait only completes once the excluded id has
+// left the configuration and every shard view.
+func TestWaitServingExcludes(t *testing.T) {
+	var phase atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := api.Status{ID: 1, Serving: true, Config: []int{1, 2}, ViewMembers: []int{1, 2}}
+		if phase.Load() > 0 {
+			st.Config, st.ViewMembers = []int{1}, []int{1}
+		}
+		st.Shards = []api.ShardStatus{{Shard: 0, ViewMembers: st.ViewMembers, Serving: true}}
+		api.WriteJSON(w, st)
+	}))
+	defer srv.Close()
+	c, err := New([]string{srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		phase.Store(1)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := c.WaitServing(ctx, 2)
+	if err != nil {
+		t.Fatalf("wait with exclude: %v", err)
+	}
+	if len(st.Config) != 1 || st.Config[0] != 1 {
+		t.Fatalf("final status %+v", st)
+	}
+}

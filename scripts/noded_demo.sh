@@ -51,6 +51,18 @@ client() {
   "$BIN" client -addr "$(addr "$node")" "$@"
 }
 
+# Boot-up is polled in two phases: /v1/healthz first (cheap liveness —
+# answers as soon as the HTTP server is up, no view lock taken), then
+# the full serving wait once every process responds.
+say "waiting for every node's API to answer healthz"
+for i in $(seq 1 "$N"); do
+  for _ in $(seq 1 150); do
+    client "$i" -timeout 2s healthz >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  client "$i" -timeout 2s healthz >/dev/null
+done
+
 say "waiting for every node to serve"
 for i in $(seq 1 "$N"); do
   client "$i" -timeout 120s wait >/dev/null
