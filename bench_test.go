@@ -1,4 +1,4 @@
-// Package repro's root benchmarks regenerate the experiment suite E1–E11
+// Package repro's root benchmarks regenerate the experiment suite E1–E12
 // (DESIGN.md §6) through the engine registry: one testing.B benchmark per
 // experiment, each a thin call into the registered cell functions at the
 // headline size. Each iteration runs every series of the experiment and
@@ -12,7 +12,7 @@ package repro
 import (
 	"testing"
 
-	_ "repro/internal/experiments" // registers E1–E11
+	_ "repro/internal/experiments" // registers E1–E12
 	"repro/internal/experiments/engine"
 )
 
@@ -54,3 +54,4 @@ func BenchmarkE8BaselineComparison(b *testing.B)    { benchExperiment(b, "E8", 8
 func BenchmarkE9SharedMemory(b *testing.B)          { benchExperiment(b, "E9", 8) }
 func BenchmarkE10Ablation(b *testing.B)             { benchExperiment(b, "E10", 8) }
 func BenchmarkE11ShardScaling(b *testing.B)         { benchExperiment(b, "E11", 4) }
+func BenchmarkE12BatchScaling(b *testing.B)         { benchExperiment(b, "E12", 16) }

@@ -1,4 +1,4 @@
-// Command benchtab regenerates the experiment tables (E1–E11, DESIGN.md
+// Command benchtab regenerates the experiment tables (E1–E12, DESIGN.md
 // §6) through the parallel engine and emits them in the format recorded
 // in EXPERIMENTS.md, as CSV, or as JSON.
 //
@@ -25,7 +25,7 @@ import (
 	"strconv"
 	"strings"
 
-	_ "repro/internal/experiments" // registers E1–E11
+	_ "repro/internal/experiments" // registers E1–E12
 	"repro/internal/experiments/engine"
 )
 
@@ -137,10 +137,10 @@ func emitStream(w io.Writer, rep *engine.Report, format string) error {
 }
 
 // parseSizes parses a comma-separated N sweep. Sizes must be ≥1 (1 is
-// meaningful for E11, whose N is a shard count; cluster-size
-// experiments clamp to their descriptor's MinSize); duplicates are
-// dropped (preserving order). An empty string yields nil, meaning
-// per-experiment defaults.
+// meaningful for E11/E12, whose N is a shard count / batch bound;
+// cluster-size experiments clamp to their descriptor's MinSize);
+// duplicates are dropped (preserving order). An empty string yields
+// nil, meaning per-experiment defaults.
 func parseSizes(s string) ([]int, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datalink"
 	"repro/internal/ids"
 	"repro/internal/recsa"
 	"repro/internal/regmem"
@@ -36,8 +37,11 @@ type Daemon struct {
 // cluster (the connection universe); members is the initial
 // configuration (empty = start as a joiner and acquire participation
 // through the joining protocol); shards is the register-namespace
-// partition count (raised to 1 if smaller).
-func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, shards, maxN int, opTimeout time.Duration) (*Daemon, error) {
+// partition count (raised to 1 if smaller); batch bounds the hot-path
+// batching — payloads per datalink token cycle and commands per
+// multicast round input (DESIGN.md §11; <= 1 disables batching, and the
+// bound must be uniform across the cluster).
+func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, shards, batch, maxN int, opTimeout time.Duration) (*Daemon, error) {
 	if opTimeout <= 0 {
 		opTimeout = 30 * time.Second
 	}
@@ -50,6 +54,10 @@ func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, shar
 	mem := shard.New(self, shards, func(cur ids.Set, trusted ids.Set) bool {
 		return cur.Diff(trusted).Size() > 0
 	})
+	if batch < 1 {
+		batch = 1
+	}
+	mem.SetMaxBatch(batch)
 	initial := recsa.NotParticipant()
 	if !members.Empty() {
 		initial = recsa.ConfigOf(members)
@@ -60,6 +68,7 @@ func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, shar
 		Initial:  initial,
 		EvalConf: func(ids.Set, ids.Set) bool { return false },
 		Apps:     mem.Apps(),
+		Link:     datalink.Options{MaxBatch: batch},
 	})
 	if err != nil {
 		return nil, err

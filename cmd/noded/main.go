@@ -9,13 +9,19 @@
 //
 //	noded -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102,..." \
 //	      -http 127.0.0.1:8101 [-members 1,2,3] [-seed 1] [-shards 4] \
-//	      [-loss 0.02] [-dup 0.01] [-tick 2ms]
+//	      [-batch 16] [-wire-version 2] [-loss 0.02] [-dup 0.01] [-tick 2ms]
 //
 // With -shards N the register namespace is partitioned over N
 // independent vs/smr/regmem stacks (one view, coordinator and round
 // pipeline each) multiplexed over the node's single reconfiguration
 // layer and transport; register names route to shards by deterministic
 // hash, so every node and client agrees on placement.
+//
+// With -batch B the hot path batches: up to B application payloads ride
+// one datalink token cycle and up to B submitted commands ride one
+// multicast round input (DESIGN.md §11). The bound must be uniform
+// across the cluster. -wire-version writes an older wire-format version
+// during rolling upgrades (readers always accept the full range).
 //
 // The HTTP surface is the versioned /v1 contract defined in
 // repro/pkg/api (typed documents, uniform JSON error envelope); the
@@ -52,6 +58,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/transport"
 	"repro/internal/transport/tcp"
+	"repro/internal/transport/wire"
 )
 
 func main() {
@@ -82,6 +89,8 @@ func runDaemon(args []string) error {
 		jitter   = fs.Duration("jitter", time.Millisecond, "node timer jitter bound")
 		capacity = fs.Int("capacity", 256, "bounded link/queue capacity")
 		shards   = fs.Int("shards", 1, "register namespace shards (independent service stacks)")
+		batch    = fs.Int("batch", 1, "hot-path batch bound: payloads per datalink token and commands per round (cluster-uniform; 1 = unbatched)")
+		wireVer  = fs.Int("wire-version", 0, "wire-format version to write (0 = current; older accepted versions serve not-yet-upgraded peers)")
 		maxN     = fs.Int("maxn", 16, "system bound N (failure detector sizing)")
 		opTO     = fs.Duration("op-timeout", 30*time.Second, "write/sync-read completion deadline")
 		verbose  = fs.Bool("v", false, "log transport diagnostics")
@@ -105,6 +114,21 @@ func runDaemon(args []string) error {
 		return err
 	}
 
+	if *wireVer < 0 || *wireVer > wire.Version {
+		return fmt.Errorf("-wire-version %d outside supported range 0..%d", *wireVer, wire.Version)
+	}
+	if *wireVer == 1 && *shards > 1 {
+		// The version-1 schema has no shard field: every shard >= 1
+		// payload would be silently dropped and those shards would
+		// never serve. Refuse the combination outright.
+		return fmt.Errorf("-wire-version 1 cannot carry -shards %d (no shard field before version 2); use -shards 1 or -wire-version >= 2", *shards)
+	}
+	if *wireVer != 0 && *wireVer < 3 && *batch > 1 {
+		// Batches collapse to their freshest payload on a <= 2 stream;
+		// commands still flow (they ride inside the freshest envelope),
+		// so this degrades throughput rather than correctness — warn.
+		fmt.Fprintf(os.Stderr, "noded: warning: -batch %d with -wire-version %d — outbound batches collapse to their freshest payload; prefer -batch 1 during mixed-version operation\n", *batch, *wireVer)
+	}
 	cfg := tcp.Config{
 		Addrs: book,
 		// Decorrelate per-process randomness while keeping runs
@@ -117,6 +141,7 @@ func runDaemon(args []string) error {
 			TickEvery:  *tick,
 			TickJitter: *jitter,
 		},
+		WireVersion: byte(*wireVer),
 	}
 	if *verbose {
 		cfg.Logf = func(format string, a ...any) {
@@ -129,7 +154,15 @@ func runDaemon(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
-	d, err := NewDaemon(tr, self, bookIDs(book), initial, *shards, *maxN, *opTO)
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be >= 1")
+	}
+	if *batch > wire.MaxWireBatch {
+		// Peers' readers refuse larger batches outright; a full queue
+		// draining into one packet would wedge the link forever.
+		return fmt.Errorf("-batch %d exceeds the wire codec's per-packet bound %d", *batch, wire.MaxWireBatch)
+	}
+	d, err := NewDaemon(tr, self, bookIDs(book), initial, *shards, *batch, *maxN, *opTO)
 	if err != nil {
 		return err
 	}
@@ -138,8 +171,8 @@ func runDaemon(args []string) error {
 	if err != nil {
 		return fmt.Errorf("client API listen: %w", err)
 	}
-	fmt.Printf("noded: id=%v transport=%s http=%s members=%v shards=%d\n",
-		self, book[self], ln.Addr(), initial, *shards)
+	fmt.Printf("noded: id=%v transport=%s http=%s members=%v shards=%d batch=%d\n",
+		self, book[self], ln.Addr(), initial, *shards, *batch)
 	srv := &http.Server{Handler: d.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

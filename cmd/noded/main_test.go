@@ -69,7 +69,10 @@ func TestDaemonClusterEndToEnd(t *testing.T) {
 	all := ids.Range(1, 3)
 	clients := make(map[ids.ID]*client.Client)
 	for i := ids.ID(1); i <= 3; i++ {
-		d, err := NewDaemon(tr, i, all, all, 2, 16, 20*time.Second)
+		// batch 4: the E2E journey runs with hot-path batching on, so
+		// the live write/sync-read path below exercises batched token
+		// cycles and round inputs end to end.
+		d, err := NewDaemon(tr, i, all, all, 2, 4, 16, 20*time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}

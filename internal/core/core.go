@@ -123,6 +123,12 @@ type Node struct {
 	// echoes always reflect the state of the last atomic step — the
 	// paper's interleaving model, on which the unison proofs depend.
 	outbox map[ids.ID]Envelope
+	// batching mirrors Params.Link.MaxBatch > 1: every tick's envelope is
+	// additionally pushed into the data link's per-peer outbound queue,
+	// so one token cycle carries the envelopes of several atomic steps
+	// instead of only the latest snapshot (DESIGN.md §11). At MaxBatch 1
+	// the legacy pull-only path is preserved bit-for-bit.
+	batching bool
 
 	ticks uint64
 }
@@ -182,6 +188,7 @@ func NewNode(net Transport, p Params) (*Node, error) {
 			return env
 		},
 	})
+	n.batching = n.Endpoint.MaxBatch() > 1
 	if err := net.AddNode(p.Self, n); err != nil {
 		return nil, err
 	}
@@ -238,7 +245,11 @@ func (n *Node) Tick() {
 		app.Tick(n)
 	}
 	n.Endpoint.Peers().Each(func(to ids.ID) {
-		n.outbox[to] = n.buildEnvelope(to)
+		env := n.buildEnvelope(to)
+		n.outbox[to] = env
+		if n.batching {
+			n.Endpoint.Enqueue(to, env)
+		}
 	})
 	n.Endpoint.Tick()
 }

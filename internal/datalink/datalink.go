@@ -20,6 +20,28 @@
 // incarnation have drained. Any detectable inconsistency (no progress for a
 // timeout, unknown session on the receiver) drives the link back through
 // cleaning, making the layer self-stabilizing.
+//
+// # Batching
+//
+// A stop-and-wait token cycle normally carries exactly one application
+// payload, which caps throughput at one payload per round trip. With
+// Options.MaxBatch > 1 each link keeps a bounded outbound queue
+// (Enqueue); a DATA packet then carries up to MaxBatch queued payloads
+// in its Batch slot, delivered in order as a unit on the receiving side.
+// The token contract is unchanged — one DATA/ACK exchange per cycle, the
+// returned token is still the heartbeat, cleaning works identically —
+// only the payload multiplicity grows.
+//
+// Batched links additionally upgrade the packet label from the legacy
+// alternating bit to a cumulative mod-256 sequence with strict in-order
+// acceptance on the receiver, which makes delivery exactly-once and
+// in-order even when a duplicated stale packet overtakes its successor.
+// The legacy discipline (at-least-once under duplication+reordering,
+// fine for the stack's idempotent latest-state gossip) is preserved
+// bit-for-bit at MaxBatch <= 1 so that deterministic simulations keep
+// their exact event sequences. Like the rest of the link options,
+// MaxBatch must be configured uniformly across a cluster: the receiver
+// picks its acceptance discipline from its own options.
 package datalink
 
 import (
@@ -63,8 +85,15 @@ func (k Kind) String() string {
 type Packet struct {
 	Kind    Kind
 	Session uint64 // link incarnation nonce established by cleaning
-	Seq     uint8  // alternating packet label within a session
-	Payload any    // application message (KindData only)
+	Seq     uint8  // packet label within a session (alternating bit, or cumulative mod 256 on batched links)
+	Payload any    // application message (KindData only, single-payload cycles)
+	// Batch carries the payloads of a multi-payload cycle (KindData only,
+	// nil on unbatched links and single-payload cycles). The batch is
+	// acknowledged, retransmitted, and delivered as one unit, in order.
+	// Payload and Batch are mutually exclusive: when Batch is non-nil,
+	// Payload is ignored by the receiver and not carried by the wire
+	// codec.
+	Batch []any
 }
 
 // Options tunes the link protocol.
@@ -82,11 +111,18 @@ type Options struct {
 	// StaleTicks is the number of sender ticks without progress after
 	// which the link is re-cleaned.
 	StaleTicks int
+	// MaxBatch bounds both the per-link outbound queue and the number of
+	// payloads one DATA packet carries. Values <= 1 keep the legacy
+	// single-payload alternating-bit contract exactly (the queue is
+	// still usable, one payload per cycle); values > 1 enable batching
+	// and the strict cumulative-sequence discipline (see the package
+	// comment). Must be uniform across a cluster.
+	MaxBatch int
 }
 
 // DefaultOptions matches netsim.DefaultOptions' capacity.
 func DefaultOptions() Options {
-	return Options{Capacity: 8, AckThreshold: 1, StaleTicks: 12}
+	return Options{Capacity: 8, AckThreshold: 1, StaleTicks: 12, MaxBatch: 1}
 }
 
 type senderState int
@@ -103,15 +139,26 @@ type peer struct {
 	cleanAcks int
 	seq       uint8
 	cur       any
+	curBatch  []any // multi-payload cycle (batched links only)
 	curValid  bool
 	acks      int
 	stale     int
+	// queue is the bounded per-link outbound queue drained into DATA
+	// batches; Enqueue evicts the oldest entry when it overflows.
+	queue []any
 
 	// receiver half (the peer's data link toward this endpoint)
 	rxSession      uint64
 	rxSessionValid bool
 	rxSeq          uint8
 	rxSeqValid     bool
+	// rxPending/rxPendingCnt stage a session change on batched links:
+	// a new incarnation is adopted only after more than Capacity CLEAN
+	// observations, so the bounded set of stale CLEANs a channel can
+	// hold (duplicates of past sessions included) can never displace
+	// the live session's sequence history.
+	rxPending    uint64
+	rxPendingCnt int
 }
 
 // Endpoint is one processor's data-link multiplexer over all its peers.
@@ -144,6 +191,12 @@ type Stats struct {
 	Delivered     uint64
 	StaleIgnored  uint64
 	TimeoutsReset uint64
+	// Batches counts multi-payload DATA cycles completed by the sender;
+	// BatchPayloads counts payloads delivered out of received batches;
+	// QueueEvicted counts queued payloads displaced by Enqueue overflow.
+	Batches       uint64
+	BatchPayloads uint64
+	QueueEvicted  uint64
 }
 
 // Config carries the injected callbacks for NewEndpoint.
@@ -161,13 +214,18 @@ type Config struct {
 // Deliver/Heartbeat/Source which may be nil (treated as no-ops).
 func NewEndpoint(cfg Config) *Endpoint {
 	if cfg.Opts.Capacity <= 0 {
-		cfg.Opts = DefaultOptions()
+		// Field-wise so a caller setting only MaxBatch (or another
+		// single knob) still gets the remaining defaults.
+		cfg.Opts.Capacity = DefaultOptions().Capacity
 	}
 	if cfg.Opts.AckThreshold <= 0 {
 		cfg.Opts.AckThreshold = 1
 	}
 	if cfg.Opts.StaleTicks <= 0 {
 		cfg.Opts.StaleTicks = 12
+	}
+	if cfg.Opts.MaxBatch <= 0 {
+		cfg.Opts.MaxBatch = 1
 	}
 	e := &Endpoint{
 		self:      cfg.Self,
@@ -193,6 +251,39 @@ func NewEndpoint(cfg Config) *Endpoint {
 
 // Stats returns a copy of the endpoint counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
+
+// MaxBatch returns the configured payload bound per DATA packet.
+func (e *Endpoint) MaxBatch() int { return e.opts.MaxBatch }
+
+// batched reports whether the endpoint runs the batching discipline.
+func (e *Endpoint) batched() bool { return e.opts.MaxBatch > 1 }
+
+// Enqueue appends a payload to the link's outbound queue; the next token
+// cycle drains up to MaxBatch queued payloads into one DATA packet.
+// When the queue is full the oldest entry is evicted (an omission the
+// bounded-link model allows — producers that need lossless queueing pace
+// themselves on QueueLen). It reports false for unknown peers and nil
+// payloads.
+func (e *Endpoint) Enqueue(to ids.ID, payload any) bool {
+	p, ok := e.peers[to]
+	if !ok || payload == nil {
+		return false
+	}
+	if len(p.queue) >= e.opts.MaxBatch {
+		p.queue = p.queue[1:]
+		e.stats.QueueEvicted++
+	}
+	p.queue = append(p.queue, payload)
+	return true
+}
+
+// QueueLen returns the number of payloads queued toward a peer.
+func (e *Endpoint) QueueLen(to ids.ID) int {
+	if p, ok := e.peers[to]; ok {
+		return len(p.queue)
+	}
+	return 0
+}
 
 // Peers returns the identifiers of all known peers.
 func (e *Endpoint) Peers() ids.Set {
@@ -226,6 +317,7 @@ func (e *Endpoint) startClean(p *peer) {
 	p.state = senderCleaning
 	p.session = e.nonce()
 	p.cleanAcks = 0
+	p.cur, p.curBatch = nil, nil
 	p.curValid = false
 	p.acks = 0
 	p.stale = 0
@@ -259,11 +351,11 @@ func (e *Endpoint) tickPeer(to ids.ID, p *peer) {
 		e.send(to, Packet{Kind: KindClean, Session: p.session})
 	case senderSteady:
 		if !p.curValid {
-			p.cur = e.source(to)
+			p.cur, p.curBatch = e.nextPayload(to, p)
 			p.curValid = true
 			p.acks = 0
 		}
-		e.send(to, Packet{Kind: KindData, Session: p.session, Seq: p.seq, Payload: p.cur})
+		e.send(to, Packet{Kind: KindData, Session: p.session, Seq: p.seq, Payload: p.cur, Batch: p.curBatch})
 	default:
 		// Arbitrary (corrupted) state: recover by cleaning.
 		e.startClean(p)
@@ -274,6 +366,29 @@ func (e *Endpoint) tickPeer(to ids.ID, p *peer) {
 		e.stats.TimeoutsReset++
 		e.startClean(p)
 	}
+}
+
+// nextPayload assembles the payload(s) of a new token cycle: queued
+// payloads first (up to MaxBatch, the freshest last), falling back to
+// the pull Source when the queue is empty. A single payload travels in
+// the legacy Payload slot so unbatched traffic keeps its exact shape.
+func (e *Endpoint) nextPayload(to ids.ID, p *peer) (any, []any) {
+	if len(p.queue) == 0 {
+		return e.source(to), nil
+	}
+	k := len(p.queue)
+	if k > e.opts.MaxBatch {
+		k = e.opts.MaxBatch
+	}
+	if k == 1 {
+		single := p.queue[0]
+		p.queue = p.queue[1:]
+		return single, nil
+	}
+	batch := make([]any, k)
+	copy(batch, p.queue[:k])
+	p.queue = append([]any(nil), p.queue[k:]...)
+	return nil, batch
 }
 
 // HandlePacket processes a raw packet from the network. Packets from
@@ -292,11 +407,46 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 	switch pkt.Kind {
 	case KindClean:
 		// Receiver half: adopt the new incarnation, drop delivery
-		// history, acknowledge. Accepting unconditionally is safe —
-		// an adversarial CLEAN only forces a harmless extra cleanup.
-		p.rxSession = pkt.Session
-		p.rxSessionValid = true
-		p.rxSeqValid = false
+		// history, acknowledge. On legacy links adoption is
+		// unconditional (bit-for-bit the original behavior; safe there
+		// because delivery is at-least-once anyway — an adversarial
+		// CLEAN only forces a harmless extra cleanup). Batched links
+		// promise exactly-once, so a stale CLEAN — a duplicate of the
+		// current session, or of a *past* one — must not reset the
+		// sequence history and reopen the acceptance window for
+		// overtaken DATA. A genuinely cleaning sender floods CLEANs
+		// and sends no DATA until done (it needs Capacity+1
+		// CLEAN-ACKs to proceed), so the receiver adopts a session
+		// change only after more than Capacity uninterrupted
+		// observations of the same new session — the staged count is
+		// reset by live DATA delivery. Stale CLEANs (the bounded set a
+		// channel can hold, plus delayed duplicates) arrive
+		// interleaved with live traffic and therefore cannot sustain
+		// the flood signature; even if an adversary could, the
+		// displacement self-heals through the sender's staleness
+		// re-clean. Every CLEAN is acknowledged regardless — acks
+		// carry the packet's own session, so acks of a not-yet-adopted
+		// session still drive the sender's handshake and stale acks
+		// are ignored by session mismatch.
+		switch {
+		case !e.batched() || !p.rxSessionValid:
+			p.rxSession = pkt.Session
+			p.rxSessionValid = true
+			p.rxSeqValid = false
+			p.rxPendingCnt = 0
+		case pkt.Session == p.rxSession:
+			// Duplicate of the live session: re-ack only.
+		case pkt.Session == p.rxPending:
+			p.rxPendingCnt++
+			if p.rxPendingCnt > e.opts.Capacity {
+				p.rxSession = pkt.Session
+				p.rxSeqValid = false
+				p.rxPendingCnt = 0
+			}
+		default:
+			p.rxPending = pkt.Session
+			p.rxPendingCnt = 1
+		}
 		e.send(from, Packet{Kind: KindCleanAck, Session: pkt.Session})
 	case KindCleanAck:
 		if p.state != senderCleaning || pkt.Session != p.session {
@@ -319,14 +469,34 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 			e.stats.StaleIgnored++
 			return
 		}
+		if e.batched() {
+			// Strict cumulative-sequence discipline: accept only the
+			// successor cycle (or the first after cleaning), re-ack the
+			// already-delivered cycle, and stay silent on overtaking
+			// stale duplicates — exactly-once, in-order delivery.
+			switch {
+			case !p.rxSeqValid || pkt.Seq == p.rxSeq+1:
+				e.send(from, Packet{Kind: KindAck, Session: pkt.Session, Seq: pkt.Seq})
+				p.rxSeq = pkt.Seq
+				p.rxSeqValid = true
+				// Live traffic resets any staged session change: a
+				// genuinely cleaning sender sends no DATA, so only an
+				// uninterrupted CLEAN flood can reach the adoption
+				// threshold (see KindClean).
+				p.rxPendingCnt = 0
+				e.deliverData(from, pkt)
+			case pkt.Seq == p.rxSeq:
+				e.send(from, Packet{Kind: KindAck, Session: pkt.Session, Seq: pkt.Seq})
+			default:
+				e.stats.StaleIgnored++
+			}
+			return
+		}
 		e.send(from, Packet{Kind: KindAck, Session: pkt.Session, Seq: pkt.Seq})
 		if !p.rxSeqValid || pkt.Seq != p.rxSeq {
 			p.rxSeq = pkt.Seq
 			p.rxSeqValid = true
-			if pkt.Payload != nil {
-				e.stats.Delivered++
-				e.deliver(from, pkt.Payload)
-			}
+			e.deliverData(from, pkt)
 		}
 	case KindAck:
 		if p.state != senderSteady || pkt.Session != p.session || pkt.Seq != p.seq || !p.curValid {
@@ -338,13 +508,41 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 		if p.acks >= e.opts.AckThreshold {
 			// Token returned: cycle complete.
 			e.stats.CyclesDone++
-			p.seq ^= 1
+			if len(p.curBatch) > 0 {
+				e.stats.Batches++
+			}
+			if e.batched() {
+				p.seq++ // cumulative mod-256 label
+			} else {
+				p.seq ^= 1 // legacy alternating bit
+			}
+			p.cur, p.curBatch = nil, nil
 			p.curValid = false
 			p.acks = 0
 			e.heartbeat(from)
 		}
 	default:
 		e.stats.StaleIgnored++
+	}
+}
+
+// deliverData hands a DATA packet's payload(s) to the upper layer: every
+// batch element in order, or the single legacy payload.
+func (e *Endpoint) deliverData(from ids.ID, pkt Packet) {
+	if pkt.Batch != nil {
+		for _, payload := range pkt.Batch {
+			if payload == nil {
+				continue
+			}
+			e.stats.Delivered++
+			e.stats.BatchPayloads++
+			e.deliver(from, payload)
+		}
+		return
+	}
+	if pkt.Payload != nil {
+		e.stats.Delivered++
+		e.deliver(from, pkt.Payload)
 	}
 }
 

@@ -34,9 +34,15 @@ func (e *epHandler) Receive(from ids.ID, payload any) {
 
 func (e *epHandler) Tick() { e.h.eps[e.id].Tick() }
 
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
 func newHarness(t *testing.T, n int, netOpts netsim.Options, linkOpts Options) *harness {
+	return newSeededHarness(t, n, 11, netOpts, linkOpts)
+}
+
+func newSeededHarness(t *testing.T, n int, seed int64, netOpts netsim.Options, linkOpts Options) *harness {
 	t.Helper()
-	sched := sim.NewScheduler(11)
+	sched := sim.NewScheduler(seed)
 	h := &harness{
 		sched:      sched,
 		net:        netsim.New(sched, netOpts),
@@ -165,7 +171,7 @@ func TestRecoveryFromCorruptedLinkState(t *testing.T) {
 	seq := 0
 	h.next[1] = func(ids.ID) any { seq++; return seq }
 	h.sched.RunUntil(1000)
-	rng := rand.New(rand.NewSource(5))
+	rng := newTestRng(5)
 	h.eps[1].CorruptState(rng)
 	h.eps[2].CorruptState(rng)
 	before := len(h.delivered[2])

@@ -1,0 +1,221 @@
+package datalink
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/ids"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestOrderedExactDeliveryProperty is the batching hardening property:
+// under random loss/duplication/jitter schedules (table-driven seeds for
+// reproducibility), the payload sequence pushed into a link's outbound
+// queue is delivered to the receiver exactly once and in order — batched
+// or not. Batched links run the strict cumulative-sequence discipline,
+// which holds even when a duplicated stale packet overtakes its
+// successor; the legacy alternating-bit discipline (MaxBatch 1) is
+// at-least-once under duplication, so its arms run duplication-free
+// (loss + jitter reordering only), where stop-and-wait is exact.
+func TestOrderedExactDeliveryProperty(t *testing.T) {
+	type schedule struct {
+		name     string
+		seeds    []int64
+		maxBatch int
+		// pace bounds how many payloads may sit in the queue at once
+		// (0 = fill to MaxBatch); pace 1 sends single-payload cycles
+		// through the batching discipline — the "not batched" shape.
+		pace     int
+		loss     float64
+		dup      float64
+		maxDelay sim.Time
+		payloads int
+	}
+	cases := []schedule{
+		{name: "legacy-unbatched/loss+jitter", seeds: []int64{1, 7, 23},
+			maxBatch: 1, loss: 0.20, dup: 0, maxDelay: 15, payloads: 60},
+		{name: "batch4/loss+dup+jitter", seeds: []int64{2, 11, 29},
+			maxBatch: 4, loss: 0.20, dup: 0.15, maxDelay: 15, payloads: 120},
+		{name: "batch8/heavy-adversary", seeds: []int64{3, 13, 31},
+			maxBatch: 8, loss: 0.30, dup: 0.25, maxDelay: 20, payloads: 160},
+		{name: "batch4/single-payload-cycles", seeds: []int64{5, 17},
+			maxBatch: 4, pace: 1, loss: 0.15, dup: 0.20, maxDelay: 12, payloads: 60},
+		// Delays long enough that duplicated CLEANs from the cleaning
+		// phase land after steady-state delivery began — the window in
+		// which a session-duplicate CLEAN must NOT reset the sequence
+		// history (it would reopen the acceptance window and redeliver
+		// overtaken stale DATA).
+		{name: "batch4/late-dup-cleans", seeds: []int64{19, 37, 41},
+			maxBatch: 4, loss: 0.10, dup: 0.30, maxDelay: 120, payloads: 40},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range tc.seeds {
+				netOpts := netsim.Options{
+					Capacity: 8, MinDelay: 1, MaxDelay: tc.maxDelay,
+					LossProb: tc.loss, DupProb: tc.dup,
+					TickEvery: 10, TickJitter: 5,
+				}
+				linkOpts := Options{
+					Capacity: 8, AckThreshold: 1,
+					// Generous staleness tolerance: a re-clean drops the
+					// in-flight cycle by design, which is outside this
+					// property (the link only guarantees the sequence
+					// while it stays established).
+					StaleTicks: 120,
+					MaxBatch:   tc.maxBatch,
+				}
+				h := newSeededHarness(t, 2, seed, netOpts, linkOpts)
+				h.connectAll()
+
+				want := make([]any, tc.payloads)
+				for i := range want {
+					want[i] = i + 1
+				}
+				bound := tc.pace
+				if bound <= 0 {
+					bound = tc.maxBatch
+				}
+				next := 0
+				deadline := sim.Time(400_000)
+				for h.sched.Now() < deadline && len(h.delivered[2]) < len(want) {
+					for next < len(want) && h.eps[1].QueueLen(2) < bound {
+						if !h.eps[1].Enqueue(2, want[next]) {
+							t.Fatalf("seed %d: enqueue %d refused", seed, next)
+						}
+						next++
+					}
+					h.sched.RunUntil(h.sched.Now() + 20)
+				}
+				got := h.delivered[2]
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d: delivered %d/%d payloads, sequence equal=%v\n got=%v",
+						seed, len(got), len(want), reflect.DeepEqual(got, want), truncateSeq(got))
+				}
+				if tc.maxBatch > 1 && tc.pace == 0 {
+					if h.eps[1].Stats().Batches == 0 {
+						t.Fatalf("seed %d: no multi-payload cycle completed — property not exercised", seed)
+					}
+				}
+				if h.eps[1].Stats().QueueEvicted != 0 {
+					t.Fatalf("seed %d: paced producer still evicted %d payloads",
+						seed, h.eps[1].Stats().QueueEvicted)
+				}
+			}
+		})
+	}
+}
+
+func truncateSeq(s []any) []any {
+	if len(s) > 24 {
+		return s[:24]
+	}
+	return s
+}
+
+// TestStaleCleanCannotReopenBatchedLink: on a batched link, stale CLEAN
+// packets — duplicates of the live session or replays of a past one —
+// must not displace the receiver's sequence history; otherwise a stale
+// DATA duplicate riding behind them would be redelivered, breaking
+// exactly-once. The channel holds at most Capacity stale packets, so
+// the Capacity+1 adoption threshold is exactly out of their reach.
+func TestStaleCleanCannotReopenBatchedLink(t *testing.T) {
+	netOpts := netsim.Options{Capacity: 8, MinDelay: 1, MaxDelay: 2, TickEvery: 10}
+	opts := Options{Capacity: 8, MaxBatch: 4, StaleTicks: 120}
+	h := newHarness(t, 2, netOpts, opts)
+	h.connectAll()
+	for i := 1; i <= 4; i++ {
+		h.eps[1].Enqueue(2, i)
+	}
+	h.sched.RunUntil(1500)
+	for i := 5; i <= 6; i++ {
+		h.eps[1].Enqueue(2, i)
+	}
+	h.sched.RunUntil(3000)
+	if len(h.delivered[2]) != 6 {
+		t.Fatalf("setup delivered %d/6", len(h.delivered[2]))
+	}
+	live := h.eps[2].peers[1].rxSession
+	stale := live ^ 0xdead // a past incarnation's nonce
+
+	// Up to Capacity stale CLEANs of the old session, then stale DATA
+	// of that session carrying a ghost batch: nothing may be adopted or
+	// delivered.
+	for i := 0; i < opts.Capacity; i++ {
+		h.net.InjectPacket(1, 2, Packet{Kind: KindClean, Session: stale})
+	}
+	h.net.InjectPacket(1, 2, Packet{Kind: KindData, Session: stale, Seq: 0, Batch: []any{"GHOST"}})
+	// A duplicate CLEAN of the live session must not reset history
+	// either; the stale DATA replay behind it must stay ignored.
+	h.net.InjectPacket(1, 2, Packet{Kind: KindClean, Session: live})
+	h.net.InjectPacket(1, 2, Packet{Kind: KindData, Session: live, Seq: h.eps[2].peers[1].rxSeq, Batch: []any{"REPLAY"}})
+	h.sched.RunUntil(4500)
+	for _, m := range h.delivered[2] {
+		if m == "GHOST" || m == "REPLAY" {
+			t.Fatalf("stale packet delivered: %v", m)
+		}
+	}
+	if got := h.eps[2].peers[1].rxSession; got != live {
+		t.Fatalf("stale CLEANs displaced the live session: %x -> %x", live, got)
+	}
+	// The link still flows afterwards.
+	for i := 7; i <= 10; i++ {
+		h.eps[1].Enqueue(2, i)
+	}
+	h.sched.RunUntil(7500)
+	want := []any{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if !reflect.DeepEqual(h.delivered[2], want) {
+		t.Fatalf("post-attack sequence corrupted: %v", h.delivered[2])
+	}
+}
+
+// TestBatchedLinkRecoversFromCorruption: the strict discipline must stay
+// self-stabilizing — after randomizing both endpoints' link state the
+// link re-cleans and flows again.
+func TestBatchedLinkRecoversFromCorruption(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxBatch = 4
+	h := newHarness(t, 2, adversarial(), opts)
+	h.connectAll()
+	seq := 0
+	h.next[1] = func(ids.ID) any { seq++; return seq }
+	h.sched.RunUntil(1000)
+	rng := newTestRng(5)
+	h.eps[1].CorruptState(rng)
+	h.eps[2].CorruptState(rng)
+	before := len(h.delivered[2])
+	h.sched.RunUntil(6000)
+	if len(h.delivered[2]) <= before+5 {
+		t.Fatalf("batched link did not recover after corruption: %d -> %d",
+			before, len(h.delivered[2]))
+	}
+	if h.eps[1].Stats().Cleanings < 2 {
+		t.Fatal("recovery should have re-cleaned the link")
+	}
+}
+
+// TestEnqueueEvictsOldest: an unpaced producer overflowing the bounded
+// queue displaces the oldest entry (latest-state-wins, the omission the
+// bounded-link model allows) and the eviction is counted.
+func TestEnqueueEvictsOldest(t *testing.T) {
+	h := newHarness(t, 2, adversarial(), Options{Capacity: 8, MaxBatch: 2})
+	h.eps[1].Connect(2)
+	for i := 1; i <= 5; i++ {
+		h.eps[1].Enqueue(2, i)
+	}
+	if got := h.eps[1].QueueLen(2); got != 2 {
+		t.Fatalf("queue length %d, want bound 2", got)
+	}
+	if got := h.eps[1].Stats().QueueEvicted; got != 3 {
+		t.Fatalf("evictions %d, want 3", got)
+	}
+	// Unknown peers and nil payloads are refused.
+	if h.eps[1].Enqueue(9, "x") {
+		t.Fatal("enqueue toward unknown peer accepted")
+	}
+	if h.eps[1].Enqueue(2, nil) {
+		t.Fatal("nil payload accepted")
+	}
+}

@@ -410,6 +410,73 @@ func e11Cell(sync bool) func(seed int64, n int) workload.Row {
 	}
 }
 
+// e12Cell builds one arm of E12 "batch scaling": register throughput on
+// a fixed 3-node single-shard cluster whose hot path batches up to the
+// grid size — for this experiment the swept N is the BATCH bound
+// (1/4/16/64): datalink.Options.MaxBatch payloads per token cycle and
+// smr.Replica.MaxBatch commands per round input. The offered load (a
+// fixed operation count issued round-robin across the nodes, the same
+// at every batch size for comparability) completes in fewer multicast
+// rounds as batches fill, so the reported aggregate ops/kilotick rises
+// until the per-node backlog no longer fills a batch (the saturation
+// knee between 16 and 64 on this workload); per-op latency is the
+// reciprocal, giving the E9-style latency/throughput trade-off. Batch 1
+// is bit-identical to the unbatched configuration (the determinism
+// regression relies on it).
+func e12Cell(sync bool) func(seed int64, n int) workload.Row {
+	return func(seed int64, n int) workload.Row {
+		const nodes = 3
+		const opsTotal = 48
+		mems, c, err := batchMemCluster(seed, nodes, n)
+		if err != nil {
+			return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+		}
+		ok := c.Sched.RunWhile(func() bool {
+			_, has := mems[1].VS().CurrentView()
+			return !has
+		}, 6_000_000)
+		if !ok {
+			return workload.Row{X: n, Note: "no view"}
+		}
+		var handles []*regmem.Handle
+		start := c.Sched.Now()
+		for i := 0; i < opsTotal; i++ {
+			who := ids.ID(i%nodes + 1)
+			var h *regmem.Handle
+			if sync {
+				h = mems[who].SyncRead(fmt.Sprintf("k%d", i))
+			} else {
+				h = mems[who].Write(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+			}
+			handles = append(handles, h)
+		}
+		ok = c.Sched.RunWhile(func() bool {
+			for _, h := range handles {
+				if !h.Done() {
+					return true
+				}
+			}
+			return false
+		}, 8_000_000)
+		elapsed := c.Sched.Now() - start
+		done := 0
+		for _, h := range handles {
+			if h.Done() {
+				done++
+			}
+		}
+		if done == 0 || elapsed <= 0 {
+			return workload.Row{X: n, Note: "no ops completed"}
+		}
+		return workload.Row{
+			X:     n,
+			Y:     float64(done) / float64(elapsed) * 1000,
+			Valid: ok,
+			Note:  fmt.Sprintf("%d/%d ops in %d ticks", done, len(handles), elapsed),
+		}
+	}
+}
+
 // e10Cell builds the cell function for one degree-gap arm of the E10
 // ablation (DESIGN.md §4 note 5): delicate replacement latency and
 // spurious resets under the given staleness tolerance.

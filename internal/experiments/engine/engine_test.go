@@ -5,14 +5,14 @@ import (
 	"fmt"
 	"testing"
 
-	_ "repro/internal/experiments" // registers E1–E11
+	_ "repro/internal/experiments" // registers E1–E12
 	"repro/internal/experiments/engine"
 	"repro/internal/workload"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := engine.All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}
@@ -208,6 +208,37 @@ func TestParallelDeterminismE11(t *testing.T) {
 	}
 	if p1, p8 := emit(1), emit(8); !bytes.Equal(p1, p8) {
 		t.Errorf("E11 emission differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", p1, p8)
+	}
+}
+
+// TestParallelDeterminismE12 extends the determinism regression to the
+// batch-scaling experiment: E12 cells run whole batched-hot-path cluster
+// simulations (including the batch-1 arm that must stay bit-identical
+// to the unbatched configuration), and their emissions must be
+// byte-identical for any worker count.
+func TestParallelDeterminismE12(t *testing.T) {
+	emit := func(workers int) []byte {
+		rep, err := engine.Run(engine.Config{
+			Seed:    42,
+			Sizes:   []int{1, 16},
+			Repeats: 1,
+			Workers: workers,
+			Only:    map[string]bool{"E12": true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := engine.WriteCellsCSV(&out, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.WriteJSON(&out, rep); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	if p1, p8 := emit(1), emit(8); !bytes.Equal(p1, p8) {
+		t.Errorf("E12 emission differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", p1, p8)
 	}
 }
 

@@ -1,9 +1,9 @@
 // Package experiments implements the paper-reproduction experiment suite
-// E1–E11 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
+// E1–E12 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
 // empirical tables; E1–E10 each operationalize one of its theorems or
-// explicit asymptotic claims, and E11 measures the sharded register
-// namespace's scaling (DESIGN.md §9), producing the series recorded in
-// EXPERIMENTS.md.
+// explicit asymptotic claims, E11 measures the sharded register
+// namespace's scaling (DESIGN.md §9), and E12 the hot-path batching
+// (DESIGN.md §11), producing the series recorded in EXPERIMENTS.md.
 //
 // The per-cell simulations live in cells.go; this file registers them
 // with the engine registry (internal/experiments/engine), which
@@ -108,6 +108,17 @@ func init() {
 			{Key: "syncread", Name: "E11 sync-read throughput (ops/kilotick)", Run: e11Cell(true)},
 		},
 	})
+	engine.MustRegister(engine.Descriptor{
+		// E12 sweeps the BATCH bound (the cluster stays 3 nodes, one
+		// shard): the grid size is the payload/command batch carried per
+		// datalink token cycle and multicast round input (DESIGN.md §11).
+		ID: "E12", Title: "batch scaling (N = batch, 3 nodes)", Metric: "ops/kilotick",
+		DefaultSizes: []int{1, 4, 16, 64}, MinSize: 1,
+		Series: []engine.SeriesSpec{
+			{Key: "write", Name: "E12 write throughput (ops/kilotick)", Run: e12Cell(false)},
+			{Key: "syncread", Name: "E12 sync-read throughput (ops/kilotick)", Run: e12Cell(true)},
+		},
+	})
 }
 
 // runSeries sweeps one registered series sequentially over sizes, using
@@ -207,5 +218,15 @@ func E11ShardScaling(seed int64, shardCounts []int) []workload.Series {
 	return []workload.Series{
 		runSeries("E11", "write", seed, shardCounts),
 		runSeries("E11", "syncread", seed, shardCounts),
+	}
+}
+
+// E12BatchScaling measures write and sync-read throughput as the hot
+// path batches 1/4/16/64 payloads per datalink token and commands per
+// round (see e12Cell; sizes are batch bounds).
+func E12BatchScaling(seed int64, batches []int) []workload.Series {
+	return []workload.Series{
+		runSeries("E12", "write", seed, batches),
+		runSeries("E12", "syncread", seed, batches),
 	}
 }

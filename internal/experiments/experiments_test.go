@@ -65,6 +65,34 @@ func TestE11(t *testing.T) {
 	}
 }
 
+func TestE12(t *testing.T) {
+	for _, s := range E12BatchScaling(112, []int{1, 4}) {
+		requireValid(t, s)
+	}
+}
+
+// TestE12BatchScalingSpeedup is this tentpole's acceptance check: with
+// the hot path batching up to 16 payloads per token cycle (and commands
+// per round), aggregate write throughput on the 3-node cluster must be
+// at least 2× the unbatched baseline — in the deterministic simulator's
+// virtual time, so the assertion is exact and reproducible.
+func TestE12BatchScalingSpeedup(t *testing.T) {
+	series := E12BatchScaling(42, []int{1, 16})
+	writes := series[0]
+	if len(writes.Rows) != 2 {
+		t.Fatalf("want rows for batch 1 and 16, got %+v", writes.Rows)
+	}
+	one, sixteen := writes.Rows[0], writes.Rows[1]
+	if !one.Valid || !sixteen.Valid {
+		t.Fatalf("invalid rows: batch-1 %+v, batch-16 %+v", one, sixteen)
+	}
+	if sixteen.Y < 2*one.Y {
+		t.Fatalf("batch-16 write throughput %.3f < 2× batch-1 %.3f ops/kilotick", sixteen.Y, one.Y)
+	}
+	t.Logf("write throughput: batch 1 %.3f, batch 16 %.3f ops/kilotick (%.2fx)",
+		one.Y, sixteen.Y, sixteen.Y/one.Y)
+}
+
 // TestE11ShardScalingSpeedup is the tentpole's acceptance check: with
 // the register namespace split over 4 shards, aggregate write
 // throughput must be at least 2× the single-shard baseline (in the

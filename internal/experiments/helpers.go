@@ -67,11 +67,20 @@ func exchangeLabels(stores map[ids.ID]*label.Store, members ids.Set, maxRounds i
 
 // memCluster builds a shared-memory cluster for E9.
 func memCluster(seed int64, n int) (map[ids.ID]*regmem.SharedMemory, *core.Cluster, error) {
+	return batchMemCluster(seed, n, 1)
+}
+
+// batchMemCluster builds a shared-memory cluster whose hot path batches
+// up to `batch` payloads per datalink token and commands per round
+// input (E12; batch 1 is exactly the unbatched E9 configuration).
+func batchMemCluster(seed int64, n, batch int) (map[ids.ID]*regmem.SharedMemory, *core.Cluster, error) {
 	mems := map[ids.ID]*regmem.SharedMemory{}
 	opts := core.DefaultClusterOptions(seed)
 	opts.Node.EvalConf = func(ids.Set, ids.Set) bool { return false }
+	opts.Node.Link.MaxBatch = batch
 	opts.AppFactory = func(self ids.ID) core.App {
 		s := regmem.New(self, nil)
+		s.SetMaxBatch(batch)
 		mems[self] = s
 		return s
 	}

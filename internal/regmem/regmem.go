@@ -257,11 +257,18 @@ func (s *SharedMemory) Apply(state any, r vs.Round) any { return s.rep.Apply(sta
 // Fetch implements vs.App.
 func (s *SharedMemory) Fetch() any { return s.rep.Fetch() }
 
-// Deliver implements vs.App: completes handles whose commands appear.
+// Deliver implements vs.App: completes handles whose commands appear
+// (each member's round input may be a smr.Batch bundling several).
 func (s *SharedMemory) Deliver(r vs.Round) {
 	s.rep.Deliver(r)
 	for _, in := range r.Inputs {
-		switch c := in.(type) {
+		s.deliverInput(in)
+	}
+}
+
+func (s *SharedMemory) deliverInput(in any) {
+	for _, cmd := range smr.Commands(in) {
+		switch c := cmd.(type) {
 		case WriteCmd:
 			if c.Writer == s.self {
 				if h, ok := s.writes[c.Seq]; ok {
@@ -284,6 +291,11 @@ func (s *SharedMemory) Deliver(r vs.Round) {
 		}
 	}
 }
+
+// SetMaxBatch bounds the commands the underlying replica bundles into
+// one multicast round input (smr.Replica.MaxBatch; <= 1 disables
+// batching). Configure it before serving traffic.
+func (s *SharedMemory) SetMaxBatch(n int) { s.rep.MaxBatch = n }
 
 type readyRead struct {
 	h    *Handle

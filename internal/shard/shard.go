@@ -81,6 +81,14 @@ func New(self ids.ID, n int, eval vs.EvalConf) *Map {
 // N returns the shard count.
 func (m *Map) N() int { return len(m.mems) }
 
+// SetMaxBatch bounds the commands every shard's replica bundles into one
+// multicast round input (regmem.SharedMemory.SetMaxBatch on each stack).
+func (m *Map) SetMaxBatch(n int) {
+	for _, mem := range m.mems {
+		mem.SetMaxBatch(n)
+	}
+}
+
 // Apps returns the per-shard service stacks in shard order, for
 // core.Params.Apps.
 func (m *Map) Apps() []core.App {

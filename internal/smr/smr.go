@@ -32,6 +32,27 @@ type Applied struct {
 	Cmd    any
 }
 
+// Batch is one member's multi-command round input: Fetch bundles up to
+// MaxBatch pending commands into a single Batch when command batching is
+// enabled, so one multicast round orders several client commands per
+// member instead of one. Apply and Deliver unfold it in submission
+// order, so the replicated execution is identical to the commands
+// arriving over consecutive rounds — just cheaper. The type travels
+// between processes inside vs rounds (transport/wire registers it).
+type Batch struct {
+	Cmds []any
+}
+
+// Commands flattens a round input: the commands of a Batch in order, or
+// the input itself as a one-element sequence. Consumers that inspect
+// round inputs (delivery hooks, logs) use it to stay batching-agnostic.
+func Commands(input any) []any {
+	if b, ok := input.(Batch); ok {
+		return b.Cmds
+	}
+	return []any{input}
+}
+
 // Replica replicates a StateMachine through virtual synchrony. It
 // implements vs.App; wire it into a vs.Manager and a core.Node.
 type Replica struct {
@@ -40,6 +61,9 @@ type Replica struct {
 	pending []any
 	// MaxPending bounds the client submission queue (0 = 64).
 	MaxPending int
+	// MaxBatch bounds the commands Fetch bundles into one round input
+	// (<= 1 keeps the legacy one-command-per-round behavior exactly).
+	MaxBatch int
 
 	log []Applied
 }
@@ -79,7 +103,8 @@ func (r *Replica) Log() []Applied {
 func (r *Replica) InitState() any { return r.sm.Init() }
 
 // Apply implements vs.App: execute the round's commands in ascending
-// member order (the deterministic order virtual synchrony prescribes).
+// member order (the deterministic order virtual synchrony prescribes),
+// unfolding each member's Batch in submission order.
 func (r *Replica) Apply(state any, round vs.Round) any {
 	members := make([]ids.ID, 0, len(round.Inputs))
 	for m := range round.Inputs {
@@ -87,22 +112,40 @@ func (r *Replica) Apply(state any, round vs.Round) any {
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	for _, m := range members {
-		state = r.sm.Apply(state, round.Inputs[m])
+		for _, cmd := range Commands(round.Inputs[m]) {
+			state = r.sm.Apply(state, cmd)
+		}
 	}
 	return state
 }
 
-// Fetch implements vs.App.
+// Fetch implements vs.App: the next pending command, or — with MaxBatch
+// > 1 — up to MaxBatch of them bundled into one Batch. A single pending
+// command always travels bare, so batch-1 traffic keeps its exact shape.
 func (r *Replica) Fetch() any {
 	if len(r.pending) == 0 {
 		return nil
 	}
-	next := r.pending[0]
-	r.pending = r.pending[1:]
-	return next
+	k := 1
+	if r.MaxBatch > 1 {
+		k = r.MaxBatch
+		if k > len(r.pending) {
+			k = len(r.pending)
+		}
+	}
+	if k == 1 {
+		next := r.pending[0]
+		r.pending = r.pending[1:]
+		return next
+	}
+	cmds := make([]any, k)
+	copy(cmds, r.pending[:k])
+	r.pending = append([]any(nil), r.pending[k:]...)
+	return Batch{Cmds: cmds}
 }
 
-// Deliver implements vs.App: record the round's commands in the log.
+// Deliver implements vs.App: record the round's commands in the log,
+// one entry per command (batches unfold in submission order).
 func (r *Replica) Deliver(round vs.Round) {
 	members := make([]ids.ID, 0, len(round.Inputs))
 	for m := range round.Inputs {
@@ -110,9 +153,11 @@ func (r *Replica) Deliver(round vs.Round) {
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	for _, m := range members {
-		r.log = append(r.log, Applied{
-			View: round.View, Rnd: round.Rnd, Member: m, Cmd: round.Inputs[m],
-		})
+		for _, cmd := range Commands(round.Inputs[m]) {
+			r.log = append(r.log, Applied{
+				View: round.View, Rnd: round.Rnd, Member: m, Cmd: cmd,
+			})
+		}
 	}
 	const logBound = 4096
 	if len(r.log) > logBound {

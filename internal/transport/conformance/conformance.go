@@ -1,10 +1,13 @@
 // Package conformance is the shared behavioral test suite every
 // transport backend must pass: registration and tick semantics, lossless
 // and fully-lossy delivery, duplication injection, crash stop-failure,
-// Inspect serialization, Close idempotence, a full reconfiguration-stack
-// cluster converging on the backend, and a sharded register cluster — two
-// service stacks multiplexed over one transport with shard-tagged
-// envelopes — completing writes on every shard concurrently.
+// Inspect serialization, Close idempotence, batched datalink payloads
+// crossing intact (for tcp: through the version-3 wire batch field, plus
+// a mixed-version pair exercising the writer downgrade), a full
+// reconfiguration-stack cluster converging on the backend, and a sharded
+// register cluster — two service stacks multiplexed over one transport
+// with shard-tagged envelopes — completing writes on every shard
+// concurrently.
 //
 // Backends invoke Run from their own test files, so `go test ./...`
 // exercises the suite against simnet, inproc and tcp in one sweep (the
@@ -13,10 +16,12 @@ package conformance
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datalink"
 	"repro/internal/ids"
 	"repro/internal/recsa"
 	"repro/internal/regmem"
@@ -31,6 +36,14 @@ type Backend struct {
 	// New builds a fresh transport able to host any of the given node
 	// identifiers. The suite closes it.
 	New func(t *testing.T, seed int64, opts transport.Options, universe ids.Set) Harness
+	// MixedPair, when non-nil, builds two interconnected transports
+	// writing different wire-format versions over one address universe:
+	// a writes version 2 (the newest version without the batch field),
+	// b writes the current version; both read the full accepted range.
+	// Backends without a serialized wire format (simnet, inproc) leave
+	// it nil and the mixed-version subtest is skipped. The suite closes
+	// both.
+	MixedPair func(t *testing.T, seed int64, opts transport.Options, universe ids.Set) (a, b Harness)
 }
 
 // Harness couples a transport with the way model time advances on it:
@@ -57,6 +70,20 @@ func (h *handler) Receive(from ids.ID, payload any) {
 }
 
 func (h *handler) Tick() { h.ticks++ }
+
+// packetRecorder keeps every received datalink packet in arrival order;
+// touched only from the node's execution context, like handler.
+type packetRecorder struct {
+	pkts []datalink.Packet
+}
+
+func (r *packetRecorder) Receive(from ids.ID, payload any) {
+	if pkt, ok := payload.(datalink.Packet); ok {
+		r.pkts = append(r.pkts, pkt)
+	}
+}
+
+func (r *packetRecorder) Tick() {}
 
 // quietOpts is a fault-free configuration for exact-delivery assertions.
 func quietOpts() transport.Options {
@@ -229,6 +256,150 @@ func Run(t *testing.T, b Backend) {
 		}
 		if err := h.Net.AddNode(3, &handler{}); err == nil {
 			t.Fatal("AddNode after Close accepted")
+		}
+	})
+
+	t.Run("BatchedPayloads", func(t *testing.T) {
+		// Batched DATA packets (datalink MaxBatch > 1) must cross the
+		// backend as one unit: every batch arrives exactly once with its
+		// payloads in order — no loss, duplication or reordering across
+		// batch boundaries. For tcp this exercises the wire codec's
+		// version-3 batch field end to end, envelopes (with shard tags)
+		// and raw payloads mixed.
+		opts := quietOpts()
+		h := b.New(t, 9, opts, universe)
+		defer h.Net.Close()
+		dst := &packetRecorder{}
+		if err := h.Net.AddNode(1, &handler{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Net.AddNode(2, dst); err != nil {
+			t.Fatal(err)
+		}
+		const k = 12
+		sent := make(map[uint64]datalink.Packet, k+1)
+		for i := 0; i < k; i++ {
+			pkt := datalink.Packet{
+				Kind: datalink.KindData, Session: uint64(i + 1), Seq: uint8(i),
+				Batch: []any{
+					fmt.Sprintf("b%d-0", i),
+					core.Envelope{
+						App:       fmt.Sprintf("b%d-1", i),
+						ShardApps: []core.ShardApp{{Shard: 1, App: fmt.Sprintf("b%d-s1", i)}},
+					},
+					fmt.Sprintf("b%d-2", i),
+				},
+			}
+			sent[pkt.Session] = pkt
+			h.Net.Send(1, 2, pkt)
+		}
+		// A legacy single-payload packet shares the stream unharmed.
+		legacy := datalink.Packet{Kind: datalink.KindData, Session: k + 1, Seq: 0, Payload: "single"}
+		sent[legacy.Session] = legacy
+		h.Net.Send(1, 2, legacy)
+
+		if !await(h, 10*time.Second, func() bool {
+			return inspected(t, h, 2, func() int { return len(dst.pkts) }) == len(sent)
+		}) {
+			got := inspected(t, h, 2, func() int { return len(dst.pkts) })
+			t.Fatalf("delivered %d/%d batched packets", got, len(sent))
+		}
+		// No late duplicates across batch boundaries.
+		h.Settle(100 * time.Millisecond)
+		pkts := inspected(t, h, 2, func() []datalink.Packet {
+			return append([]datalink.Packet(nil), dst.pkts...)
+		})
+		if len(pkts) != len(sent) {
+			t.Fatalf("delivered %d packets after settling, want exactly %d", len(pkts), len(sent))
+		}
+		seen := map[uint64]bool{}
+		for _, got := range pkts {
+			if seen[got.Session] {
+				t.Fatalf("batch %d delivered twice", got.Session)
+			}
+			seen[got.Session] = true
+			want, ok := sent[got.Session]
+			if !ok {
+				t.Fatalf("unknown batch session %d", got.Session)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("batch %d mutated in transit:\n in=%#v\nout=%#v", got.Session, want, got)
+			}
+		}
+	})
+
+	t.Run("MixedVersionPair", func(t *testing.T) {
+		// A version-2-writing process and a current-version process
+		// interoperate: current→old batches arrive intact (old readers
+		// of this codebase accept newer preambles up to wire.Version;
+		// here "old" means old *writer*), while old-writer→current
+		// batched packets collapse to their freshest payload — the
+		// documented lossy downgrade — and unbatched traffic crosses
+		// unharmed both ways.
+		if b.MixedPair == nil {
+			t.Skip("backend has no serialized wire format")
+		}
+		ha, hb := b.MixedPair(t, 10, quietOpts(), universe)
+		defer ha.Net.Close()
+		defer hb.Net.Close()
+		oldRx, newRx := &packetRecorder{}, &packetRecorder{}
+		if err := ha.Net.AddNode(1, oldRx); err != nil {
+			t.Fatal(err)
+		}
+		if err := hb.Net.AddNode(2, newRx); err != nil {
+			t.Fatal(err)
+		}
+		batch := []any{"stale-1", "stale-2", "fresh"}
+		// current writer → old-writer process: batch intact.
+		hb.Net.Send(2, 1, datalink.Packet{Kind: datalink.KindData, Session: 1, Batch: batch})
+		// old (v2) writer → current process: batch collapses to "fresh".
+		ha.Net.Send(1, 2, datalink.Packet{Kind: datalink.KindData, Session: 2, Batch: batch})
+		// Unbatched traffic both ways.
+		hb.Net.Send(2, 1, datalink.Packet{Kind: datalink.KindData, Session: 3, Payload: "plain"})
+		ha.Net.Send(1, 2, datalink.Packet{Kind: datalink.KindData, Session: 4, Payload: "plain"})
+
+		if !await(ha, 10*time.Second, func() bool {
+			atOld := inspected(t, ha, 1, func() int { return len(oldRx.pkts) })
+			atNew := inspected(t, hb, 2, func() int { return len(newRx.pkts) })
+			return atOld == 2 && atNew == 2
+		}) {
+			t.Fatalf("mixed pair delivered %d+%d packets, want 2+2",
+				inspected(t, ha, 1, func() int { return len(oldRx.pkts) }),
+				inspected(t, hb, 2, func() int { return len(newRx.pkts) }))
+		}
+		atOld := inspected(t, ha, 1, func() []datalink.Packet {
+			return append([]datalink.Packet(nil), oldRx.pkts...)
+		})
+		for _, pkt := range atOld {
+			switch pkt.Session {
+			case 1:
+				if !reflect.DeepEqual(pkt.Batch, batch) {
+					t.Fatalf("current→old batch mutated: %#v", pkt.Batch)
+				}
+			case 3:
+				if pkt.Payload != "plain" || pkt.Batch != nil {
+					t.Fatalf("current→old single payload mutated: %#v", pkt)
+				}
+			default:
+				t.Fatalf("old side got unexpected session %d", pkt.Session)
+			}
+		}
+		atNew := inspected(t, hb, 2, func() []datalink.Packet {
+			return append([]datalink.Packet(nil), newRx.pkts...)
+		})
+		for _, pkt := range atNew {
+			switch pkt.Session {
+			case 2:
+				if pkt.Batch != nil || pkt.Payload != "fresh" {
+					t.Fatalf("v2 downgrade kept %#v, want freshest payload only", pkt)
+				}
+			case 4:
+				if pkt.Payload != "plain" {
+					t.Fatalf("old→current single payload mutated: %#v", pkt)
+				}
+			default:
+				t.Fatalf("new side got unexpected session %d", pkt.Session)
+			}
 		}
 	})
 

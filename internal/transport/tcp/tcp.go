@@ -20,6 +20,12 @@
 // Concurrency discipline matches transport/inproc: one goroutine per
 // local node owns its handler; deliveries, ticks and Inspect closures
 // are funneled through the node's inbox channel.
+//
+// Hot-path batching: each outbound link's write loop coalesces every
+// frame already waiting in its queue into a single connection write
+// (wire.Writer.Append + one Flush, bounded by maxCoalesce), and
+// Config.WireVersion lets the process write an older wire-format
+// version for peers that have not been upgraded yet (DESIGN.md §11).
 package tcp
 
 import (
@@ -53,8 +59,18 @@ type Config struct {
 	// RedialBackoff is the initial pause after a failed dial, doubling
 	// up to 16x (default 50ms).
 	RedialBackoff time.Duration
-	// WriteTimeout bounds one frame write (default 2s).
+	// WriteTimeout bounds each connection write syscall (default 2s):
+	// a stalled peer is cut within it, while a slow-but-progressing
+	// transfer of a large (multi-frame) message or coalesced group
+	// gets a fresh budget per write.
 	WriteTimeout time.Duration
+	// WireVersion is the wire-format version this process writes
+	// (0 = wire.Version). Setting it to an older accepted version makes
+	// every outbound stream decodable by peers that only speak that
+	// version — the rolling-upgrade knob; the writer downgrades message
+	// schemas accordingly (see wire.NewWriterVersion). Reading always
+	// accepts the full [wire.MinVersion, wire.Version] range.
+	WireVersion byte
 	// Logf, when non-nil, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -78,6 +94,9 @@ func (c *Config) fill() {
 	if c.Opts.MaxDelay < c.Opts.MinDelay {
 		c.Opts.MaxDelay = c.Opts.MinDelay
 	}
+	if c.WireVersion == 0 {
+		c.WireVersion = wire.Version
+	}
 }
 
 // Stats aggregates transport-level counters.
@@ -88,6 +107,13 @@ type Stats struct {
 	Duplicated uint64
 	Redials    uint64
 	DecodeErrs uint64
+	// ConnWrites counts connection flushes, FramesWritten the wire
+	// frames they carried (a message larger than wire.MaxFrame spans
+	// several); FramesWritten/ConnWrites is the achieved write
+	// coalescing factor (frames ready while a flush was in progress are
+	// folded into the next one).
+	ConnWrites    uint64
+	FramesWritten uint64
 }
 
 type inboxItem struct {
@@ -121,6 +147,7 @@ type Net struct {
 	wg sync.WaitGroup
 
 	sent, delivered, dropped, dups, redials, decodeErrs atomic.Uint64
+	connWrites, framesWritten                           atomic.Uint64
 }
 
 var _ transport.Transport = (*Net)(nil)
@@ -141,12 +168,14 @@ func New(cfg Config) *Net {
 // Stats returns a snapshot of the transport counters.
 func (t *Net) Stats() Stats {
 	return Stats{
-		Sent:       t.sent.Load(),
-		Delivered:  t.delivered.Load(),
-		Dropped:    t.dropped.Load(),
-		Duplicated: t.dups.Load(),
-		Redials:    t.redials.Load(),
-		DecodeErrs: t.decodeErrs.Load(),
+		Sent:          t.sent.Load(),
+		Delivered:     t.delivered.Load(),
+		Dropped:       t.dropped.Load(),
+		Duplicated:    t.dups.Load(),
+		Redials:       t.redials.Load(),
+		DecodeErrs:    t.decodeErrs.Load(),
+		ConnWrites:    t.connWrites.Load(),
+		FramesWritten: t.framesWritten.Load(),
 	}
 }
 
@@ -487,6 +516,10 @@ func newLink(t *Net, to ids.ID, addr string) *link {
 	}
 }
 
+// maxCoalesce bounds the messages one connection write may carry, so a
+// deep send queue cannot delay the flush indefinitely.
+const maxCoalesce = 64
+
 func (l *link) writeLoop() {
 	defer l.t.wg.Done()
 	var (
@@ -523,25 +556,64 @@ func (l *link) writeLoop() {
 				l.t.logf("tcp: dial %v (%s): %v", l.to, l.addr, err)
 				continue
 			}
-			ww, err := wire.NewWriter(c)
+			// The deadline wrapper re-arms WriteTimeout before every
+			// write syscall, so the budget bounds peer stalls — not the
+			// total size of a coalesced group or split message.
+			ww, err := wire.NewWriterVersion(&deadlineWriter{conn: c, timeout: l.t.cfg.WriteTimeout}, l.t.cfg.WireVersion)
 			if err != nil {
 				c.Close()
 				l.t.dropped.Add(1)
+				l.t.logf("tcp: writer for %v: %v", l.to, err)
 				continue
 			}
 			conn, w = c, ww
 			backoff = l.t.cfg.RedialBackoff
 			nextTry = time.Time{}
 		}
-		conn.SetWriteDeadline(time.Now().Add(l.t.cfg.WriteTimeout))
-		if err := w.WriteMsg(msg); err != nil {
+		// Coalesce every already-ready frame into this connection write:
+		// Append buffers each message, one Flush hands the group to the
+		// kernel — one syscall (and one wakeup on the receiver) instead
+		// of one per frame when the queue runs hot.
+		framesBefore := w.Frames()
+		err := w.Append(msg)
+		msgs := uint64(1)
+	drain:
+		for err == nil && msgs < maxCoalesce {
+			select {
+			case more := <-l.out:
+				err = w.Append(more)
+				msgs++
+			default:
+				break drain
+			}
+		}
+		if err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
 			l.t.logf("tcp: write to %v: %v", l.to, err)
 			conn.Close()
 			conn, w = nil, nil
-			l.t.dropped.Add(1)
+			l.t.dropped.Add(msgs)
 			nextTry = time.Now().Add(backoff)
+			continue
 		}
+		l.t.connWrites.Add(1)
+		l.t.framesWritten.Add(w.Frames() - framesBefore)
 	}
+}
+
+// deadlineWriter arms the connection's write deadline before every
+// write, giving each syscall — not each message or coalesced group —
+// the configured budget.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (d *deadlineWriter) Write(p []byte) (int, error) {
+	d.conn.SetWriteDeadline(time.Now().Add(d.timeout))
+	return d.conn.Write(p)
 }
 
 // FreeAddrs reserves one loopback address per node by briefly listening

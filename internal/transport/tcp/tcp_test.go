@@ -21,6 +21,19 @@ func TestConformance(t *testing.T) {
 			n := tcp.New(tcp.Config{Addrs: addrs, Seed: seed, Opts: opts})
 			return conformance.Harness{Net: n, Settle: time.Sleep}
 		},
+		// Two processes over one address book, the first negotiated down
+		// to wire version 2 — the rolling-upgrade shape the writer
+		// downgrade exists for.
+		MixedPair: func(t *testing.T, seed int64, opts transport.Options, universe ids.Set) (conformance.Harness, conformance.Harness) {
+			addrs, err := tcp.FreeAddrs(universe.Members()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			old := tcp.New(tcp.Config{Addrs: addrs, Seed: seed, Opts: opts, WireVersion: 2})
+			cur := tcp.New(tcp.Config{Addrs: addrs, Seed: seed + 1, Opts: opts})
+			return conformance.Harness{Net: old, Settle: time.Sleep},
+				conformance.Harness{Net: cur, Settle: time.Sleep}
+		},
 	})
 }
 

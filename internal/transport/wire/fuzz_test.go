@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datalink"
+	"repro/internal/recma"
+)
+
+// fuzzSeedStream builds a well-formed stream at the given written
+// version carrying representative traffic: a batched DATA packet (with
+// envelopes and raw payloads), a legacy single-payload envelope packet,
+// control packets, and a raw value.
+func fuzzSeedStream(tb testing.TB, version byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriterVersion(&buf, version)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	env := core.Envelope{
+		RecMA:     &recma.Message{NoMaj: true},
+		App:       "app",
+		ShardApps: []core.ShardApp{{Shard: 1, App: "s1"}},
+	}
+	payloads := []any{
+		datalink.Packet{Kind: datalink.KindData, Session: 9, Seq: 3,
+			Batch: []any{env, "raw", env}},
+		datalink.Packet{Kind: datalink.KindData, Session: 9, Seq: 4, Payload: env},
+		datalink.Packet{Kind: datalink.KindClean, Session: 10},
+		datalink.Packet{Kind: datalink.KindAck, Session: 9, Seq: 4},
+		"garbage",
+	}
+	for _, p := range payloads {
+		if err := w.WriteMsg(NewMsg(1, 2, p)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadMsg is the decoder-hardening fuzz target: for arbitrary input
+// bytes the reader must return errors — never panic, hang, or allocate
+// past its declared bounds (MaxFrame per frame, MaxWireBatch per batch;
+// gob's own message sanity limits cover the rest). The seed corpus
+// (f.Add plus the checked-in testdata corpus, which plain `go test`
+// executes as a regression suite) covers well-formed v1/v2/v3 streams,
+// truncations at every structural boundary, corrupted preambles,
+// oversize frame headers, and absurd batch counts.
+func FuzzReadMsg(f *testing.F) {
+	for _, version := range []byte{1, 2, 3} {
+		stream := fuzzSeedStream(f, version)
+		f.Add(stream)
+		// Truncations: inside the preamble, inside a frame header,
+		// inside a frame payload, inside the gob stream.
+		for _, cut := range []int{3, preambleLen, preambleLen + 2, preambleLen + 6, len(stream) / 2, len(stream) - 1} {
+			if cut < len(stream) {
+				f.Add(append([]byte(nil), stream[:cut]...))
+			}
+		}
+		// Corrupted version and magic bytes.
+		bad := append([]byte(nil), stream...)
+		bad[len(magic)] = 99
+		f.Add(bad)
+		bad2 := append([]byte(nil), stream...)
+		bad2[0] = 'X'
+		f.Add(bad2)
+	}
+	// Oversize frame header right after a valid preamble.
+	huge := fuzzSeedStream(f, Version)[:preambleLen]
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff)
+	f.Add(huge)
+	// Zero-length frames followed by garbage.
+	zero := fuzzSeedStream(f, Version)[:preambleLen]
+	zero = append(zero, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3)
+	f.Add(zero)
+	// A frame whose header claims more than the stream holds.
+	short := fuzzSeedStream(f, Version)[:preambleLen]
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1024)
+	short = append(short, hdr[:]...)
+	short = append(short, 'x', 'y')
+	f.Add(short)
+	// An over-MaxWireBatch batch in an otherwise valid stream.
+	{
+		batch := make([]any, MaxWireBatch+1)
+		for i := range batch {
+			batch[i] = 0
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := w.WriteMsg(NewMsg(1, 2, datalink.Packet{Kind: datalink.KindData, Batch: batch})); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed preamble: rejected is the contract
+		}
+		// Decode until error or stream end; bound the message count so a
+		// pathological input cannot loop forever.
+		for i := 0; i < 256; i++ {
+			m, err := r.ReadMsg()
+			if err != nil {
+				return
+			}
+			if m.HasPkt && len(m.Pkt.Batch) > MaxWireBatch {
+				t.Fatalf("reader passed a %d-payload batch through", len(m.Pkt.Batch))
+			}
+			m.Payload() // reconstruction must not panic either
+		}
+	})
+}

@@ -11,9 +11,15 @@
 //
 // The frame payloads of one connection form a single continuous gob
 // stream (type definitions are transmitted once, on first use), decoded
-// into Msg values. A reader rejects mismatched magic, versions outside
-// [MinVersion, Version], and over-long frames before buffering them, so
-// a corrupted or hostile peer cannot make it allocate unboundedly.
+// into Msg values; a message larger than MaxFrame simply spans several
+// frames. A reader rejects mismatched magic, versions outside
+// [MinVersion, Version], over-long frames before buffering them,
+// messages spanning more than MaxMessage bytes, and absurd batch
+// counts, so a corrupted or hostile peer cannot keep the reader
+// buffering without bound. A writer can be negotiated down to any accepted
+// version (NewWriterVersion): it stamps that version in the preamble
+// and downgrades every message's schema to match, which is how new
+// binaries keep serving old readers during a rolling upgrade.
 //
 // Schema notes. Msg/Packet/Envelope mirror datalink.Packet and
 // core.Envelope with explicit presence booleans instead of pointers: gob
@@ -28,6 +34,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -45,25 +52,46 @@ import (
 
 // Version is the wire-format version written by this build. Version 2
 // added the shard-tagged application payloads (Envelope.HasShards /
-// Shards). The addition is gob-compatible — a version-1 frame simply
-// decodes with HasShards false — so readers accept MinVersion too and
-// single-shard frames carry no format break: shard 0's payload still
-// travels in the legacy App slot.
+// Shards); Version 3 added the batched datalink payloads
+// (Packet.HasBatch / Batch, DESIGN.md §11). Both additions are
+// gob-compatible — an older frame simply decodes with the presence
+// boolean false — so readers accept [MinVersion, Version], and
+// unbatched single-shard frames carry no format break: shard 0's
+// payload still travels in the legacy App slot and a single payload in
+// the legacy Payload slot.
 //
-// Scope of the compatibility claim: acceptance is read-side only (this
-// build still *writes* Version, which a version-1 reader refuses —
-// full negotiation is a ROADMAP item), and it covers the envelope
-// schema. App-level state representations that changed alongside the
-// bump must migrate on adoption themselves; regmem does (a legacy
-// map[string]string replica state is adopted as the base of a
-// delta-chain State rather than discarded).
-const Version = 2
+// Writing is negotiable too: NewWriterVersion emits any version in the
+// accepted range and downgrades the schema of every message to it
+// (dropping what the older schema cannot express — see downgrade), so a
+// new binary can serve old readers during a rolling upgrade. App-level
+// state representations that changed alongside a bump must migrate on
+// adoption themselves; regmem does (a legacy map[string]string replica
+// state is adopted as the base of a delta-chain State rather than
+// discarded).
+const Version = 3
 
-// MinVersion is the oldest preamble version a Reader accepts.
+// MinVersion is the oldest preamble version a Reader accepts (and the
+// oldest a Writer can be asked to emit).
 const MinVersion = 1
 
-// MaxFrame bounds a single frame's payload size.
+// MaxFrame bounds a single frame's payload size. Messages whose
+// encoding exceeds it are split across several frames (the frame layer
+// chunks one continuous gob stream, so readers of every version
+// reassemble them transparently).
 const MaxFrame = 4 << 20
+
+// MaxMessage bounds the total bytes one decoded message may span
+// across frames: generous for multi-frame state snapshots, but a
+// reader stops feeding the gob decoder past it, so a hostile stream
+// cannot have a single message buffered without bound. (gob itself
+// additionally refuses messages above its ~1 GiB internal sanity cap
+// before this budget is consumed.)
+const MaxMessage = 64 << 20
+
+// MaxWireBatch bounds the per-packet batch length a Reader accepts —
+// far above any sane datalink.Options.MaxBatch, it only stops a
+// corrupted or hostile peer from making batch fan-out allocate wildly.
+const MaxWireBatch = 4096
 
 var magic = [6]byte{'r', 'e', 'c', 'f', 'g', 0}
 
@@ -79,6 +107,7 @@ func init() {
 	gob.RegisterName("repro/regmem.State", regmem.State{})
 	gob.RegisterName("repro/smr.KVCmd", smr.KVCmd{})
 	gob.RegisterName("repro/smr.BankCmd", smr.BankCmd{})
+	gob.RegisterName("repro/smr.Batch", smr.Batch{})
 	gob.RegisterName("repro/map.ss", map[string]string{})
 	gob.RegisterName("repro/map.si64", map[string]int64{})
 	gob.RegisterName("repro/map.idany", map[ids.ID]any{})
@@ -101,14 +130,27 @@ type Msg struct {
 	Raw any
 }
 
-// Packet mirrors datalink.Packet.
+// Packet mirrors datalink.Packet. HasBatch/Batch is the version-3
+// batched-payload field: one entry per payload of a multi-payload DATA
+// cycle, in delivery order, with explicit presence (an empty batch is
+// distinguishable from an unbatched packet).
 type Packet struct {
-	Kind    int
-	Session uint64
-	Seq     uint8
-	HasEnv  bool
-	Env     Envelope
-	Raw     any // non-Envelope datalink payload
+	Kind     int
+	Session  uint64
+	Seq      uint8
+	HasEnv   bool
+	Env      Envelope
+	Raw      any // non-Envelope datalink payload
+	HasBatch bool
+	Batch    []BatchItem
+}
+
+// BatchItem is one payload of a batched DATA packet, in the same
+// Envelope-or-Raw shape as the packet's single-payload slots.
+type BatchItem struct {
+	HasEnv bool
+	Env    Envelope
+	Raw    any
 }
 
 // Envelope mirrors core.Envelope with presence flags for the pointer
@@ -148,13 +190,37 @@ func NewMsg(from, to ids.ID, payload any) Msg {
 	}
 	m.HasPkt = true
 	m.Pkt = Packet{Kind: int(pkt.Kind), Session: pkt.Session, Seq: pkt.Seq}
+	if pkt.Batch != nil {
+		// Payload and Batch are mutually exclusive per the
+		// datalink.Packet contract; a receiving endpoint ignores
+		// Payload when Batch is set, so it is not carried either.
+		m.Pkt.HasBatch = true
+		m.Pkt.Batch = make([]BatchItem, 0, len(pkt.Batch))
+		for _, p := range pkt.Batch {
+			var item BatchItem
+			if env, ok := p.(core.Envelope); ok {
+				item.HasEnv, item.Env = true, toWireEnvelope(env)
+			} else {
+				item.Raw = p
+			}
+			m.Pkt.Batch = append(m.Pkt.Batch, item)
+		}
+		return m
+	}
 	env, ok := pkt.Payload.(core.Envelope)
 	if !ok {
 		m.Pkt.Raw = pkt.Payload
 		return m
 	}
 	m.Pkt.HasEnv = true
-	w := &m.Pkt.Env
+	m.Pkt.Env = toWireEnvelope(env)
+	return m
+}
+
+// toWireEnvelope converts a core.Envelope to its explicit-presence wire
+// form.
+func toWireEnvelope(env core.Envelope) Envelope {
+	var w Envelope
 	if env.RecSA != nil {
 		w.HasSA, w.SA = true, *env.RecSA
 	}
@@ -173,24 +239,11 @@ func NewMsg(from, to ids.ID, payload any) Msg {
 			w.Shards = append(w.Shards, ShardApp{Shard: sa.Shard, App: sa.App})
 		}
 	}
-	return m
+	return w
 }
 
-// Payload reconstructs the transport payload.
-func (m Msg) Payload() any {
-	if !m.HasPkt {
-		return m.Raw
-	}
-	pkt := datalink.Packet{
-		Kind:    datalink.Kind(m.Pkt.Kind),
-		Session: m.Pkt.Session,
-		Seq:     m.Pkt.Seq,
-	}
-	if !m.Pkt.HasEnv {
-		pkt.Payload = m.Pkt.Raw
-		return pkt
-	}
-	w := m.Pkt.Env
+// fromWireEnvelope reconstructs the core.Envelope.
+func fromWireEnvelope(w Envelope) core.Envelope {
 	env := core.Envelope{JoinReq: w.JoinReq, App: w.App}
 	if w.HasSA {
 		sa := w.SA
@@ -210,50 +263,160 @@ func (m Msg) Payload() any {
 			env.ShardApps = append(env.ShardApps, core.ShardApp{Shard: sa.Shard, App: sa.App})
 		}
 	}
-	pkt.Payload = env
+	return env
+}
+
+// Payload reconstructs the transport payload.
+func (m Msg) Payload() any {
+	if !m.HasPkt {
+		return m.Raw
+	}
+	pkt := datalink.Packet{
+		Kind:    datalink.Kind(m.Pkt.Kind),
+		Session: m.Pkt.Session,
+		Seq:     m.Pkt.Seq,
+	}
+	if m.Pkt.HasBatch {
+		pkt.Batch = make([]any, 0, len(m.Pkt.Batch))
+		for _, item := range m.Pkt.Batch {
+			if item.HasEnv {
+				pkt.Batch = append(pkt.Batch, fromWireEnvelope(item.Env))
+			} else {
+				pkt.Batch = append(pkt.Batch, item.Raw)
+			}
+		}
+		return pkt
+	}
+	if !m.Pkt.HasEnv {
+		pkt.Payload = m.Pkt.Raw
+		return pkt
+	}
+	pkt.Payload = fromWireEnvelope(m.Pkt.Env)
 	return pkt
 }
 
 // Writer frames a gob stream onto w. Not safe for concurrent use.
 type Writer struct {
-	w   *bufio.Writer
-	buf bytes.Buffer
-	enc *gob.Encoder
+	w       *bufio.Writer
+	buf     bytes.Buffer
+	enc     *gob.Encoder
+	version byte
+	frames  uint64
 }
 
-// NewWriter writes the versioned preamble and returns a frame writer.
-func NewWriter(w io.Writer) (*Writer, error) {
+// NewWriter writes the current-version preamble and returns a frame
+// writer.
+func NewWriter(w io.Writer) (*Writer, error) { return NewWriterVersion(w, Version) }
+
+// NewWriterVersion writes a preamble for any supported version and
+// returns a writer that emits that version's schema: messages are
+// downgraded (see downgrade) before encoding, so a reader that only
+// speaks the negotiated version never sees fields it cannot decode.
+func NewWriterVersion(w io.Writer, version byte) (*Writer, error) {
+	if version < MinVersion || version > Version {
+		return nil, fmt.Errorf("wire: cannot write version %d, support %d..%d", version, MinVersion, Version)
+	}
 	bw := bufio.NewWriter(w)
 	var pre [preambleLen]byte
 	copy(pre[:], magic[:])
-	pre[len(magic)] = Version
+	pre[len(magic)] = version
 	if _, err := bw.Write(pre[:]); err != nil {
 		return nil, err
 	}
-	out := &Writer{w: bw}
+	out := &Writer{w: bw, version: version}
 	out.enc = gob.NewEncoder(&out.buf)
 	return out, nil
 }
 
+// Version returns the version this writer was negotiated down to.
+func (w *Writer) Version() byte { return w.version }
+
+// downgrade rewrites a message into the schema of an older format
+// version, dropping what that schema cannot express:
+//
+//   - below version 3, a batched DATA packet collapses to its last
+//     (freshest) payload in the legacy single-payload slot. The dropped
+//     earlier payloads are an omission the bounded-link model already
+//     allows and the stack's latest-state gossip absorbs; run batch 1
+//     during mixed-version operation to avoid it entirely.
+//   - below version 2, shard-tagged payloads (shards >= 1) are dropped;
+//     shard 0 traffic is unaffected.
+func downgrade(m Msg, version byte) Msg {
+	if version >= Version || !m.HasPkt {
+		return m
+	}
+	if version < 3 && m.Pkt.HasBatch {
+		var last BatchItem
+		if n := len(m.Pkt.Batch); n > 0 {
+			last = m.Pkt.Batch[n-1]
+		}
+		m.Pkt.HasBatch, m.Pkt.Batch = false, nil
+		m.Pkt.HasEnv, m.Pkt.Env, m.Pkt.Raw = last.HasEnv, last.Env, last.Raw
+	}
+	if version < 2 && m.Pkt.HasEnv {
+		m.Pkt.Env.HasShards, m.Pkt.Env.Shards = false, nil
+	}
+	return m
+}
+
 // WriteMsg appends one message to the stream and flushes it.
 func (w *Writer) WriteMsg(m Msg) error {
+	if err := w.Append(m); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ErrMessageTooLarge reports a message whose encoding exceeds
+// MaxMessage: every reader would refuse it, so the writer refuses it
+// symmetrically before any frame reaches the stream (callers should
+// drop the message — an omission — rather than retry it).
+var ErrMessageTooLarge = errors.New("wire: message encoding exceeds MaxMessage")
+
+// Append encodes one message into the stream without flushing, so
+// callers can coalesce several messages into one underlying write (the
+// tcp backend's hot path). A message whose encoding exceeds MaxFrame is
+// split proactively across consecutive frames — the frame layer chunks
+// one continuous gob stream, so readers of every version reassemble it
+// transparently — instead of erroring after buffering, which used to
+// wedge any state snapshot larger than one frame. Encodings beyond
+// MaxMessage fail with ErrMessageTooLarge (readers enforce the same
+// bound; writing such a message would dead-loop the link on rejection).
+// Any Append error leaves the gob stream state undefined — discard the
+// writer and start a fresh stream (the tcp backend redials).
+func (w *Writer) Append(m Msg) error {
 	w.buf.Reset()
-	if err := w.enc.Encode(m); err != nil {
+	if err := w.enc.Encode(downgrade(m, w.version)); err != nil {
 		return fmt.Errorf("wire: encode: %w", err)
 	}
-	if w.buf.Len() > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", w.buf.Len())
+	if w.buf.Len() > MaxMessage {
+		return fmt.Errorf("%w (%d bytes)", ErrMessageTooLarge, w.buf.Len())
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(w.buf.Len()))
-	if _, err := w.w.Write(hdr[:]); err != nil {
-		return err
+	for b := w.buf.Bytes(); len(b) > 0; {
+		n := len(b)
+		if n > MaxFrame {
+			n = MaxFrame
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(n))
+		if _, err := w.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.w.Write(b[:n]); err != nil {
+			return err
+		}
+		w.frames++
+		b = b[n:]
 	}
-	if _, err := w.w.Write(w.buf.Bytes()); err != nil {
-		return err
-	}
-	return w.w.Flush()
+	return nil
 }
+
+// Frames returns the cumulative count of wire frames emitted — one per
+// message plus one per MaxFrame-sized split chunk beyond the first.
+func (w *Writer) Frames() uint64 { return w.frames }
+
+// Flush pushes every appended frame to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
 
 // Reader validates the preamble and decodes framed messages.
 type Reader struct {
@@ -280,18 +443,25 @@ func NewReader(r io.Reader) (*Reader, error) {
 
 // ReadMsg decodes the next message, blocking until a frame arrives.
 func (r *Reader) ReadMsg() (Msg, error) {
+	r.fr.budget = MaxMessage
 	var m Msg
 	if err := r.dec.Decode(&m); err != nil {
 		return Msg{}, err
+	}
+	if m.HasPkt && len(m.Pkt.Batch) > MaxWireBatch {
+		return Msg{}, fmt.Errorf("wire: batch of %d payloads exceeds MaxWireBatch %d", len(m.Pkt.Batch), MaxWireBatch)
 	}
 	return m, nil
 }
 
 // frameReader unwraps length-prefixed frames into the continuous byte
-// stream the gob decoder expects, enforcing MaxFrame before buffering.
+// stream the gob decoder expects, enforcing MaxFrame per frame before
+// buffering and the per-message MaxMessage budget (re-armed by ReadMsg)
+// across frames.
 type frameReader struct {
 	r      *bufio.Reader
 	remain int
+	budget int
 }
 
 func (f *frameReader) Read(p []byte) (int, error) {
@@ -306,10 +476,17 @@ func (f *frameReader) Read(p []byte) (int, error) {
 		}
 		f.remain = int(n)
 	}
+	if f.budget <= 0 {
+		return 0, fmt.Errorf("wire: message exceeds MaxMessage %d bytes", MaxMessage)
+	}
 	if len(p) > f.remain {
 		p = p[:f.remain]
 	}
+	if len(p) > f.budget {
+		p = p[:f.budget]
+	}
 	n, err := f.r.Read(p)
 	f.remain -= n
+	f.budget -= n
 	return n, err
 }

@@ -2,8 +2,12 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -225,6 +229,276 @@ func TestControlAndRawPayloads(t *testing.T) {
 		if !reflect.DeepEqual(got[i], payloads[i]) {
 			t.Errorf("payload %d: %#v != %#v", i, got[i], payloads[i])
 		}
+	}
+}
+
+// TestBatchedPacketRoundTrip exercises the version-3 batch field: a
+// DATA packet carrying several payloads — envelopes (with shard tags)
+// and raw values mixed — survives the trip with order and presence
+// intact.
+func TestBatchedPacketRoundTrip(t *testing.T) {
+	env0 := core.Envelope{RecMA: &recma.Message{NoMaj: true}, App: "a0"}
+	env1 := core.Envelope{
+		App:       "a1",
+		ShardApps: []core.ShardApp{{Shard: 0, App: "s0"}, {Shard: 2, App: "s2"}},
+	}
+	in := datalink.Packet{
+		Kind: datalink.KindData, Session: 77, Seq: 9,
+		Batch: []any{env0, "raw-middle", env1},
+	}
+	got, ok := roundTrip(t, in)[0].(datalink.Packet)
+	if !ok {
+		t.Fatalf("payload type %T", got)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip mismatch:\n in=%#v\nout=%#v", in, got)
+	}
+}
+
+// TestEmptyBatchDistinctFromUnbatched: explicit presence means a
+// zero-length batch is not confused with a legacy single-payload packet.
+func TestEmptyBatchDistinctFromUnbatched(t *testing.T) {
+	in := datalink.Packet{Kind: datalink.KindData, Session: 1, Seq: 1, Batch: []any{}}
+	got := roundTrip(t, in)[0].(datalink.Packet)
+	if got.Batch == nil {
+		t.Fatal("empty batch decoded as unbatched packet")
+	}
+	if len(got.Batch) != 0 || got.Payload != nil {
+		t.Fatalf("empty batch mutated: %#v", got)
+	}
+}
+
+// roundTripVersion writes payloads through a writer negotiated down to
+// the given version and decodes them back.
+func roundTripVersion(t *testing.T, version byte, payloads ...any) []any {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriterVersion(&buf, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		if err := w.WriteMsg(NewMsg(1, 2, p)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if got := buf.Bytes()[6]; got != version {
+		t.Fatalf("preamble stamps version %d, want %d", got, version)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]any, 0, len(payloads))
+	for i := range payloads {
+		m, err := r.ReadMsg()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		out = append(out, m.Payload())
+	}
+	return out
+}
+
+// TestWriterDowngradesBatchesToVersion2: a writer negotiated to version
+// 2 collapses a batched packet to its freshest payload in the legacy
+// slot — old readers see a well-formed version-2 stream, the dropped
+// payloads count as link omissions.
+func TestWriterDowngradesBatchesToVersion2(t *testing.T) {
+	envOld := core.Envelope{App: "stale"}
+	envNew := core.Envelope{
+		App:       "fresh",
+		ShardApps: []core.ShardApp{{Shard: 1, App: "s1"}},
+	}
+	in := datalink.Packet{Kind: datalink.KindData, Session: 4, Seq: 2, Batch: []any{envOld, envNew}}
+	got := roundTripVersion(t, 2, in)[0].(datalink.Packet)
+	if got.Batch != nil {
+		t.Fatalf("version-2 stream carried a batch: %#v", got)
+	}
+	env, ok := got.Payload.(core.Envelope)
+	if !ok || env.App != "fresh" {
+		t.Fatalf("downgrade kept %#v, want the freshest payload", got.Payload)
+	}
+	if len(env.ShardApps) != 1 || env.ShardApps[0].Shard != 1 {
+		t.Fatalf("version 2 must keep shard tags: %#v", env.ShardApps)
+	}
+}
+
+// TestWriterDowngradesShardsToVersion1: version 1 additionally drops the
+// shard-mux field (shards >= 1), keeping shard 0 traffic intact.
+func TestWriterDowngradesShardsToVersion1(t *testing.T) {
+	env := core.Envelope{
+		App:       "zero",
+		ShardApps: []core.ShardApp{{Shard: 1, App: "one"}},
+	}
+	in := datalink.Packet{Kind: datalink.KindData, Session: 4, Seq: 0, Payload: env}
+	got := roundTripVersion(t, 1, in)[0].(datalink.Packet)
+	out := got.Payload.(core.Envelope)
+	if out.App != "zero" {
+		t.Fatalf("shard 0 payload lost: %#v", out)
+	}
+	if out.ShardApps != nil {
+		t.Fatalf("version-1 stream carried shard tags: %#v", out.ShardApps)
+	}
+}
+
+func TestWriterRejectsUnsupportedVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriterVersion(&buf, 0); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+	if _, err := NewWriterVersion(&buf, Version+1); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+// frameSizes parses a written stream's frame headers.
+func frameSizes(t *testing.T, b []byte) []int {
+	t.Helper()
+	b = b[8:] // preamble
+	var sizes []int
+	for len(b) > 0 {
+		if len(b) < 4 {
+			t.Fatalf("dangling %d header bytes", len(b))
+		}
+		n := int(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+		b = b[4:]
+		if n > len(b) {
+			t.Fatalf("frame header claims %d bytes, %d remain", n, len(b))
+		}
+		sizes = append(sizes, n)
+		b = b[n:]
+	}
+	return sizes
+}
+
+// TestOversizeMessageSplitsAcrossFrames is the MaxFrame boundary
+// regression: a message encoding just past MaxFrame is split across
+// frames (each within the bound) instead of erroring after buffering,
+// and decodes back intact; one encoding just under stays a single
+// frame.
+func TestOversizeMessageSplitsAcrossFrames(t *testing.T) {
+	write := func(payloadLen int) ([]byte, string) {
+		payload := strings.Repeat("x", payloadLen)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteMsg(NewMsg(1, 2, payload)); err != nil {
+			t.Fatalf("payload of %d bytes: %v", payloadLen, err)
+		}
+		return buf.Bytes(), payload
+	}
+
+	// Just under: encoding overhead must not push a small message over.
+	under, _ := write(MaxFrame - 1024)
+	if n := len(frameSizes(t, under)); n != 1 {
+		t.Fatalf("under-bound message used %d frames, want 1", n)
+	}
+
+	// Just over (MaxFrame+1 payload): must split, every frame in bound.
+	over, payload := write(MaxFrame + 1)
+	sizes := frameSizes(t, over)
+	if len(sizes) < 2 {
+		t.Fatalf("over-bound message used %d frame(s), want >= 2", len(sizes))
+	}
+	for i, n := range sizes {
+		if n > MaxFrame {
+			t.Fatalf("frame %d is %d bytes > MaxFrame", i, n)
+		}
+	}
+	r, err := NewReader(bytes.NewReader(over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.ReadMsg()
+	if err != nil {
+		t.Fatalf("split message did not decode: %v", err)
+	}
+	if got, ok := m.Payload().(string); !ok || got != payload {
+		t.Fatalf("split message corrupted (len %d)", len(got))
+	}
+}
+
+// TestMessageSizeBoundsSymmetry: the writer refuses encodings beyond
+// MaxMessage (every reader would reject them — writing one would
+// dead-loop the link on retransmission), and a reader fed a
+// hand-framed over-budget message cuts it off at the per-message
+// budget instead of buffering it in full.
+func TestMessageSizeBoundsSymmetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates several ×MaxMessage")
+	}
+	big := NewMsg(1, 2, strings.Repeat("x", MaxMessage+1024))
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMsg(big); err == nil || !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("writer accepted an over-MaxMessage message (err=%v)", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := frameSizes(t, buf.Bytes()); len(got) != 0 {
+		t.Fatalf("refused message still emitted %d frames", len(got))
+	}
+
+	// Hand-frame the same gob encoding (bypassing the writer's bound,
+	// as a hostile peer would) and confirm the reader stops feeding the
+	// decoder at MaxMessage.
+	var gobBuf bytes.Buffer
+	if err := gob.NewEncoder(&gobBuf).Encode(big); err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	stream.Write(magic[:])
+	stream.WriteByte(Version)
+	stream.WriteByte(0)
+	for b := gobBuf.Bytes(); len(b) > 0; {
+		n := len(b)
+		if n > MaxFrame {
+			n = MaxFrame
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(n))
+		stream.Write(hdr[:])
+		stream.Write(b[:n])
+		b = b[n:]
+	}
+	r, err := NewReader(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadMsg(); err == nil {
+		t.Fatal("message beyond MaxMessage accepted by reader")
+	}
+}
+
+// TestReaderRejectsOversizeBatchCount: an absurd decoded batch length is
+// refused even when the frames themselves are in bounds.
+func TestReaderRejectsOversizeBatchCount(t *testing.T) {
+	batch := make([]any, MaxWireBatch+1)
+	for i := range batch {
+		batch[i] = i
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMsg(NewMsg(1, 2, datalink.Packet{Kind: datalink.KindData, Batch: batch})); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadMsg(); err == nil {
+		t.Fatal("oversize batch count accepted")
 	}
 }
 
