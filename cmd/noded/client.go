@@ -112,8 +112,30 @@ func runClient(args []string) error {
 			return err
 		}
 		return printJSON(entries)
+	case "storage":
+		st, err := c.StorageStatus(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "snapshot":
+		sh := -1 // all shards
+		if len(rest) == 1 {
+			v, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("usage: snapshot [shard]")
+			}
+			sh = v
+		} else if len(rest) > 1 {
+			return fmt.Errorf("usage: snapshot [shard]")
+		}
+		resp, err := c.ForceSnapshot(ctx, sh)
+		if err != nil {
+			return err
+		}
+		return printJSON(resp)
 	case "":
-		return fmt.Errorf("missing client subcommand (status|healthz|wait|get|sync-get|put|shards|propose|log)")
+		return fmt.Errorf("missing client subcommand (status|healthz|wait|get|sync-get|put|shards|propose|log|storage|snapshot)")
 	default:
 		return fmt.Errorf("unknown client subcommand %q", sub)
 	}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/regmem"
 	"repro/internal/shard"
 	"repro/internal/smr"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/pkg/api"
 )
@@ -31,19 +34,63 @@ type Daemon struct {
 	node      *core.Node
 	mem       *shard.Map
 	opTimeout time.Duration
+	// Durability surface: stored reports a backend is attached; the
+	// strings describe it in the /v1/storage document. snapBusy
+	// serializes forced snapshots — a second trigger while one runs is
+	// refused with snapshot_in_progress.
+	stored   bool
+	kind     string
+	fsync    string
+	dataDir  string
+	snapBusy atomic.Bool
 }
 
-// NewDaemon builds and wires the stack. peers is every node of the
-// cluster (the connection universe); members is the initial
-// configuration (empty = start as a joiner and acquire participation
-// through the joining protocol); shards is the register-namespace
-// partition count (raised to 1 if smaller); batch bounds the hot-path
-// batching — payloads per datalink token cycle and commands per
-// multicast round input (DESIGN.md §11; <= 1 disables batching, and the
-// bound must be uniform across the cluster).
-func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, shards, batch, maxN int, opTimeout time.Duration) (*Daemon, error) {
-	if opTimeout <= 0 {
-		opTimeout = 30 * time.Second
+// DaemonConfig carries everything NewDaemon needs beyond the transport
+// and the node's own identity.
+type DaemonConfig struct {
+	// Peers is every node of the cluster (the connection universe).
+	Peers ids.Set
+	// Members is the initial configuration (empty = start as a joiner
+	// and acquire participation through the joining protocol).
+	Members ids.Set
+	// Shards is the register-namespace partition count (raised to 1 if
+	// smaller).
+	Shards int
+	// Batch bounds the hot-path batching — payloads per datalink token
+	// cycle and commands per multicast round input (DESIGN.md §11;
+	// <= 1 disables batching; the bound must be cluster-uniform).
+	Batch int
+	// MaxN is the system bound N (failure detector sizing).
+	MaxN int
+	// OpTimeout is the write/sync-read completion deadline
+	// (<= 0 means 30s).
+	OpTimeout time.Duration
+	// DataDir enables the per-shard disk durability backend: each
+	// shard logs to <DataDir>/shard-<i>/ and recovers from it at boot.
+	// Empty means no durable storage (today's in-memory behavior).
+	DataDir string
+	// Fsync is the disk backend's durability policy (DataDir only).
+	Fsync storage.Fsync
+	// SnapEvery is the per-shard automatic compaction threshold: a
+	// snapshot replaces the WAL once it holds this many records
+	// (0 disables automatic snapshots; DataDir or Backends only).
+	SnapEvery uint64
+	// Backends overrides DataDir with caller-built per-shard backends
+	// (tests inject memory or failing backends here). When set, Kind
+	// and the storage document reflect what it returns.
+	Backends func(shard int) (storage.Backend, error)
+	// Logf receives storage diagnostics (discarded-snapshot warnings,
+	// truncated-tail notices). Nil means silent.
+	Logf func(format string, a ...any)
+}
+
+// NewDaemon builds and wires the stack: the sharded service stacks,
+// their durability backends (recovering each shard's registers from
+// its snapshot + WAL tail before the node first ticks), the core node,
+// and the transport connections.
+func NewDaemon(tr transport.Transport, self ids.ID, cfg DaemonConfig) (*Daemon, error) {
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 30 * time.Second
 	}
 	// Coordinator-led delicate reconfiguration (Algorithm 4.6): the
 	// view coordinator reconfigures when a configuration member is no
@@ -51,30 +98,56 @@ func NewDaemon(tr transport.Transport, self ids.ID, peers, members ids.Set, shar
 	// as the paper's modified Algorithm 3.2 prescribes for the vs
 	// service; its majority-loss trigger remains active. Every shard
 	// applies the same predicate against the shared configuration.
-	mem := shard.New(self, shards, func(cur ids.Set, trusted ids.Set) bool {
+	mem := shard.New(self, cfg.Shards, func(cur ids.Set, trusted ids.Set) bool {
 		return cur.Diff(trusted).Size() > 0
 	})
-	if batch < 1 {
-		batch = 1
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
 	}
-	mem.SetMaxBatch(batch)
+	mem.SetMaxBatch(cfg.Batch)
+
+	d := &Daemon{self: self, tr: tr, mem: mem, opTimeout: cfg.OpTimeout}
+	// Attach durability before the node exists: recovery seeds each
+	// shard's replica state here, so no tick can observe (or gossip) a
+	// pre-recovery empty state.
+	mk := cfg.Backends
+	if mk == nil && cfg.DataDir != "" {
+		dir := cfg.DataDir
+		mk = func(sh int) (storage.Backend, error) {
+			return storage.OpenDisk(
+				filepath.Join(dir, fmt.Sprintf("shard-%d", sh)),
+				storage.DiskOptions{Fsync: cfg.Fsync, Logf: cfg.Logf})
+		}
+	}
+	if mk != nil {
+		if err := mem.AttachStorage(mk, cfg.SnapEvery); err != nil {
+			return nil, fmt.Errorf("noded: storage: %w", err)
+		}
+		d.stored = true
+		d.fsync = cfg.Fsync.String()
+		d.dataDir = cfg.DataDir
+		if st, ok := mem.StorageStats(0); ok {
+			d.kind = st.Kind
+		}
+	}
+
 	initial := recsa.NotParticipant()
-	if !members.Empty() {
-		initial = recsa.ConfigOf(members)
+	if !cfg.Members.Empty() {
+		initial = recsa.ConfigOf(cfg.Members)
 	}
 	node, err := core.NewNode(tr, core.Params{
 		Self:     self,
-		N:        maxN,
+		N:        cfg.MaxN,
 		Initial:  initial,
 		EvalConf: func(ids.Set, ids.Set) bool { return false },
 		Apps:     mem.Apps(),
-		Link:     datalink.Options{MaxBatch: batch},
+		Link:     datalink.Options{MaxBatch: cfg.Batch},
 	})
 	if err != nil {
 		return nil, err
 	}
-	d := &Daemon{self: self, tr: tr, node: node, mem: mem, opTimeout: opTimeout}
-	others := peers.Remove(self)
+	d.node = node
+	others := cfg.Peers.Remove(self)
 	if !tr.Inspect(self, func() {
 		node.ConnectAll(others)
 		node.Detector.Bootstrap(others)
@@ -189,6 +262,51 @@ func (d *Daemon) shardParam(w http.ResponseWriter, r *http.Request) (int, bool) 
 // the node is closed or crashing.
 func nodeDown(w http.ResponseWriter) {
 	api.WriteError(w, api.Errorf(api.CodeUnavailable, "node is down"))
+}
+
+// storageDoc converts one shard's backend counters into the wire
+// document.
+func storageDoc(i int, st storage.Stats) api.ShardStorageStatus {
+	doc := api.ShardStorageStatus{
+		Shard:             i,
+		Kind:              st.Kind,
+		WALRecords:        st.WALRecords,
+		WALBytes:          st.WALBytes,
+		Appended:          st.Appended,
+		Snapshots:         st.Snapshots,
+		SnapshotIndex:     st.SnapshotIndex,
+		SnapshotBytes:     st.SnapshotBytes,
+		Recovered:         st.Recovery.Recovered,
+		SnapshotLoaded:    st.Recovery.SnapshotLoaded,
+		RecoveredBytes:    st.Recovery.SnapshotBytes,
+		TailRecords:       st.Recovery.TailRecords,
+		SkippedRecords:    st.Recovery.SkippedRecords,
+		TruncatedWALBytes: st.Recovery.TruncatedBytes,
+		Failed:            st.Failed,
+		LastError:         st.LastError,
+	}
+	if !st.LastSnapshot.IsZero() {
+		doc.LastSnapshotUnix = st.LastSnapshot.Unix()
+	}
+	return doc
+}
+
+// storageStatus reads the node-level durability document inside the
+// execution context.
+func (d *Daemon) storageStatus() (api.StorageStatus, bool) {
+	st := api.StorageStatus{ID: int(d.self)}
+	if !d.stored {
+		return st, d.tr.Inspect(d.self, func() {})
+	}
+	ok := d.tr.Inspect(d.self, func() {
+		st.Attached, st.Kind, st.Fsync, st.DataDir = true, d.kind, d.fsync, d.dataDir
+		for i := 0; i < d.mem.N(); i++ {
+			if s, has := d.mem.StorageStats(i); has {
+				st.Shards = append(st.Shards, storageDoc(i, s))
+			}
+		}
+	})
+	return st, ok
 }
 
 // Handler returns the client API: the /v1 contract of repro/pkg/api,
@@ -337,6 +455,113 @@ func (d *Daemon) Handler() http.Handler {
 			return
 		}
 		api.WriteJSON(w, api.ProposeResponse{Accepted: true, Shard: sh})
+	})
+
+	mux.HandleFunc("GET "+api.PathStorage, func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.storageStatus()
+		if !ok {
+			nodeDown(w)
+			return
+		}
+		api.WriteJSON(w, st)
+	})
+
+	mux.HandleFunc("GET "+api.PathStorage+"/{shard}", func(w http.ResponseWriter, r *http.Request) {
+		i, ok := d.checkShard(w, r.PathValue("shard"))
+		if !ok {
+			return
+		}
+		if !d.stored {
+			api.WriteError(w, api.Errorf(api.CodeStorageUnavailable,
+				"node runs without a durability backend (start with -data-dir)").WithShard(i))
+			return
+		}
+		var doc api.ShardStorageStatus
+		has := false
+		if !d.tr.Inspect(d.self, func() {
+			var st storage.Stats
+			if st, has = d.mem.StorageStats(i); has {
+				doc = storageDoc(i, st)
+			}
+		}) {
+			nodeDown(w)
+			return
+		}
+		if !has {
+			api.WriteError(w, api.Errorf(api.CodeStorageUnavailable,
+				"shard has no durability backend").WithShard(i))
+			return
+		}
+		api.WriteJSON(w, doc)
+	})
+
+	mux.HandleFunc("POST "+api.PathStorageSnapshot, func(w http.ResponseWriter, r *http.Request) {
+		var req api.SnapshotRequest
+		body, err := io.ReadAll(io.LimitReader(r.Body, api.MaxBody))
+		if err != nil {
+			api.WriteError(w, api.Errorf(api.CodeBadRequest, "read body: %v", err))
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				api.WriteError(w, api.Errorf(api.CodeBadRequest, "decode: %v", err))
+				return
+			}
+		}
+		targets := make([]int, 0, d.mem.N())
+		if req.Shard != nil {
+			i, ok := d.checkShard(w, strconv.Itoa(*req.Shard))
+			if !ok {
+				return
+			}
+			targets = append(targets, i)
+		} else {
+			for i := 0; i < d.mem.N(); i++ {
+				targets = append(targets, i)
+			}
+		}
+		if !d.stored {
+			e := api.Errorf(api.CodeStorageUnavailable,
+				"node runs without a durability backend (start with -data-dir)")
+			if req.Shard != nil {
+				e = e.WithShard(*req.Shard)
+			}
+			api.WriteError(w, e)
+			return
+		}
+		// One forced compaction at a time: a second trigger while the
+		// first still runs gets the 409 (which clients never fail over —
+		// snapshots are per-node state).
+		if !d.snapBusy.CompareAndSwap(false, true) {
+			api.WriteError(w, api.Errorf(api.CodeSnapshotInProgress,
+				"a forced snapshot is already running"))
+			return
+		}
+		defer d.snapBusy.Store(false)
+		resp := api.SnapshotResponse{Snapshotted: []int{}}
+		var snapErr error
+		errShard := -1
+		if !d.tr.Inspect(d.self, func() {
+			for _, i := range targets {
+				if err := d.mem.ForceSnapshot(i); err != nil {
+					snapErr, errShard = err, i
+					return
+				}
+				resp.Snapshotted = append(resp.Snapshotted, i)
+				if st, has := d.mem.StorageStats(i); has {
+					resp.Shards = append(resp.Shards, storageDoc(i, st))
+				}
+			}
+		}) {
+			nodeDown(w)
+			return
+		}
+		if snapErr != nil {
+			api.WriteError(w, api.Errorf(api.CodeStorageUnavailable,
+				"snapshot failed: %v", snapErr).WithShard(errShard))
+			return
+		}
+		api.WriteJSON(w, resp)
 	})
 
 	mux.HandleFunc("GET "+api.PathSMRLog, func(w http.ResponseWriter, r *http.Request) {

@@ -27,7 +27,10 @@ func soloDaemon(t *testing.T, shards int, opTimeout time.Duration) (*Daemon, *ht
 	tr := inproc.New(31, transport.Options{Capacity: 64, TickEvery: time.Millisecond})
 	t.Cleanup(func() { tr.Close() })
 	one := ids.NewSet(1)
-	d, err := NewDaemon(tr, 1, one, one, shards, 1, 8, opTimeout)
+	d, err := NewDaemon(tr, 1, DaemonConfig{
+		Peers: one, Members: one, Shards: shards, Batch: 1, MaxN: 8,
+		OpTimeout: opTimeout,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +157,10 @@ func TestWriteTimesOutWithoutQuorum(t *testing.T) {
 	// Universe {1,2}, only node 1 alive: the {1,2} configuration never
 	// assembles a trusted majority, so no view forms and writes stall.
 	both := ids.NewSet(1, 2)
-	d, err := NewDaemon(tr, 1, both, both, 1, 1, 8, 100*time.Millisecond)
+	d, err := NewDaemon(tr, 1, DaemonConfig{
+		Peers: both, Members: both, Shards: 1, Batch: 1, MaxN: 8,
+		OpTimeout: 100 * time.Millisecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

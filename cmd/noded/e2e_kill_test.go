@@ -1,0 +1,166 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+	"repro/pkg/client"
+)
+
+// freePort grabs an ephemeral TCP port. The listener is closed before
+// the port is handed out, so there is a theoretical reuse race; in
+// practice the kernel does not recycle it within the test's lifetime.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestKillNineRecoversFromDisk is the crash-durability E2E: a real
+// noded process with -data-dir takes writes, is SIGKILLed mid-write
+// load (no shutdown path runs), and a fresh process over the same
+// directory serves every acknowledged register again. The cluster is a
+// single node, so there is no peer to take a state transfer from —
+// recovery can only have come from the local snapshot + WAL replay.
+func TestKillNineRecoversFromDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real noded process")
+	}
+	bin := filepath.Join(t.TempDir(), "noded")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building noded: %v\n%s", err, out)
+	}
+
+	dataDir := t.TempDir()
+	trAddr, httpAddr := freePort(t), freePort(t)
+	const shards = 2
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-id", "1",
+			"-peers", "1="+trAddr,
+			"-http", httpAddr,
+			"-shards", fmt.Sprint(shards),
+			"-data-dir", dataDir,
+			"-fsync", "always",
+			"-snap-every", "8",
+		)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting noded: %v", err)
+		}
+		return cmd
+	}
+
+	c, err := client.New([]string{httpAddr}, client.WithShards(shards), client.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	proc := start()
+	defer func() {
+		if proc.Process != nil {
+			proc.Process.Kill()
+			proc.Wait()
+		}
+	}()
+	if _, err := c.WaitServing(ctx, 0); err != nil {
+		t.Fatalf("noded never served: %v", err)
+	}
+
+	// Acknowledged writes: whatever the server confirmed before the
+	// kill must survive it (fsync=always).
+	want := map[string]string{}
+	for sh, group := range shard.NamesPerShard(shards, 2) {
+		for j, name := range group {
+			v := fmt.Sprintf("durable-%d-%d", sh, j)
+			if _, err := c.Write(ctx, name, v); err != nil {
+				t.Fatalf("write %s: %v", name, err)
+			}
+			want[name] = v
+		}
+	}
+
+	// Background write load so the SIGKILL lands mid-traffic: some of
+	// these writes die with the process, which is exactly the point —
+	// unacknowledged work may vanish, acknowledged work may not.
+	stop := make(chan struct{})
+	var acked atomic.Int64
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			wctx, wcancel := context.WithTimeout(ctx, 2*time.Second)
+			_, err := c.Write(wctx, "load", fmt.Sprintf("burst-%d", i))
+			wcancel()
+			if err != nil {
+				return // the kill landed
+			}
+			acked.Store(int64(i))
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	proc.Wait()
+	close(stop)
+
+	// Restart over the same directory and port; no peer exists, so the
+	// registers can only come back via local replay.
+	proc2 := start()
+	defer func() {
+		proc2.Process.Signal(syscall.SIGTERM)
+		proc2.Wait()
+	}()
+	if _, err := c.WaitServing(ctx, 0); err != nil {
+		t.Fatalf("restarted noded never served: %v", err)
+	}
+
+	for name, v := range want {
+		got, err := c.SyncRead(ctx, name)
+		if err != nil {
+			t.Fatalf("post-restart sync-read %s: %v", name, err)
+		}
+		if !got.Found || got.Value != v {
+			t.Fatalf("acknowledged register %s lost across SIGKILL: %+v, want %q", name, got, v)
+		}
+	}
+
+	// The storage document reports a real recovery from local files.
+	st, err := c.StorageStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Attached || st.Kind != "disk" {
+		t.Fatalf("storage doc after restart %+v", st)
+	}
+	recovered := false
+	for _, sh := range st.Shards {
+		if sh.Recovered {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatalf("no shard reports boot-time recovery: %+v", st.Shards)
+	}
+}

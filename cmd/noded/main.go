@@ -9,7 +9,17 @@
 //
 //	noded -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102,..." \
 //	      -http 127.0.0.1:8101 [-members 1,2,3] [-seed 1] [-shards 4] \
-//	      [-batch 16] [-wire-version 2] [-loss 0.02] [-dup 0.01] [-tick 2ms]
+//	      [-batch 16] [-wire-version 2] [-loss 0.02] [-dup 0.01] [-tick 2ms] \
+//	      [-data-dir /var/lib/noded-1] [-fsync always|snapshot] [-snap-every 1024]
+//
+// With -data-dir each shard keeps a per-shard write-ahead log and
+// compacted snapshots under the directory and recovers its registers
+// from them at boot — a restarted node resumes from local state instead
+// of a full state transfer. -fsync picks the durability policy and
+// -snap-every the automatic compaction threshold; GET /v1/storage (or
+// `noded client storage`) reports the live counters, and
+// POST /v1/storage/snapshot (`noded client snapshot [shard]`) forces a
+// compaction.
 //
 // With -shards N the register namespace is partitioned over N
 // independent vs/smr/regmem stacks (one view, coordinator and round
@@ -40,6 +50,8 @@
 //	noded client -addr ... shards
 //	noded client -addr ... [-shard 2] propose <key> <value>
 //	noded client -addr ... [-shard 2] log
+//	noded client -addr ... storage
+//	noded client -addr ... snapshot [shard]
 package main
 
 import (
@@ -56,6 +68,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/transport/tcp"
 	"repro/internal/transport/wire"
@@ -93,6 +106,9 @@ func runDaemon(args []string) error {
 		wireVer  = fs.Int("wire-version", 0, "wire-format version to write (0 = current; older accepted versions serve not-yet-upgraded peers)")
 		maxN     = fs.Int("maxn", 16, "system bound N (failure detector sizing)")
 		opTO     = fs.Duration("op-timeout", 30*time.Second, "write/sync-read completion deadline")
+		dataDir  = fs.String("data-dir", "", "durable storage directory (per-shard WAL + snapshots; empty = in-memory only)")
+		fsyncStr = fs.String("fsync", "always", `disk durability policy: "always" (fsync per append) or "snapshot" (fsync only at snapshots)`)
+		snapEv   = fs.Uint64("snap-every", 1024, "compact the WAL into a snapshot every N records (0 = only on demand)")
 		verbose  = fs.Bool("v", false, "log transport diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -162,7 +178,25 @@ func runDaemon(args []string) error {
 		// draining into one packet would wedge the link forever.
 		return fmt.Errorf("-batch %d exceeds the wire codec's per-packet bound %d", *batch, wire.MaxWireBatch)
 	}
-	d, err := NewDaemon(tr, self, bookIDs(book), initial, *shards, *batch, *maxN, *opTO)
+	fsync, ok := storage.ParseFsync(*fsyncStr)
+	if !ok {
+		return fmt.Errorf(`-fsync %q: want "always" or "snapshot"`, *fsyncStr)
+	}
+	dcfg := DaemonConfig{
+		Peers:     bookIDs(book),
+		Members:   initial,
+		Shards:    *shards,
+		Batch:     *batch,
+		MaxN:      *maxN,
+		OpTimeout: *opTO,
+		DataDir:   *dataDir,
+		Fsync:     fsync,
+		SnapEvery: *snapEv,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "noded[%v] "+format+"\n", append([]any{self}, a...)...)
+		},
+	}
+	d, err := NewDaemon(tr, self, dcfg)
 	if err != nil {
 		return err
 	}
@@ -171,8 +205,12 @@ func runDaemon(args []string) error {
 	if err != nil {
 		return fmt.Errorf("client API listen: %w", err)
 	}
-	fmt.Printf("noded: id=%v transport=%s http=%s members=%v shards=%d batch=%d\n",
-		self, book[self], ln.Addr(), initial, *shards, *batch)
+	durable := "none"
+	if *dataDir != "" {
+		durable = fmt.Sprintf("%s (fsync=%s, snap-every=%d)", *dataDir, fsync, *snapEv)
+	}
+	fmt.Printf("noded: id=%v transport=%s http=%s members=%v shards=%d batch=%d storage=%s\n",
+		self, book[self], ln.Addr(), initial, *shards, *batch, durable)
 	srv := &http.Server{Handler: d.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

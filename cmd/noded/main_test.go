@@ -72,7 +72,10 @@ func TestDaemonClusterEndToEnd(t *testing.T) {
 		// batch 4: the E2E journey runs with hot-path batching on, so
 		// the live write/sync-read path below exercises batched token
 		// cycles and round inputs end to end.
-		d, err := NewDaemon(tr, i, all, all, 2, 4, 16, 20*time.Second)
+		d, err := NewDaemon(tr, i, DaemonConfig{
+			Peers: all, Members: all, Shards: 2, Batch: 4, MaxN: 16,
+			OpTimeout: 20 * time.Second,
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -104,6 +104,27 @@ func run(addrs []string, shards int, wait time.Duration) error {
 		fmt.Printf("\nexpected refusal for shard %d: code=%s status=%d\n", shards+7, ae.Code, ae.HTTPStatus)
 	}
 
+	// Durability introspection: the /v1/storage document reports the
+	// answering node's backend (memory unless the cluster runs with
+	// -data-dir) and per-shard WAL/snapshot counters; ForceSnapshot
+	// compacts that node's logs on demand. A diskless node still
+	// answers — Attached=false — so the probe is safe on any cluster.
+	if ss, err := c.StorageStatus(ctx); err == nil {
+		if !ss.Attached {
+			fmt.Printf("\nstorage: node %d runs without a durability backend (start noded with -data-dir)\n", ss.ID)
+		} else {
+			fmt.Printf("\nstorage: node %d backend=%s fsync=%s\n", ss.ID, ss.Kind, ss.Fsync)
+			for _, sh := range ss.Shards {
+				fmt.Printf("  shard %d: %d WAL record(s), %d snapshot(s)\n", sh.Shard, sh.WALRecords, sh.Snapshots)
+			}
+			if snap, err := c.ForceSnapshot(ctx, -1); err == nil {
+				fmt.Printf("  forced snapshot of shard(s) %v\n", snap.Snapshotted)
+			} else if errors.As(err, &ae) && ae.Code == api.CodeSnapshotInProgress {
+				fmt.Println("  snapshot already in progress (409 — never failed over)")
+			}
+		}
+	}
+
 	fmt.Println("\nOK — kill any one node and rerun: the client fails over to the survivors.")
 	return nil
 }

@@ -6,8 +6,10 @@
 package apitest
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -26,6 +28,12 @@ type Node struct {
 	Store   *sync.Map
 	Failing atomic.Bool
 	Hits    atomic.Int64
+	// NoStorage makes the storage routes answer storage_unavailable;
+	// SnapshotBusy makes the snapshot trigger answer
+	// snapshot_in_progress; Snapshots counts accepted triggers.
+	NoStorage    atomic.Bool
+	SnapshotBusy atomic.Bool
+	Snapshots    atomic.Int64
 }
 
 // Cluster builds n healthy nodes over one shared store.
@@ -81,5 +89,62 @@ func (f *Node) Handler() http.Handler {
 	})
 	mux.HandleFunc("PUT "+api.PathReg+"{name}", put)
 	mux.HandleFunc("POST "+api.PathReg+"{name}", put)
+	shardDoc := func(i int) api.ShardStorageStatus {
+		return api.ShardStorageStatus{Shard: i, Kind: "memory", Snapshots: uint64(f.Snapshots.Load())}
+	}
+	mux.HandleFunc("GET "+api.PathStorage, serve(func(w http.ResponseWriter, r *http.Request) {
+		st := api.StorageStatus{ID: f.ID}
+		if !f.NoStorage.Load() {
+			st.Attached, st.Kind = true, "memory"
+			for i := 0; i < f.Shards; i++ {
+				st.Shards = append(st.Shards, shardDoc(i))
+			}
+		}
+		api.WriteJSON(w, st)
+	}))
+	mux.HandleFunc("GET "+api.PathStorage+"/{shard}", serve(func(w http.ResponseWriter, r *http.Request) {
+		i, err := strconv.Atoi(r.PathValue("shard"))
+		if err != nil || i < 0 || i >= f.Shards {
+			api.WriteError(w, api.Errorf(api.CodeBadShard, "bad shard %q", r.PathValue("shard")))
+			return
+		}
+		if f.NoStorage.Load() {
+			api.WriteError(w, api.Errorf(api.CodeStorageUnavailable, "no durability backend").WithShard(i))
+			return
+		}
+		api.WriteJSON(w, shardDoc(i))
+	}))
+	mux.HandleFunc("POST "+api.PathStorageSnapshot, serve(func(w http.ResponseWriter, r *http.Request) {
+		if f.NoStorage.Load() {
+			api.WriteError(w, api.Errorf(api.CodeStorageUnavailable, "no durability backend"))
+			return
+		}
+		if f.SnapshotBusy.Load() {
+			api.WriteError(w, api.Errorf(api.CodeSnapshotInProgress, "snapshot already running"))
+			return
+		}
+		var req api.SnapshotRequest
+		body, _ := io.ReadAll(io.LimitReader(r.Body, api.MaxBody))
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				api.WriteError(w, api.Errorf(api.CodeBadRequest, "bad snapshot request: %v", err))
+				return
+			}
+		}
+		f.Snapshots.Add(1)
+		resp := api.SnapshotResponse{Snapshotted: []int{}}
+		for i := 0; i < f.Shards; i++ {
+			if req.Shard != nil && *req.Shard != i {
+				continue
+			}
+			resp.Snapshotted = append(resp.Snapshotted, i)
+			resp.Shards = append(resp.Shards, shardDoc(i))
+		}
+		if req.Shard != nil && len(resp.Snapshotted) == 0 {
+			api.WriteError(w, api.Errorf(api.CodeBadShard, "bad shard %d", *req.Shard))
+			return
+		}
+		api.WriteJSON(w, resp)
+	}))
 	return mux
 }

@@ -13,9 +13,12 @@
 package regmem
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/smr"
+	"repro/internal/storage"
 	"repro/internal/vs"
 )
 
@@ -179,6 +182,12 @@ type SharedMemory struct {
 	reads           map[uint64]*Handle
 	pendingReadName map[uint64]string
 	readyReads      []readyRead
+
+	// Durability (see storage.go): nil store means the pre-storage
+	// in-memory behavior, bit for bit.
+	store     storage.Backend
+	snapEvery uint64
+	snapDue   bool
 }
 
 var _ core.App = (*SharedMemory)(nil)
@@ -257,17 +266,26 @@ func (s *SharedMemory) Apply(state any, r vs.Round) any { return s.rep.Apply(sta
 // Fetch implements vs.App.
 func (s *SharedMemory) Fetch() any { return s.rep.Fetch() }
 
-// Deliver implements vs.App: completes handles whose commands appear
-// (each member's round input may be a smr.Batch bundling several).
+// Deliver implements vs.App: write-ahead-logs the round's commands and
+// completes handles whose commands appear (each member's round input
+// may be a smr.Batch bundling several). Inputs are walked in ascending
+// member order — the order Apply executes them — so the WAL replays to
+// the same last-write-wins outcome.
 func (s *SharedMemory) Deliver(r vs.Round) {
 	s.rep.Deliver(r)
-	for _, in := range r.Inputs {
-		s.deliverInput(in)
+	members := make([]ids.ID, 0, len(r.Inputs))
+	for m := range r.Inputs {
+		members = append(members, m)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	for _, m := range members {
+		s.deliverInput(r.Inputs[m])
 	}
 }
 
 func (s *SharedMemory) deliverInput(in any) {
 	for _, cmd := range smr.Commands(in) {
+		s.logCommand(cmd)
 		switch c := cmd.(type) {
 		case WriteCmd:
 			if c.Writer == s.self {
@@ -315,6 +333,10 @@ func (s *SharedMemory) Tick(n *core.Node) {
 		}
 		s.readyReads = nil
 	}
+	// Snapshot after the manager ticked: the state now includes every
+	// round whose commands Deliver appended, so the snapshot's coverage
+	// claim (all records so far) holds.
+	s.maybeSnapshot()
 }
 
 // HandleApp implements core.App.

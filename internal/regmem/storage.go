@@ -1,0 +1,170 @@
+package regmem
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/vs"
+)
+
+// Durable register files: a storage.Backend attached to a SharedMemory
+// turns the replica into a write-ahead-logged state machine. Every
+// delivered command is appended to the WAL before the round that
+// carries it is applied (vs delivers before it applies, so the log
+// always runs ahead of the observable state); the materialized register
+// map is periodically saved as a compacted snapshot, truncating the
+// log; and AttachStorage replays snapshot plus tail at boot, seeding
+// the replica with its last durable state through vs.Manager.Restore —
+// a restarting node recovers locally instead of pulling a full state
+// transfer from a peer.
+//
+// When the manager adopts a remote state wholesale (view install after
+// a partition, a round jump past rounds this replica never delivered),
+// the local WAL no longer reconstructs the state; the vs.StateAdopter
+// hook marks a snapshot due, and the next Tick re-anchors coverage.
+
+// ErrNoStorage reports a storage operation on a SharedMemory without an
+// attached backend.
+var ErrNoStorage = errors.New("regmem: no storage backend attached")
+
+// walEntry is the concrete WAL record schema. Exactly one field is set.
+// Markers are logged too — the WAL is the round history, and replaying
+// a marker is a no-op, so faithfulness costs nothing.
+type walEntry struct {
+	Write  *WriteCmd
+	Marker *MarkerCmd
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// AttachStorage wires a durability backend into the register file and
+// runs recovery: the backend's snapshot and WAL tail are replayed into
+// a register state and installed as the replica's pre-serving state.
+// snapEvery bounds the WAL records accumulated between automatic
+// snapshots (0 disables the policy; adoption- and force-triggered
+// snapshots still run). Attach before the node starts ticking.
+func (s *SharedMemory) AttachStorage(be storage.Backend, snapEvery uint64) error {
+	snap, tail, err := be.Recover()
+	if err != nil {
+		return fmt.Errorf("regmem: recover: %w", err)
+	}
+	st := State{}
+	recovered := false
+	if snap != nil {
+		var m map[string]string
+		if err := gob.NewDecoder(bytes.NewReader(snap)).Decode(&m); err != nil {
+			return fmt.Errorf("regmem: decode snapshot: %w", err)
+		}
+		st = State{Base: m}
+		recovered = true
+	}
+	for i, rec := range tail {
+		var e walEntry
+		if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&e); err != nil {
+			return fmt.Errorf("regmem: decode wal record %d: %w", i, err)
+		}
+		if e.Write != nil {
+			st = st.put(e.Write.Name, e.Write.Value)
+		}
+		recovered = true
+	}
+	if recovered {
+		s.mgr.Restore(st)
+	}
+	s.store = be
+	s.snapEvery = snapEvery
+	return nil
+}
+
+// logCommand write-ahead-logs one delivered command. Append errors are
+// not propagated into the delivery path — the backend latches the fault
+// and Stats exposes it (the service keeps serving from memory; the
+// admin API reports storage_unavailable).
+func (s *SharedMemory) logCommand(cmd any) {
+	if s.store == nil {
+		return
+	}
+	var e walEntry
+	switch c := cmd.(type) {
+	case WriteCmd:
+		e.Write = &c
+	case MarkerCmd:
+		e.Marker = &c
+	default:
+		// Commands foreign to the register machine (e.g. raw SMR
+		// proposals) leave the register state untouched, so the WAL
+		// does not need them.
+		return
+	}
+	data, err := encodeGob(e)
+	if err != nil {
+		return
+	}
+	_ = s.store.Append(data)
+}
+
+// StateAdopted implements vs.StateAdopter: the replica state was
+// replaced by a remote record, so the local WAL no longer reconstructs
+// it — schedule a snapshot to re-anchor durable coverage.
+func (s *SharedMemory) StateAdopted(any) {
+	if s.store != nil {
+		s.snapDue = true
+	}
+}
+
+var _ vs.StateAdopter = (*SharedMemory)(nil)
+
+// maybeSnapshot runs the snapshot policy: a due adoption snapshot, or
+// the WAL tail outgrowing snapEvery records.
+func (s *SharedMemory) maybeSnapshot() {
+	if s.store == nil {
+		return
+	}
+	st := s.store.Stats()
+	if st.Failed {
+		return
+	}
+	if !s.snapDue && (s.snapEvery == 0 || st.Appended-st.SnapshotIndex < s.snapEvery) {
+		return
+	}
+	_ = s.saveSnapshot()
+}
+
+func (s *SharedMemory) saveSnapshot() error {
+	data, err := encodeGob(asState(s.mgr.Replica().State).snapshot())
+	if err != nil {
+		return fmt.Errorf("regmem: encode snapshot: %w", err)
+	}
+	if err := s.store.SaveSnapshot(data); err != nil {
+		return err
+	}
+	s.snapDue = false
+	return nil
+}
+
+// ForceSnapshot saves a compacted snapshot now (the admin API's
+// POST /v1/storage/snapshot). ErrNoStorage without a backend.
+func (s *SharedMemory) ForceSnapshot() error {
+	if s.store == nil {
+		return ErrNoStorage
+	}
+	return s.saveSnapshot()
+}
+
+// StorageStats returns the attached backend's counters; ok is false
+// when no backend is attached.
+func (s *SharedMemory) StorageStats() (storage.Stats, bool) {
+	if s.store == nil {
+		return storage.Stats{}, false
+	}
+	return s.store.Stats(), true
+}

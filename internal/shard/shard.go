@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ids"
 	"repro/internal/regmem"
+	"repro/internal/storage"
 	"repro/internal/vs"
 )
 
@@ -130,4 +131,41 @@ func (m *Map) Read(name string) (string, bool) {
 func (m *Map) SyncRead(name string) (*regmem.Handle, int) {
 	mem, i := m.For(name)
 	return mem.SyncRead(name), i
+}
+
+// AttachStorage wires one durability backend per shard: mk is called
+// with each shard index and returns that shard's backend (one backend
+// per shard — shards recover and snapshot independently). snapEvery is
+// the per-shard automatic snapshot threshold (0 disables). Attach
+// before the node starts ticking; on error the already-attached shards
+// keep their backends (the caller abandons the whole map anyway).
+func (m *Map) AttachStorage(mk func(shard int) (storage.Backend, error), snapEvery uint64) error {
+	for i, mem := range m.mems {
+		be, err := mk(i)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := mem.AttachStorage(be, snapEvery); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StorageStats returns shard i's backend counters; ok is false when
+// the shard has no backend attached (or i is out of range).
+func (m *Map) StorageStats(i int) (storage.Stats, bool) {
+	if i < 0 || i >= len(m.mems) {
+		return storage.Stats{}, false
+	}
+	return m.mems[i].StorageStats()
+}
+
+// ForceSnapshot saves shard i's compacted snapshot now.
+func (m *Map) ForceSnapshot(i int) error {
+	mem, err := m.Mem(i)
+	if err != nil {
+		return err
+	}
+	return mem.ForceSnapshot()
 }

@@ -1,0 +1,49 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScanWAL hammers the WAL record decoder: it must never panic, and
+// on any input the reported clean prefix must itself re-scan to the
+// same records with no torn verdict (truncation is idempotent — what
+// recovery writes back is what a second recovery reads).
+func FuzzScanWAL(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendRecord(nil, 1, []byte("hello")))
+	f.Add(AppendRecord(AppendRecord(nil, 1, nil), 2, []byte("x")))
+	multi := AppendRecord(nil, 7, bytes.Repeat([]byte("a"), 100))
+	multi = AppendRecord(multi, 8, []byte("tail"))
+	f.Add(multi)
+	f.Add(multi[:len(multi)-2])                                   // torn tail
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})             // absurd length
+	f.Add([]byte{0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // bad CRC
+	corrupt := AppendRecord(nil, 3, []byte("flipme"))
+	corrupt[len(corrupt)-1] ^= 0x80
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, clean, torn := ScanWAL(data)
+		if clean < 0 || clean > len(data) {
+			t.Fatalf("clean offset %d out of [0,%d]", clean, len(data))
+		}
+		if !torn && clean != len(data) {
+			t.Fatalf("clean scan consumed %d of %d bytes", clean, len(data))
+		}
+		recs2, clean2, torn2 := ScanWAL(data[:clean])
+		if torn2 || clean2 != clean || len(recs2) != len(recs) {
+			t.Fatalf("re-scan of clean prefix: %d recs, clean=%d, torn=%v (first pass: %d recs, clean=%d)",
+				len(recs2), clean2, torn2, len(recs), clean)
+		}
+		// Round-trip: re-encoding the decoded records reproduces the
+		// clean prefix byte for byte.
+		var re []byte
+		for _, r := range recs {
+			re = AppendRecord(re, r.Index, r.Data)
+		}
+		if !bytes.Equal(re, data[:clean]) {
+			t.Fatalf("re-encode mismatch: %d vs %d bytes", len(re), clean)
+		}
+	})
+}

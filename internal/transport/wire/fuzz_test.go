@@ -51,7 +51,7 @@ func fuzzSeedStream(tb testing.TB, version byte) []byte {
 // truncations at every structural boundary, corrupted preambles,
 // oversize frame headers, and absurd batch counts.
 func FuzzReadMsg(f *testing.F) {
-	for _, version := range []byte{1, 2, 3} {
+	for _, version := range []byte{1, 2, 3, 4} {
 		stream := fuzzSeedStream(f, version)
 		f.Add(stream)
 		// Truncations: inside the preamble, inside a frame header,
@@ -84,6 +84,30 @@ func FuzzReadMsg(f *testing.F) {
 	short = append(short, hdr[:]...)
 	short = append(short, 'x', 'y')
 	f.Add(short)
+	// Chunk frames (version 4). Writer-built chunked transfers start at
+	// MaxFrame — too big for a seed — so these are hand-framed small
+	// transfers exercising the same reader path: a valid two-chunk
+	// transfer, a declared-oversize one, a CRC mismatch, a sequence
+	// break, and a truncated chunk header.
+	{
+		pre := fuzzSeedStream(f, Version)[:preambleLen]
+		valid := append(append([]byte(nil), pre...), chunkFrame(8, 0, 2, []byte("abcd"))...)
+		valid = append(valid, chunkFrame(8, 1, 2, []byte("efgh"))...)
+		f.Add(valid)
+
+		var oversize [4 + chunkHeaderLen]byte
+		binary.BigEndian.PutUint32(oversize[0:4], chunkFlag|uint32(chunkHeaderLen+16))
+		binary.BigEndian.PutUint64(oversize[4:12], MaxMessage+1)
+		binary.BigEndian.PutUint32(oversize[16:20], 1)
+		f.Add(append(append([]byte(nil), pre...), oversize[:]...))
+
+		crcBad := append(append([]byte(nil), pre...), chunkFrame(4, 0, 1, []byte("abcd"))...)
+		crcBad[len(crcBad)-1] ^= 0x40
+		f.Add(crcBad)
+
+		f.Add(append(append([]byte(nil), pre...), chunkFrame(8, 1, 2, []byte("efgh"))...))
+		f.Add(append(append([]byte(nil), pre...), chunkFrame(8, 0, 2, []byte("abcd"))[:9]...))
+	}
 	// An over-MaxWireBatch batch in an otherwise valid stream.
 	{
 		batch := make([]any, MaxWireBatch+1)

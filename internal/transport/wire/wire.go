@@ -7,19 +7,34 @@
 // Stream layout:
 //
 //	preamble: 6-byte magic "recfg\x00", 1-byte version, 1-byte reserved
-//	frames:   4-byte big-endian payload length, then payload bytes
+//	frames:   4-byte big-endian header, then payload bytes
 //
-// The frame payloads of one connection form a single continuous gob
-// stream (type definitions are transmitted once, on first use), decoded
-// into Msg values; a message larger than MaxFrame simply spans several
-// frames. A reader rejects mismatched magic, versions outside
+// The header's low 31 bits are the payload length; bit 31 (version 4+)
+// marks a chunk frame of a chunked state transfer. The frame payloads
+// of one connection form a single continuous gob stream (type
+// definitions are transmitted once, on first use), decoded into Msg
+// values.
+//
+// A message larger than MaxFrame is chunked (version 4): each chunk
+// frame carries a fixed header — the declared total size of the whole
+// transfer, the chunk's index, the chunk count, and a CRC-32 of the
+// chunk data — followed by a slice of the message's stream encoding.
+// The reader validates the declared total against MaxMessage and the
+// sequencing *before* buffering any chunk data, verifies each chunk's
+// CRC, and splices the verified bytes back into the continuous gob
+// stream. Writers negotiated below version 4 fall back to the legacy
+// behavior of spanning the message over several plain frames.
+//
+// A reader rejects mismatched magic, versions outside
 // [MinVersion, Version], over-long frames before buffering them,
-// messages spanning more than MaxMessage bytes, and absurd batch
-// counts, so a corrupted or hostile peer cannot keep the reader
-// buffering without bound. A writer can be negotiated down to any accepted
-// version (NewWriterVersion): it stamps that version in the preamble
-// and downgrades every message's schema to match, which is how new
-// binaries keep serving old readers during a rolling upgrade.
+// chunked transfers whose declared total exceeds MaxMessage before
+// buffering any chunk, messages spanning more than MaxMessage bytes,
+// and absurd batch counts, so a corrupted or hostile peer cannot keep
+// the reader buffering without bound. A writer can be negotiated down to
+// any accepted version (NewWriterVersion): it stamps that version in the
+// preamble and downgrades every message's schema and framing to match,
+// which is how new binaries keep serving old readers during a rolling
+// upgrade.
 //
 // Schema notes. Msg/Packet/Envelope mirror datalink.Packet and
 // core.Envelope with explicit presence booleans instead of pointers: gob
@@ -36,6 +51,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/core"
@@ -53,9 +69,12 @@ import (
 // Version is the wire-format version written by this build. Version 2
 // added the shard-tagged application payloads (Envelope.HasShards /
 // Shards); Version 3 added the batched datalink payloads
-// (Packet.HasBatch / Batch, DESIGN.md §11). Both additions are
-// gob-compatible — an older frame simply decodes with the presence
-// boolean false — so readers accept [MinVersion, Version], and
+// (Packet.HasBatch / Batch, DESIGN.md §11); Version 4 added chunked
+// state transfer (oversize messages travel as flagged chunk frames with
+// a declared total, sequencing, and per-chunk CRC, DESIGN.md §12) — a
+// framing change only, the message schema is untouched. The schema
+// additions are gob-compatible — an older frame simply decodes with the
+// presence boolean false — so readers accept [MinVersion, Version], and
 // unbatched single-shard frames carry no format break: shard 0's
 // payload still travels in the legacy App slot and a single payload in
 // the legacy Payload slot.
@@ -68,7 +87,7 @@ import (
 // adoption themselves; regmem does (a legacy map[string]string replica
 // state is adopted as the base of a delta-chain State rather than
 // discarded).
-const Version = 3
+const Version = 4
 
 // MinVersion is the oldest preamble version a Reader accepts (and the
 // oldest a Writer can be asked to emit).
@@ -96,6 +115,14 @@ const MaxWireBatch = 4096
 var magic = [6]byte{'r', 'e', 'c', 'f', 'g', 0}
 
 const preambleLen = len(magic) + 2 // + version + reserved
+
+// chunkFlag marks a frame header as a chunk frame (version 4).
+const chunkFlag = 1 << 31
+
+// chunkHeaderLen is the fixed chunk-frame header: 8-byte declared total
+// transfer size, 4-byte chunk index, 4-byte chunk count, 4-byte IEEE
+// CRC-32 of the chunk data.
+const chunkHeaderLen = 8 + 4 + 4 + 4
 
 func init() {
 	// Concrete types that travel inside `any` slots. Named explicitly so
@@ -375,11 +402,13 @@ var ErrMessageTooLarge = errors.New("wire: message encoding exceeds MaxMessage")
 
 // Append encodes one message into the stream without flushing, so
 // callers can coalesce several messages into one underlying write (the
-// tcp backend's hot path). A message whose encoding exceeds MaxFrame is
-// split proactively across consecutive frames — the frame layer chunks
-// one continuous gob stream, so readers of every version reassemble it
-// transparently — instead of erroring after buffering, which used to
-// wedge any state snapshot larger than one frame. Encodings beyond
+// tcp backend's hot path). A message whose encoding exceeds MaxFrame
+// becomes a chunked transfer (version 4): explicit chunk frames carrying
+// the declared total, sequence numbers, and per-chunk CRCs, so the
+// reader validates the transfer before buffering it. Writers negotiated
+// below version 4 span the oversize encoding across consecutive plain
+// frames instead (the frame layer chunks one continuous gob stream, so
+// legacy readers reassemble it transparently). Encodings beyond
 // MaxMessage fail with ErrMessageTooLarge (readers enforce the same
 // bound; writing such a message would dead-loop the link on rejection).
 // Any Append error leaves the gob stream state undefined — discard the
@@ -391,6 +420,9 @@ func (w *Writer) Append(m Msg) error {
 	}
 	if w.buf.Len() > MaxMessage {
 		return fmt.Errorf("%w (%d bytes)", ErrMessageTooLarge, w.buf.Len())
+	}
+	if w.version >= 4 && w.buf.Len() > MaxFrame {
+		return w.appendChunked(w.buf.Bytes())
 	}
 	for b := w.buf.Bytes(); len(b) > 0; {
 		n := len(b)
@@ -407,6 +439,35 @@ func (w *Writer) Append(m Msg) error {
 		}
 		w.frames++
 		b = b[n:]
+	}
+	return nil
+}
+
+// appendChunked emits one oversize message encoding as a chunked
+// transfer: consecutive chunk frames, each flagged in the frame header
+// and self-describing (declared total, index, count, data CRC).
+func (w *Writer) appendChunked(b []byte) error {
+	const maxData = MaxFrame - chunkHeaderLen
+	total := uint64(len(b))
+	count := (len(b) + maxData - 1) / maxData
+	for i := 0; i < count; i++ {
+		piece := b[i*maxData:]
+		if len(piece) > maxData {
+			piece = piece[:maxData]
+		}
+		var hdr [4 + chunkHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[0:4], chunkFlag|uint32(chunkHeaderLen+len(piece)))
+		binary.BigEndian.PutUint64(hdr[4:12], total)
+		binary.BigEndian.PutUint32(hdr[12:16], uint32(i))
+		binary.BigEndian.PutUint32(hdr[16:20], uint32(count))
+		binary.BigEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(piece))
+		if _, err := w.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.w.Write(piece); err != nil {
+			return err
+		}
+		w.frames++
 	}
 	return nil
 }
@@ -457,20 +518,42 @@ func (r *Reader) ReadMsg() (Msg, error) {
 // frameReader unwraps length-prefixed frames into the continuous byte
 // stream the gob decoder expects, enforcing MaxFrame per frame before
 // buffering and the per-message MaxMessage budget (re-armed by ReadMsg)
-// across frames.
+// across frames. Chunk frames (version 4) are validated — declared
+// total against MaxMessage before any chunk data is buffered, index
+// sequencing, per-chunk CRC — and their verified data is spliced back
+// into the continuous stream.
 type frameReader struct {
 	r      *bufio.Reader
 	remain int
 	budget int
+
+	// Verified chunk data not yet consumed by the decoder.
+	chunk    []byte
+	chunkOff int
+	// In-progress chunked-transfer assembly state.
+	assembling bool
+	asmTotal   uint64
+	asmCount   uint32
+	asmNext    uint32
+	asmGot     uint64
 }
 
 func (f *frameReader) Read(p []byte) (int, error) {
-	for f.remain == 0 {
+	for f.remain == 0 && f.chunkOff == len(f.chunk) {
 		var hdr [4]byte
 		if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
 			return 0, err
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
+		if n&chunkFlag != 0 {
+			if err := f.readChunk(n &^ chunkFlag); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if f.assembling {
+			return 0, fmt.Errorf("wire: plain frame interrupts chunked transfer at chunk %d/%d", f.asmNext, f.asmCount)
+		}
 		if n > MaxFrame {
 			return 0, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame", n)
 		}
@@ -478,6 +561,19 @@ func (f *frameReader) Read(p []byte) (int, error) {
 	}
 	if f.budget <= 0 {
 		return 0, fmt.Errorf("wire: message exceeds MaxMessage %d bytes", MaxMessage)
+	}
+	if f.chunkOff < len(f.chunk) {
+		avail := f.chunk[f.chunkOff:]
+		if len(p) > len(avail) {
+			p = p[:len(avail)]
+		}
+		if len(p) > f.budget {
+			p = p[:f.budget]
+		}
+		n := copy(p, avail)
+		f.chunkOff += n
+		f.budget -= n
+		return n, nil
 	}
 	if len(p) > f.remain {
 		p = p[:f.remain]
@@ -489,4 +585,65 @@ func (f *frameReader) Read(p []byte) (int, error) {
 	f.remain -= n
 	f.budget -= n
 	return n, err
+}
+
+// readChunk consumes one chunk frame whose header declared n payload
+// bytes. Validation order matters: the declared total is checked
+// against MaxMessage (and all sequencing against the in-progress
+// assembly) from the fixed header alone, before the chunk data is read
+// into memory — an oversize or inconsistent transfer is rejected at the
+// cost of chunkHeaderLen bytes, never a buffer.
+func (f *frameReader) readChunk(n uint32) error {
+	if n < chunkHeaderLen || n > MaxFrame {
+		return fmt.Errorf("wire: chunk frame of %d bytes outside [%d, MaxFrame]", n, chunkHeaderLen)
+	}
+	var hdr [chunkHeaderLen]byte
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		return err
+	}
+	total := binary.BigEndian.Uint64(hdr[0:8])
+	index := binary.BigEndian.Uint32(hdr[8:12])
+	count := binary.BigEndian.Uint32(hdr[12:16])
+	crc := binary.BigEndian.Uint32(hdr[16:20])
+	if total == 0 || total > MaxMessage {
+		return fmt.Errorf("wire: chunked transfer declares %d bytes, exceeds MaxMessage %d", total, MaxMessage)
+	}
+	if count == 0 || uint64(count) > total {
+		return fmt.Errorf("wire: chunked transfer declares %d chunks for %d bytes", count, total)
+	}
+	if index >= count {
+		return fmt.Errorf("wire: chunk index %d out of range (count %d)", index, count)
+	}
+	if !f.assembling {
+		if index != 0 {
+			return fmt.Errorf("wire: chunked transfer starts at index %d", index)
+		}
+		f.assembling = true
+		f.asmTotal, f.asmCount, f.asmNext, f.asmGot = total, count, 0, 0
+	}
+	if index != f.asmNext || total != f.asmTotal || count != f.asmCount {
+		return fmt.Errorf("wire: chunk %d (total %d, count %d) does not continue transfer at %d (total %d, count %d)",
+			index, total, count, f.asmNext, f.asmTotal, f.asmCount)
+	}
+	dataLen := int(n) - chunkHeaderLen
+	if dataLen == 0 || f.asmGot+uint64(dataLen) > f.asmTotal {
+		return fmt.Errorf("wire: chunk %d of %d bytes overflows declared total %d", index, dataLen, f.asmTotal)
+	}
+	data := make([]byte, dataLen)
+	if _, err := io.ReadFull(f.r, data); err != nil {
+		return err
+	}
+	if crc32.ChecksumIEEE(data) != crc {
+		return fmt.Errorf("wire: chunk %d CRC mismatch", index)
+	}
+	f.asmGot += uint64(dataLen)
+	f.asmNext++
+	if f.asmNext == f.asmCount {
+		if f.asmGot != f.asmTotal {
+			return fmt.Errorf("wire: chunked transfer ended with %d of %d declared bytes", f.asmGot, f.asmTotal)
+		}
+		f.assembling = false
+	}
+	f.chunk, f.chunkOff = data, 0
+	return nil
 }

@@ -361,7 +361,7 @@ func frameSizes(t *testing.T, b []byte) []int {
 		if len(b) < 4 {
 			t.Fatalf("dangling %d header bytes", len(b))
 		}
-		n := int(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+		n := int((uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])) &^ uint32(chunkFlag))
 		b = b[4:]
 		if n > len(b) {
 			t.Fatalf("frame header claims %d bytes, %d remain", n, len(b))

@@ -73,6 +73,22 @@ func (m *Manager) Metrics() Metrics { return m.metrics }
 // Replica returns a copy of the current replica record.
 func (m *Manager) Replica() Replica { return m.rep.clone() }
 
+// Restore replaces the replica's state machine state. It is the
+// crash-recovery entry point: the service layer replays its durable
+// snapshot and WAL tail into a state value before the node starts
+// ticking, then installs it here so the recovering replica rejoins with
+// its last durable state instead of InitState — no full state transfer
+// from a peer required.
+func (m *Manager) Restore(state any) { m.rep.State = state }
+
+// notifyAdopted fires the optional StateAdopter hook after the replica
+// state was replaced by a remote record's state.
+func (m *Manager) notifyAdopted() {
+	if a, ok := m.app.(StateAdopter); ok {
+		a.StateAdopted(m.rep.State)
+	}
+}
+
 // CurrentView returns the installed view, if any.
 func (m *Manager) CurrentView() (View, bool) {
 	if m.rep.Status == StatusMulticast && m.rep.View.Valid() {
@@ -284,8 +300,12 @@ func (m *Manager) coordinate(n *core.Node, conf ids.Set) {
 		}
 		// synchState/synchMsgs: adopt the most advanced replica among
 		// the proposed members (they all carry the last view's state).
-		m.rep.State, m.rep.Inputs, m.rep.Rnd = m.synchState()
+		var foreign bool
+		m.rep.State, m.rep.Inputs, m.rep.Rnd, foreign = m.synchState()
 		m.rep.Status = StatusInstall
+		if foreign {
+			m.notifyAdopted()
+		}
 	case StatusInstall:
 		if !m.allReport(m.rep.PropV.Set, trusted, func(r Replica) bool {
 			return r.Status == StatusInstall && r.PropV.Equal(m.rep.PropV)
@@ -380,24 +400,30 @@ func (m *Manager) allReport(set ids.Set, trusted ids.Set, pred func(Replica) boo
 
 // synchState consolidates the proposed members' replicas: the record with
 // the highest (view id, round) wins; its state and pending inputs carry
-// over (synchState + synchMsgs).
-func (m *Manager) synchState() (any, map[ids.ID]any, uint64) {
+// over (synchState + synchMsgs). foreign reports that another member's
+// record won (the local state was replaced). Records without a state are
+// skipped — a stale follower record from the multicast phase has its
+// state omitted from gossip, and such a record is never a legitimate
+// synchronization source (the member either echoes the proposal with its
+// state attached or is untrusted and excluded from the install gate).
+func (m *Manager) synchState() (any, map[ids.ID]any, uint64, bool) {
 	best := m.rep
+	foreign := false
 	m.rep.PropV.Set.Each(func(k ids.ID) {
 		r, ok := m.replicaOf(k)
-		if !ok || !r.View.Valid() {
+		if !ok || !r.View.Valid() || r.State == nil {
 			return
 		}
 		if !best.View.Valid() {
-			best = r
+			best, foreign = r, k != m.self
 			return
 		}
 		if lessCtr(best.View.ID, r.View.ID) ||
 			(best.View.ID.Equal(r.View.ID) && r.Rnd > best.Rnd) {
-			best = r
+			best, foreign = r, k != m.self
 		}
 	})
-	return best.State, copyInputs(best.Inputs), best.Rnd
+	return best.State, copyInputs(best.Inputs), best.Rnd, foreign
 }
 
 // follow executes line 18–23: adopt the coordinator's progression.
@@ -415,8 +441,11 @@ func (m *Manager) follow(crd ids.ID) {
 		}
 	case StatusInstall:
 		if !m.rep.PropV.Equal(r.PropV) || m.rep.Status != StatusInstall {
-			m.adopt(r, crd)
+			adopted := m.adopt(r, crd)
 			m.rep.Status = StatusInstall
+			if adopted {
+				m.notifyAdopted()
+			}
 		}
 	case StatusMulticast:
 		if !r.View.Valid() {
@@ -425,11 +454,14 @@ func (m *Manager) follow(crd ids.ID) {
 		newView := !m.rep.View.Equal(r.View) || m.rep.Status != StatusMulticast
 		if newView {
 			if r.Rnd == 0 || r.View.Set.Contains(m.self) {
-				m.adopt(r, crd)
+				adopted := m.adopt(r, crd)
 				m.rep.View = r.View
 				m.rep.Status = StatusMulticast
 				m.lastDelivered, m.haveDelivered = 0, false
 				m.metrics.ViewsInstalled++
+				if adopted {
+					m.notifyAdopted()
+				}
 			}
 			return
 		}
@@ -437,6 +469,11 @@ func (m *Manager) follow(crd ids.ID) {
 			// The coordinator completed round m.rep.Rnd: deliver it
 			// with our copy of its inputs, check determinism, adopt.
 			consumed := m.rep.Input == nil
+			// A single-step advance whose round we applied locally is
+			// incremental — the adopted state equals our own Apply
+			// result. Anything else is a jump past rounds this replica
+			// never delivered, so the adoption is wholesale.
+			applied := m.rep.Inputs != nil && r.Rnd == m.rep.Rnd+1
 			if m.rep.Inputs != nil {
 				round := Round{View: m.rep.View, Rnd: m.rep.Rnd, Inputs: copyInputs(m.rep.Inputs)}
 				m.deliverOnce(round)
@@ -448,9 +485,12 @@ func (m *Manager) follow(crd ids.ID) {
 				consumed = consumed || inputConsumed(round.Inputs, m.self, m.rep.Input)
 			}
 			consumed = consumed || inputConsumed(r.Inputs, m.self, m.rep.Input)
-			m.adopt(r, crd)
+			adopted := m.adopt(r, crd)
 			if consumed && !r.Suspend {
 				m.rep.Input = m.app.Fetch()
+			}
+			if adopted && !applied {
+				m.notifyAdopted()
 			}
 		} else {
 			// Same round: still track the suspend flag (Lemma 4.10's
@@ -464,13 +504,23 @@ func (m *Manager) follow(crd ids.ID) {
 }
 
 // adopt copies the coordinator's record into the local replica (line 20's
-// state[i] ← state[ℓ]), preserving the local input slot.
-func (m *Manager) adopt(r Replica, crd ids.ID) {
+// state[i] ← state[ℓ]), preserving the local input slot. It reports
+// whether the remote state was actually taken: a record whose state was
+// omitted from gossip (a follower's multicast-phase record — which a
+// valid coordinator never sends, but a corrupted peer might) keeps the
+// local state instead of wiping it.
+func (m *Manager) adopt(r Replica, crd ids.ID) bool {
 	input := m.rep.Input
+	local := m.rep.State
 	m.rep = r.clone()
 	m.rep.Crd = crd
 	m.rep.Input = input
 	m.rep.NoCrd = false
+	if m.rep.State == nil {
+		m.rep.State = local
+		return false
+	}
+	return true
 }
 
 // inputConsumed reports whether the member's pending input appears in the
@@ -500,6 +550,15 @@ func (m *Manager) Outgoing(to ids.ID, n *core.Node) any {
 	p := Payload{Counter: m.ctr.Outgoing(to, n)}
 	if n.IsParticipant() {
 		rep := m.rep.clone()
+		// A follower's multicast-phase state is never consumed by any
+		// peer: the coordinator gates rounds on Status/Rnd echoes only,
+		// and synchState draws from propose-phase records (which carry
+		// state). Omitting it cuts the steady-state gossip from
+		// O(registers) to O(1) per follower per tick — the monolithic
+		// full-state transfer survives only where it is actually needed.
+		if rep.Status == StatusMulticast && rep.Crd != m.self {
+			rep.State = nil
+		}
 		p.Replica = &rep
 	}
 	if p.Replica == nil && p.Counter == nil {

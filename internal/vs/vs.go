@@ -91,6 +91,18 @@ type App interface {
 	Deliver(r Round)
 }
 
+// StateAdopter is an optional App extension. When the manager replaces
+// the replica state wholesale with a remote record's state — a view
+// install adopting synchState's pick, a new-view adoption, or a round
+// jump past rounds this replica never delivered locally — the hook
+// fires with the adopted state. Durable service layers use it to
+// re-anchor WAL coverage: the skipped rounds' commands were never
+// appended locally, so only a fresh snapshot restores the write-ahead
+// invariant.
+type StateAdopter interface {
+	StateAdopted(state any)
+}
+
 // Replica is the per-processor state record exchanged by Algorithm 4.7.
 type Replica struct {
 	View    View

@@ -31,12 +31,14 @@ const Version = "v1"
 // take a path parameter; use RegPath/ShardPath to build request URLs
 // with correct escaping.
 const (
-	PathStatus     = "/v1/status"
-	PathHealthz    = "/v1/healthz"
-	PathShards     = "/v1/shards"
-	PathReg        = "/v1/reg/"
-	PathSMRPropose = "/v1/smr/propose"
-	PathSMRLog     = "/v1/smr/log"
+	PathStatus          = "/v1/status"
+	PathHealthz         = "/v1/healthz"
+	PathShards          = "/v1/shards"
+	PathReg             = "/v1/reg/"
+	PathSMRPropose      = "/v1/smr/propose"
+	PathSMRLog          = "/v1/smr/log"
+	PathStorage         = "/v1/storage"
+	PathStorageSnapshot = "/v1/storage/snapshot"
 )
 
 // MaxBody bounds request and response bodies on both sides of the wire.
@@ -62,6 +64,11 @@ func ShardPath(i int) string {
 	return fmt.Sprintf("%s/%d", PathShards, i)
 }
 
+// StoragePath returns the route of one shard's storage document.
+func StoragePath(i int) string {
+	return fmt.Sprintf("%s/%d", PathStorage, i)
+}
+
 // Canonical error codes carried by the envelope. Clients should branch
 // on these, never on message text.
 const (
@@ -83,6 +90,14 @@ const (
 	// CodeTimeout: the operation did not complete within the node's
 	// operation deadline (no quorum, mid-reconfiguration); retry.
 	CodeTimeout = "timeout"
+	// CodeStorageUnavailable: the node runs without a durability
+	// backend, or its backend latched a disk fault; another replica may
+	// still serve storage operations, so clients fail over.
+	CodeStorageUnavailable = "storage_unavailable"
+	// CodeSnapshotInProgress: a snapshot is already being taken for the
+	// addressed shard. A client mistake to retry elsewhere — snapshots
+	// are per-node — so it maps to a 4xx and is never failed over.
+	CodeSnapshotInProgress = "snapshot_in_progress"
 )
 
 // statusOf maps canonical codes to HTTP status codes.
@@ -95,6 +110,9 @@ var statusOf = map[string]int{
 	CodeOverload:         http.StatusTooManyRequests,
 	CodeUnavailable:      http.StatusServiceUnavailable,
 	CodeTimeout:          http.StatusGatewayTimeout,
+
+	CodeStorageUnavailable: http.StatusServiceUnavailable,
+	CodeSnapshotInProgress: http.StatusConflict,
 }
 
 // StatusOf returns the HTTP status a canonical code is served with
@@ -119,6 +137,8 @@ func CodeFor(status int) string {
 		return CodeOverload
 	case http.StatusGatewayTimeout:
 		return CodeTimeout
+	case http.StatusConflict:
+		return CodeSnapshotInProgress
 	}
 	if status >= 500 {
 		return CodeUnavailable
@@ -311,4 +331,61 @@ type LogEntry struct {
 	Rnd    uint64 `json:"rnd"`
 	Member int    `json:"member"`
 	Cmd    string `json:"cmd"`
+}
+
+// StorageStatus is the node-level durability document at
+// GET /v1/storage. Attached reports whether the node runs with a
+// durability backend at all; when it is false Shards is empty and the
+// per-shard routes answer storage_unavailable.
+type StorageStatus struct {
+	ID       int                  `json:"id"`
+	Attached bool                 `json:"attached"`
+	Kind     string               `json:"kind,omitempty"`
+	Fsync    string               `json:"fsync,omitempty"`
+	DataDir  string               `json:"dataDir,omitempty"`
+	Shards   []ShardStorageStatus `json:"shards,omitempty"`
+}
+
+// ShardStorageStatus is one shard's backend counters, at
+// GET /v1/storage and /v1/storage/{shard}. The fields mirror the
+// storage module's Stats: WAL tail size, lifetime append count,
+// snapshot coverage, what recovery replayed at boot, and the latched
+// failure state.
+type ShardStorageStatus struct {
+	Shard         int    `json:"shard"`
+	Kind          string `json:"kind"`
+	WALRecords    uint64 `json:"walRecords"`
+	WALBytes      uint64 `json:"walBytes"`
+	Appended      uint64 `json:"appended"`
+	Snapshots     uint64 `json:"snapshots"`
+	SnapshotIndex uint64 `json:"snapshotIndex"`
+	SnapshotBytes uint64 `json:"snapshotBytes"`
+	// LastSnapshotUnix is when the newest snapshot was saved, as Unix
+	// seconds (0 when none, or when it predates this process).
+	LastSnapshotUnix int64 `json:"lastSnapshotUnix,omitempty"`
+	// Recovery of the boot-time replay: whether anything was recovered,
+	// whether a snapshot was loaded, and what the WAL tail contributed.
+	Recovered         bool   `json:"recovered,omitempty"`
+	SnapshotLoaded    bool   `json:"snapshotLoaded,omitempty"`
+	RecoveredBytes    uint64 `json:"recoveredBytes,omitempty"`
+	TailRecords       int    `json:"tailRecords,omitempty"`
+	SkippedRecords    int    `json:"skippedRecords,omitempty"`
+	TruncatedWALBytes int64  `json:"truncatedWalBytes,omitempty"`
+	// Failed reports the backend latched after a storage fault;
+	// LastError carries the fault text.
+	Failed    bool   `json:"failed,omitempty"`
+	LastError string `json:"lastError,omitempty"`
+}
+
+// SnapshotRequest asks POST /v1/storage/snapshot to compact now. Shard
+// selects one shard; nil means every shard.
+type SnapshotRequest struct {
+	Shard *int `json:"shard,omitempty"`
+}
+
+// SnapshotResponse acknowledges a forced compaction, echoing the
+// per-shard backend counters after the snapshot was taken.
+type SnapshotResponse struct {
+	Snapshotted []int                `json:"snapshotted"`
+	Shards      []ShardStorageStatus `json:"shards,omitempty"`
 }

@@ -27,6 +27,9 @@ func TestRegPathEscapes(t *testing.T) {
 	if got := ShardPath(3); got != "/v1/shards/3" {
 		t.Errorf("ShardPath(3) = %q", got)
 	}
+	if got := StoragePath(2); got != "/v1/storage/2" {
+		t.Errorf("StoragePath(2) = %q", got)
+	}
 }
 
 func TestStatusOfCodes(t *testing.T) {
@@ -39,6 +42,9 @@ func TestStatusOfCodes(t *testing.T) {
 		CodeOverload:         http.StatusTooManyRequests,
 		CodeUnavailable:      http.StatusServiceUnavailable,
 		CodeTimeout:          http.StatusGatewayTimeout,
+
+		CodeStorageUnavailable: http.StatusServiceUnavailable,
+		CodeSnapshotInProgress: http.StatusConflict,
 	}
 	for code, want := range cases {
 		if got := StatusOf(code); got != want {
@@ -107,6 +113,33 @@ func TestDecodeErrorSynthesizesEnvelope(t *testing.T) {
 	}
 	if Errorf(CodeBadShard, "bad").IsRetryable() {
 		t.Error("400 must not be retryable")
+	}
+}
+
+// TestStorageCodeSemantics pins the failover contract of the storage
+// codes: a missing/failed backend is a node-local condition a peer may
+// not share (retryable 503), while a snapshot already in flight is a
+// caller-side conflict that must never be failed over (409).
+func TestStorageCodeSemantics(t *testing.T) {
+	if e := Errorf(CodeStorageUnavailable, "no backend"); !e.IsRetryable() {
+		t.Error("storage_unavailable must be retryable (another node may have a backend)")
+	}
+	if e := Errorf(CodeSnapshotInProgress, "busy"); e.IsRetryable() {
+		t.Error("snapshot_in_progress must not be retryable (snapshots are per-node)")
+	}
+	// A bare 409 with no envelope reconstructs the canonical code.
+	if e := DecodeError(http.StatusConflict, nil); e.Code != CodeSnapshotInProgress {
+		t.Errorf("bare 409 decoded to %q", e.Code)
+	}
+	// The envelope round-trips through WriteError/DecodeError.
+	rec := httptest.NewRecorder()
+	WriteError(rec, Errorf(CodeSnapshotInProgress, "snapshot already running").WithShard(1))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("status %d, want 409", rec.Code)
+	}
+	e := DecodeError(rec.Code, rec.Body.Bytes())
+	if e.Code != CodeSnapshotInProgress || e.Shard == nil || *e.Shard != 1 || e.IsRetryable() {
+		t.Fatalf("decoded %+v retryable=%v", e, e.IsRetryable())
 	}
 }
 

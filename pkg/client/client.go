@@ -319,6 +319,43 @@ func (c *Client) Log(ctx context.Context, sh, n int) ([]api.LogEntry, error) {
 	return out, err
 }
 
+// StorageStatus fetches the node-level durability document: whether a
+// backend is attached, its kind and fsync policy, and every shard's
+// counters. Like the other introspection calls it fails over, so the
+// answer describes whichever node served it (check its ID field).
+func (c *Client) StorageStatus(ctx context.Context) (api.StorageStatus, error) {
+	var st api.StorageStatus
+	err := c.do(ctx, c.endpointFor(-1), http.MethodGet, api.PathStorage, nil, &st)
+	return st, err
+}
+
+// ShardStorage fetches one shard's backend counters.
+func (c *Client) ShardStorage(ctx context.Context, sh int) (api.ShardStorageStatus, error) {
+	var st api.ShardStorageStatus
+	err := c.do(ctx, c.endpointFor(sh), http.MethodGet, api.StoragePath(sh), nil, &st)
+	return st, err
+}
+
+// ForceSnapshot asks a node to compact its WAL into a snapshot now, for
+// one shard (sh ≥ 0) or every shard (sh < 0). Snapshots are per-node
+// state: connect errors and 5xx still fail over (some node compacts),
+// but the snapshot_in_progress refusal is a 409 and returns immediately
+// — retrying it on a different node would compact a different node's
+// log, not wait out this one's.
+func (c *Client) ForceSnapshot(ctx context.Context, sh int) (api.SnapshotResponse, error) {
+	var req api.SnapshotRequest
+	if sh >= 0 {
+		req.Shard = &sh
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.SnapshotResponse{}, err
+	}
+	var resp api.SnapshotResponse
+	err = c.do(ctx, c.endpointFor(sh), http.MethodPost, api.PathStorageSnapshot, body, &resp)
+	return resp, err
+}
+
 // WaitServing polls Status until it reports Serving with the excluded
 // id out of the configuration and every shard's view (exclude 0 = no
 // exclusion), or until ctx expires. It returns the first satisfying

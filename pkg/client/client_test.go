@@ -307,6 +307,92 @@ func TestShardMismatchSurfaces(t *testing.T) {
 	}
 }
 
+// TestStorageStatusFailsOver: the durability document is introspection
+// and fails over like Status — a failing preferred node is routed
+// around and the answer identifies whichever node served it.
+func TestStorageStatusFailsOver(t *testing.T) {
+	nodes, c := cluster(t, 2, 2)
+	ctx := context.Background()
+
+	st, err := c.StorageStatus(ctx)
+	if err != nil {
+		t.Fatalf("storage status: %v", err)
+	}
+	if !st.Attached || st.Kind != "memory" || len(st.Shards) != 2 {
+		t.Fatalf("storage status %+v", st)
+	}
+
+	nodes[0].Failing.Store(true)
+	nodes[1].Failing.Store(false)
+	st, err = c.StorageStatus(ctx)
+	if err != nil {
+		t.Fatalf("storage status with node 1 down: %v", err)
+	}
+	if st.ID != 2 {
+		t.Fatalf("failover answer came from node %d, want 2", st.ID)
+	}
+
+	// Per-shard document.
+	sh, err := c.ShardStorage(ctx, 1)
+	if err != nil || sh.Shard != 1 || sh.Kind != "memory" {
+		t.Fatalf("shard storage: %+v, %v", sh, err)
+	}
+	// Out-of-range shard is a 4xx: typed, no failover.
+	_, err = c.ShardStorage(ctx, 9)
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeBadShard {
+		t.Fatalf("want bad_shard, got %v", err)
+	}
+}
+
+// TestForceSnapshotSemantics: the trigger succeeds against a healthy
+// node, and the snapshot_in_progress refusal is a 409 the client
+// returns typed without trying another node (snapshots are per-node).
+func TestForceSnapshotSemantics(t *testing.T) {
+	nodes, c := cluster(t, 2, 3)
+	ctx := context.Background()
+
+	resp, err := c.ForceSnapshot(ctx, -1)
+	if err != nil {
+		t.Fatalf("force snapshot: %v", err)
+	}
+	if len(resp.Snapshotted) != 3 {
+		t.Fatalf("snapshotted %v, want all 3 shards", resp.Snapshotted)
+	}
+	one, err := c.ForceSnapshot(ctx, 2)
+	if err != nil || len(one.Snapshotted) != 1 || one.Snapshotted[0] != 2 {
+		t.Fatalf("single-shard snapshot: %+v, %v", one, err)
+	}
+
+	// Both nodes busy: the preferred node's 409 comes back as-is.
+	before := [2]int64{nodes[0].Hits.Load(), nodes[1].Hits.Load()}
+	nodes[0].SnapshotBusy.Store(true)
+	nodes[1].SnapshotBusy.Store(true)
+	_, err = c.ForceSnapshot(ctx, -1)
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeSnapshotInProgress || ae.IsRetryable() {
+		t.Fatalf("want snapshot_in_progress, got %v", err)
+	}
+	if nodes[0].Hits.Load()-before[0]+nodes[1].Hits.Load()-before[1] != 1 {
+		t.Fatal("409 snapshot refusal failed over")
+	}
+}
+
+// TestStorageUnavailableFailsOver: a node without a backend answers
+// storage_unavailable (503) on the per-shard route, and the client
+// retries a node that has one.
+func TestStorageUnavailableFailsOver(t *testing.T) {
+	nodes, c := cluster(t, 2, 2)
+	nodes[0].NoStorage.Store(true)
+	sh, err := c.ShardStorage(context.Background(), 0) // prefers endpoint 0
+	if err != nil {
+		t.Fatalf("shard storage with diskless preferred node: %v", err)
+	}
+	if sh.Kind != "memory" {
+		t.Fatalf("failover document %+v", sh)
+	}
+}
+
 // TestWaitServingHonorsContext: the wait loop gives up when the context
 // expires, reporting the last observation.
 func TestWaitServingHonorsContext(t *testing.T) {

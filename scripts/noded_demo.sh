@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
-# noded_demo.sh [N] [SHARDS] — boot an N-node (default 5) noded cluster
-# as real OS processes talking TCP on localhost, with the register
-# namespace partitioned over SHARDS (default 1) independent service
-# stacks, and drive it through the HTTP client API: bootstrap →
+# noded_demo.sh [N] [SHARDS] [DISK] — boot an N-node (default 5) noded
+# cluster as real OS processes talking TCP on localhost, with the
+# register namespace partitioned over SHARDS (default 1) independent
+# service stacks, and drive it through the HTTP client API: bootstrap →
 # register writes/reads across every shard → kill one node → delicate
 # reconfiguration (all shards) → write/read in the reconfigured cluster.
 #
+# With DISK=1 every node runs with -data-dir (per-shard WAL +
+# snapshots) and two more passes run: the killed node restarts over its
+# data directory and rejoins, and then the WHOLE cluster is SIGKILLed
+# and restarted — with no live peer to transfer state from, the
+# registers can only come back through each node's local snapshot + WAL
+# replay.
+#
 # Exits 0 only if every step succeeded. CI runs this with N=3 SHARDS=4
-# as the noded smoke job; developers run it with the defaults.
+# and again with N=3 SHARDS=2 DISK=1 as the noded smoke job; developers
+# run it with the defaults.
 set -euo pipefail
 
 N="${1:-5}"
 SHARDS="${2:-${SHARDS:-1}}"
+DISK="${3:-${DISK:-0}}"
 BASE_TCP="${BASE_TCP:-7140}"
 BASE_HTTP="${BASE_HTTP:-8140}"
 TMP="$(mktemp -d)"
@@ -37,11 +46,20 @@ for i in $(seq 1 "$N"); do
   PEERS+="${PEERS:+,}$i=127.0.0.1:$((BASE_TCP + i))"
 done
 
-say "booting $N nodes × $SHARDS shards (peers: $PEERS)"
-for i in $(seq 1 "$N"); do
+start_node() {
+  local i="$1"
+  local store=()
+  if [ "$DISK" = "1" ]; then
+    store=(-data-dir "$TMP/data$i" -fsync always -snap-every 8)
+  fi
   "$BIN" -id "$i" -peers "$PEERS" -http "127.0.0.1:$((BASE_HTTP + i))" \
-    -seed 7 -shards "$SHARDS" >"$TMP/node$i.log" 2>&1 &
+    -seed 7 -shards "$SHARDS" "${store[@]}" >>"$TMP/node$i.log" 2>&1 &
   PIDS[$i]=$!
+}
+
+say "booting $N nodes × $SHARDS shards (disk=$DISK, peers: $PEERS)"
+for i in $(seq 1 "$N"); do
+  start_node "$i"
 done
 
 addr() { echo "http://127.0.0.1:$((BASE_HTTP + $1))"; }
@@ -115,4 +133,53 @@ client 1 put after reconfig >/dev/null
 OUT="$(client "$COORD" sync-get after)"
 echo "$OUT" | grep -q '"value": "reconfig"' || { echo "FAIL: post-reconfig write"; exit 1; }
 
-say "SUCCESS: $N-node × $SHARDS-shard cluster bootstrapped, survived a kill via delicate reconfiguration, and kept serving"
+if [ "$DISK" = "1" ]; then
+  say "storage introspection: every survivor reports a disk backend"
+  OUT="$(client 1 storage)"
+  echo "$OUT" | grep -q '"kind": "disk"' || { echo "FAIL: no disk backend reported"; exit 1; }
+  client 1 snapshot >/dev/null
+  client 1 storage | grep -q '"snapshots": 0' && { echo "FAIL: forced snapshot did not land"; exit 1; }
+
+  say "restarting killed node p$VICTIM over its data directory"
+  start_node "$VICTIM"
+  for _ in $(seq 1 150); do
+    client "$VICTIM" -timeout 2s healthz >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  client "$VICTIM" -timeout 180s wait >/dev/null
+  OUT="$(client "$VICTIM" sync-get greeting)"
+  echo "$OUT" | grep -q '"value": "hello"' || { echo "FAIL: restarted node lost state"; exit 1; }
+  say "p$VICTIM rejoined and serves the old registers"
+
+  say "SIGKILLing the WHOLE cluster and restarting every node"
+  for i in $(seq 1 "$N"); do
+    kill -9 "${PIDS[$i]}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  for i in $(seq 1 "$N"); do
+    start_node "$i"
+  done
+  for i in $(seq 1 "$N"); do
+    for _ in $(seq 1 150); do
+      client "$i" -timeout 2s healthz >/dev/null 2>&1 && break
+      sleep 0.2
+    done
+    client "$i" -timeout 180s wait >/dev/null
+  done
+
+  say "registers intact after full-cluster crash (no peer held them — local replay only)"
+  OUT="$(client 1 sync-get greeting)"
+  echo "$OUT" | grep -q '"value": "hello"' || { echo "FAIL: greeting lost after full-cluster crash"; exit 1; }
+  OUT="$(client 2 sync-get after)"
+  echo "$OUT" | grep -q '"value": "reconfig"' || { echo "FAIL: after lost after full-cluster crash"; exit 1; }
+  for k in $(seq 0 $((4 * SHARDS - 1))); do
+    OUT="$(client "$(( (k % N) + 1 ))" sync-get "demo-key-$k")"
+    echo "$OUT" | grep -q "\"value\": \"demo-val-$k\"" \
+      || { echo "FAIL: demo-key-$k lost after full-cluster crash"; exit 1; }
+  done
+  client 1 storage | grep -q '"recovered": true' || { echo "FAIL: no shard reports recovery"; exit 1; }
+
+  say "SUCCESS: $N-node × $SHARDS-shard disk-backed cluster survived node kill, rejoin, and full-cluster crash via local WAL/snapshot replay"
+else
+  say "SUCCESS: $N-node × $SHARDS-shard cluster bootstrapped, survived a kill via delicate reconfiguration, and kept serving"
+fi
