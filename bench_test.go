@@ -14,6 +14,7 @@ import (
 
 	_ "repro/internal/experiments" // registers E1–E12
 	"repro/internal/experiments/engine"
+	"repro/internal/obs"
 )
 
 // benchExperiment runs every series of the registered experiment at size
@@ -55,3 +56,31 @@ func BenchmarkE9SharedMemory(b *testing.B)          { benchExperiment(b, "E9", 8
 func BenchmarkE10Ablation(b *testing.B)             { benchExperiment(b, "E10", 8) }
 func BenchmarkE11ShardScaling(b *testing.B)         { benchExperiment(b, "E11", 4) }
 func BenchmarkE12BatchScaling(b *testing.B)         { benchExperiment(b, "E12", 16) }
+
+// BenchmarkObsHotPath guards the observability overhead on the hot
+// path (DESIGN.md §13): one counter increment, one labeled-counter
+// add and one histogram observation per iteration — the per-operation
+// instrument mix on the write path — must run allocation-free. The
+// benchmark fails itself if any iteration allocated, so the CI run
+// (-benchtime 100x) is a hard 0 allocs/op gate, not just a report.
+func BenchmarkObsHotPath(b *testing.B) {
+	reg := obs.NewRegistry()
+	ops := reg.Counter("bench_ops_total", "Ops.", nil)
+	shardOps := reg.Counter("bench_shard_ops_total", "Sharded ops.", obs.Labels{"shard": "0"})
+	lat := reg.Histogram("bench_latency_seconds", "Latency.", nil, obs.DefLatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops.Inc()
+		shardOps.Add(3)
+		lat.Observe(0.004)
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(100, func() {
+		ops.Inc()
+		shardOps.Add(3)
+		lat.Observe(0.004)
+	}); allocs != 0 {
+		b.Fatalf("hot-path instruments allocated %.1f allocs/op, want 0", allocs)
+	}
+}

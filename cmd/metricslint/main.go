@@ -1,0 +1,84 @@
+// Command metricslint strict-parses a Prometheus text-exposition page
+// from stdin (internal/obs parser: HELP-before-TYPE ordering, no
+// duplicate series, well-formed cumulative histograms) and asserts the
+// metric families named as arguments are present. It is the CI lint
+// behind scripts/metrics_smoke.sh: curl a live noded's /metrics, pipe
+// it through here, and the job fails on any malformed exposition or
+// missing subsystem family.
+//
+// Usage:
+//
+//	curl -s $NODE/metrics | metricslint [-v] FAMILY[=nonzero]...
+//
+// A bare FAMILY must exist; FAMILY=nonzero must also have a nonzero
+// sample sum (for histograms, a nonzero observation count) — proof the
+// subsystem actually moved during the run, not just that it registered
+// its instruments. With no arguments the page is only parsed. -v lists
+// every family with its sample count and sum.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	fs := flag.NewFlagSet("metricslint", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "list every parsed family with sample count and sum")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	os.Exit(lint(os.Stdin, fs.Args(), *verbose, os.Stdout, os.Stderr))
+}
+
+// lint parses the page and checks the family assertions, returning the
+// process exit code.
+func lint(r io.Reader, asserts []string, verbose bool, out, errw io.Writer) int {
+	fams, err := obs.Parse(r)
+	if err != nil {
+		fmt.Fprintln(errw, "metricslint: exposition malformed:", err)
+		return 1
+	}
+	if verbose {
+		names := make([]string, 0, len(fams))
+		for name := range fams {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f := fams[name]
+			fmt.Fprintf(out, "%-44s %-9s samples=%-3d sum=%g\n",
+				name, f.Type, len(f.Samples), obs.SumFamily(f))
+		}
+	}
+
+	failed := 0
+	for _, arg := range asserts {
+		name, needNonzero := strings.CutSuffix(arg, "=nonzero")
+		f := fams[name]
+		switch {
+		case f == nil:
+			fmt.Fprintf(errw, "metricslint: FAIL family %s missing\n", name)
+			failed++
+		case needNonzero && obs.SumFamily(f) == 0:
+			fmt.Fprintf(errw, "metricslint: FAIL family %s present but all-zero\n", name)
+			failed++
+		default:
+			fmt.Fprintf(out, "ok: %s (sum %g)\n", name, obs.SumFamily(f))
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(errw, "metricslint: %d of %d assertions failed (of %d families parsed)\n",
+			failed, len(asserts), len(fams))
+		return 1
+	}
+	fmt.Fprintf(out, "metricslint: %d families parsed clean, %d assertions passed\n",
+		len(fams), len(asserts))
+	return 0
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+const goodPage = `# HELP repro_tcp_sent_total Messages sent.
+# TYPE repro_tcp_sent_total counter
+repro_tcp_sent_total 12
+# HELP repro_smr_pending_commands Pending commands.
+# TYPE repro_smr_pending_commands gauge
+repro_smr_pending_commands{shard="0"} 0
+`
+
+func TestLint(t *testing.T) {
+	cases := []struct {
+		name    string
+		page    string
+		asserts []string
+		want    int
+	}{
+		{"parse only", goodPage, nil, 0},
+		{"present", goodPage, []string{"repro_tcp_sent_total", "repro_smr_pending_commands"}, 0},
+		{"nonzero ok", goodPage, []string{"repro_tcp_sent_total=nonzero"}, 0},
+		{"nonzero fails on zero gauge", goodPage, []string{"repro_smr_pending_commands=nonzero"}, 1},
+		{"missing family", goodPage, []string{"repro_no_such_total"}, 1},
+		{"malformed page", "repro_x_total 1\n", nil, 1},
+		{"type before help", "# TYPE x counter\n# HELP x h\nx 1\n", nil, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := lint(strings.NewReader(c.page), c.asserts, false, io.Discard, io.Discard); got != c.want {
+				t.Errorf("lint = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestLintVerboseListsFamilies(t *testing.T) {
+	var out strings.Builder
+	if got := lint(strings.NewReader(goodPage), nil, true, &out, io.Discard); got != 0 {
+		t.Fatalf("lint = %d", got)
+	}
+	for _, want := range []string{"repro_tcp_sent_total", "repro_smr_pending_commands", "sum=12"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("verbose output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalink"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/recsa"
 	"repro/internal/regmem"
 	"repro/internal/shard"
@@ -43,6 +45,11 @@ type Daemon struct {
 	fsync    string
 	dataDir  string
 	snapBusy atomic.Bool
+	// Observability: the per-daemon metrics registry (served on
+	// GET /metrics), the HTTP instrumentation, and the pprof gate.
+	reg      *obs.Registry
+	httpReqs *httpInstruments
+	pprof    bool
 }
 
 // DaemonConfig carries everything NewDaemon needs beyond the transport
@@ -82,6 +89,10 @@ type DaemonConfig struct {
 	// Logf receives storage diagnostics (discarded-snapshot warnings,
 	// truncated-tail notices). Nil means silent.
 	Logf func(format string, a ...any)
+	// Pprof mounts the net/http/pprof handlers on the client API
+	// (api.PathPprof); off by default since the profiles expose
+	// internals.
+	Pprof bool
 }
 
 // NewDaemon builds and wires the stack: the sharded service stacks,
@@ -154,6 +165,8 @@ func NewDaemon(tr transport.Transport, self ids.ID, cfg DaemonConfig) (*Daemon, 
 	}) {
 		return nil, fmt.Errorf("noded: wiring node %v failed", self)
 	}
+	d.pprof = cfg.Pprof
+	d.initMetrics()
 	return d, nil
 }
 
@@ -601,7 +614,23 @@ func (d *Daemon) Handler() http.Handler {
 		api.WriteJSON(w, entries)
 	})
 
-	return envelopeFallbacks(mux)
+	// Operational endpoints outside the /v1 contract (documented in
+	// pkg/api): the Prometheus text page, and — only when enabled — the
+	// pprof profiles. /metrics bypasses the JSON envelope (its body is
+	// text exposition format by definition).
+	mux.HandleFunc("GET "+api.PathMetrics, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = d.reg.Render(w)
+	})
+	if d.pprof {
+		mux.HandleFunc(api.PathPprof, pprof.Index)
+		mux.HandleFunc(api.PathPprof+"cmdline", pprof.Cmdline)
+		mux.HandleFunc(api.PathPprof+"profile", pprof.Profile)
+		mux.HandleFunc(api.PathPprof+"symbol", pprof.Symbol)
+		mux.HandleFunc(api.PathPprof+"trace", pprof.Trace)
+	}
+
+	return d.httpReqs.instrument(envelopeFallbacks(mux))
 }
 
 // envelopeFallbacks wraps the mux so its built-in plain-text 404/405

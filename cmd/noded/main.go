@@ -10,7 +10,16 @@
 //	noded -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102,..." \
 //	      -http 127.0.0.1:8101 [-members 1,2,3] [-seed 1] [-shards 4] \
 //	      [-batch 16] [-wire-version 2] [-loss 0.02] [-dup 0.01] [-tick 2ms] \
-//	      [-data-dir /var/lib/noded-1] [-fsync always|snapshot] [-snap-every 1024]
+//	      [-data-dir /var/lib/noded-1] [-fsync always|snapshot] [-snap-every 1024] \
+//	      [-log-level info] [-log-format text|json] [-pprof]
+//
+// Observability: the HTTP listener always serves GET /metrics
+// (Prometheus text exposition format, every subsystem instrumented —
+// see DESIGN.md §13) and, with -pprof, the net/http/pprof profiles
+// under /debug/pprof/. Logs are structured (log/slog) with a component
+// tag per subsystem; -log-level sets the threshold and -log-format
+// picks text or JSON encoding. Startup logs one line with the node's
+// full effective configuration, shutdown one line with the reason.
 //
 // With -data-dir each shard keeps a per-shard write-ahead log and
 // compacted snapshots under the directory and recovers its registers
@@ -68,6 +77,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/transport/tcp"
@@ -110,8 +120,19 @@ func runDaemon(args []string) error {
 		fsyncStr = fs.String("fsync", "always", `disk durability policy: "always" (fsync per append) or "snapshot" (fsync only at snapshots)`)
 		snapEv   = fs.Uint64("snap-every", 1024, "compact the WAL into a snapshot every N records (0 = only on demand)")
 		verbose  = fs.Bool("v", false, "log transport diagnostics")
+		logLevel = fs.String("log-level", "info", `log threshold: "debug", "info", "warn" or "error"`)
+		logFmt   = fs.String("log-format", "text", `log encoding: "text" or "json"`)
+		pprofOn  = fs.Bool("pprof", false, "serve net/http/pprof profiles on the client API under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFmt)
+	if err != nil {
 		return err
 	}
 	book, err := parsePeers(*peers)
@@ -143,7 +164,8 @@ func runDaemon(args []string) error {
 		// Batches collapse to their freshest payload on a <= 2 stream;
 		// commands still flow (they ride inside the freshest envelope),
 		// so this degrades throughput rather than correctness — warn.
-		fmt.Fprintf(os.Stderr, "noded: warning: -batch %d with -wire-version %d — outbound batches collapse to their freshest payload; prefer -batch 1 during mixed-version operation\n", *batch, *wireVer)
+		logger.Warn("outbound batches collapse to their freshest payload; prefer -batch 1 during mixed-version operation",
+			"batch", *batch, "wire_version", *wireVer)
 	}
 	cfg := tcp.Config{
 		Addrs: book,
@@ -159,10 +181,12 @@ func runDaemon(args []string) error {
 		},
 		WireVersion: byte(*wireVer),
 	}
+	// Transport diagnostics flow through the structured logger: always
+	// at debug (visible with -log-level debug), promoted to info by -v.
+	tcpLog := obs.Component(logger, "tcp")
+	cfg.Logf = func(format string, a ...any) { tcpLog.Debug(fmt.Sprintf(format, a...)) }
 	if *verbose {
-		cfg.Logf = func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "noded[%v] "+format+"\n", append([]any{self}, a...)...)
-		}
+		cfg.Logf = func(format string, a ...any) { tcpLog.Info(fmt.Sprintf(format, a...)) }
 	}
 	tr := tcp.New(cfg)
 	defer tr.Close()
@@ -182,6 +206,7 @@ func runDaemon(args []string) error {
 	if !ok {
 		return fmt.Errorf(`-fsync %q: want "always" or "snapshot"`, *fsyncStr)
 	}
+	storLog := obs.Component(logger, "storage")
 	dcfg := DaemonConfig{
 		Peers:     bookIDs(book),
 		Members:   initial,
@@ -192,25 +217,37 @@ func runDaemon(args []string) error {
 		DataDir:   *dataDir,
 		Fsync:     fsync,
 		SnapEvery: *snapEv,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "noded[%v] "+format+"\n", append([]any{self}, a...)...)
-		},
+		Pprof:     *pprofOn,
+		Logf:      func(format string, a ...any) { storLog.Warn(fmt.Sprintf(format, a...)) },
 	}
 	d, err := NewDaemon(tr, self, dcfg)
 	if err != nil {
+		logger.Error("bootstrap failed", "id", int(self), "err", err)
 		return err
 	}
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
+		logger.Error("client API listen failed", "id", int(self), "addr", *httpAddr, "err", err)
 		return fmt.Errorf("client API listen: %w", err)
 	}
-	durable := "none"
-	if *dataDir != "" {
-		durable = fmt.Sprintf("%s (fsync=%s, snap-every=%d)", *dataDir, fsync, *snapEv)
+	effWire := *wireVer
+	if effWire == 0 {
+		effWire = wire.Version
 	}
-	fmt.Printf("noded: id=%v transport=%s http=%s members=%v shards=%d batch=%d storage=%s\n",
-		self, book[self], ln.Addr(), initial, *shards, *batch, durable)
+	logger.Info("noded started",
+		"id", int(self),
+		"transport", book[self],
+		"http", ln.Addr().String(),
+		"members", setInts(initial),
+		"shards", *shards,
+		"batch", *batch,
+		"wire_version", effWire,
+		"data_dir", *dataDir,
+		"fsync", fsync.String(),
+		"snap_every", *snapEv,
+		"pprof", *pprofOn,
+	)
 	srv := &http.Server{Handler: d.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -219,10 +256,11 @@ func runDaemon(args []string) error {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Printf("noded: id=%v shutting down (%v)\n", self, sig)
+		logger.Info("noded shutting down", "id", int(self), "reason", sig.String())
 		srv.Close()
 		return nil
 	case err := <-errc:
+		logger.Error("noded shutting down", "id", int(self), "reason", err.Error())
 		return err
 	}
 }

@@ -19,6 +19,12 @@
 // is built from shard.NamesPerShard so every shard receives traffic,
 // and the shared client routes each key's requests to the shard's
 // preferred endpoint — the client-side shard-aware connection pool.
+//
+// At end of run nodeload scrapes each endpoint's /metrics page,
+// strict-parses it, and folds the summed server-side counters (shard
+// ops, vs rounds, datalink cycles, tcp frames, storage appends, http
+// requests) into the same report as server.* series, so one artifact
+// correlates client-observed latency with cluster internals.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -36,7 +43,9 @@ import (
 	"time"
 
 	"repro/internal/experiments/engine"
+	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/pkg/api"
 	"repro/pkg/client"
 )
 
@@ -63,7 +72,8 @@ func main() {
 	fmt.Fprintf(os.Stderr, "nodeload: %d clients × %v against %d endpoint(s), write ratio %.2f, %d shard(s), %d key(s)\n",
 		cfg.clients, cfg.duration, len(cfg.addrs), cfg.ratio, cfg.shards, cfg.keys*cfg.shards)
 	res := drive(ctx, c, cfg)
-	rep := buildReport(cfg, res)
+	srv := scrapeCluster(cfg)
+	rep := buildReport(cfg, res, srv)
 	if err := emit(rep, cfg.format, cfg.out); err != nil {
 		fatal(err)
 	}
@@ -261,7 +271,7 @@ func percentile(sorted []float64, p float64) float64 {
 // buildReport folds the measurements into an engine.Report so the
 // existing emitters (table for humans, CSV/JSON for tooling and CI)
 // render it; N is the client count, the report's natural x-axis.
-func buildReport(cfg config, res result) *engine.Report {
+func buildReport(cfg config, res result, srv *serverCounters) *engine.Report {
 	secs := res.elapsed.Seconds()
 	if secs <= 0 {
 		secs = 1e-9
@@ -295,7 +305,77 @@ func buildReport(cfg config, res result) *engine.Report {
 	class("sync-read", res.sread)
 	total := res.write.ops + res.sread.ops
 	add("total.throughput_ops_s", "ops/s", float64(total)/secs, total > 0, "")
+	// Server-side counters from the end-of-run /metrics scrape, summed
+	// across endpoints, so one report correlates client-observed
+	// latency with what the cluster internally did during the run.
+	if srv != nil {
+		srvNote := fmt.Sprintf("summed over %d/%d scraped endpoint(s)", srv.scraped, len(cfg.addrs))
+		for _, m := range serverMetrics {
+			add("server."+m.series, m.metric, srv.totals[m.family], srv.scraped > 0, srvNote)
+			srvNote = ""
+		}
+	}
 	return rep
+}
+
+// serverMetrics are the /metrics families folded into the report.
+var serverMetrics = []struct {
+	series, metric, family string
+}{
+	{"shard_ops", "count", "repro_shard_ops_total"},
+	{"vs_rounds", "count", "repro_vs_rounds_applied_total"},
+	{"vs_view_changes", "count", "repro_vs_views_installed_total"},
+	{"datalink_cycles", "count", "repro_datalink_cycles_total"},
+	{"datalink_batches", "count", "repro_datalink_batches_total"},
+	{"tcp_conn_writes", "count", "repro_tcp_conn_writes_total"},
+	{"tcp_frames_written", "count", "repro_tcp_frames_written_total"},
+	{"tcp_redials", "count", "repro_tcp_redials_total"},
+	{"storage_appends", "count", "repro_storage_appends_total"},
+	{"storage_snapshots", "count", "repro_storage_snapshots_total"},
+	{"http_requests", "count", "repro_http_requests_total"},
+}
+
+// serverCounters aggregates the cluster's scraped counter families.
+type serverCounters struct {
+	totals  map[string]float64
+	scraped int
+}
+
+// scrapeCluster pulls every endpoint's /metrics page once the load is
+// done, strict-parses each, and sums the folded families. A node that
+// fails to scrape (old binary, crashed during the run) is skipped with
+// a warning — the client-side report must still come out.
+func scrapeCluster(cfg config) *serverCounters {
+	out := &serverCounters{totals: make(map[string]float64)}
+	hc := &http.Client{Timeout: cfg.timeout}
+	for _, a := range cfg.addrs {
+		fams, err := scrapeOne(hc, a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nodeload: warning: scrape %s/metrics: %v (skipping)\n", a, err)
+			continue
+		}
+		out.scraped++
+		for _, m := range serverMetrics {
+			out.totals[m.family] += obs.SumFamily(fams[m.family])
+		}
+	}
+	return out
+}
+
+func scrapeOne(hc *http.Client, base string) (map[string]*obs.Family, error) {
+	resp, err := hc.Get(strings.TrimRight(base, "/") + api.PathMetrics)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	fams, err := obs.Parse(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return fams, nil
 }
 
 func b2i(b bool) int {

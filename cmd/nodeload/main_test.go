@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -97,7 +99,7 @@ func TestDriveMixedWorkload(t *testing.T) {
 		}
 	}
 
-	rep := buildReport(cfg, res)
+	rep := buildReport(cfg, res, nil)
 	series := map[string]float64{}
 	valid := map[string]bool{}
 	for _, s := range rep.Summary {
@@ -127,12 +129,63 @@ func TestDriveMixedWorkload(t *testing.T) {
 	}
 }
 
+// TestScrapeClusterFoldIn: scrapeCluster sums counter families across
+// endpoints, tolerates an endpoint without /metrics, and buildReport
+// folds the totals in as server.* series.
+func TestScrapeClusterFoldIn(t *testing.T) {
+	page := "# HELP repro_shard_ops_total Operations routed per shard.\n" +
+		"# TYPE repro_shard_ops_total counter\n" +
+		"repro_shard_ops_total{op=\"write\",shard=\"0\"} 3\n" +
+		"repro_shard_ops_total{op=\"read\",shard=\"1\"} 2\n" +
+		"# HELP repro_http_requests_total HTTP requests served.\n" +
+		"# TYPE repro_http_requests_total counter\n" +
+		"repro_http_requests_total{code=\"200\",route=\"registers\"} 7\n"
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, page)
+	}))
+	defer good.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	defer dead.Close()
+
+	cfg := config{
+		addrs:   []string{good.URL, good.URL, dead.URL},
+		clients: 1, seed: 1, timeout: 2 * time.Second,
+	}
+	srv := scrapeCluster(cfg)
+	if srv.scraped != 2 {
+		t.Fatalf("scraped = %d, want 2 (dead endpoint skipped)", srv.scraped)
+	}
+	if got := srv.totals["repro_shard_ops_total"]; got != 10 {
+		t.Errorf("shard ops total = %g, want 10 (5 per good endpoint)", got)
+	}
+	if got := srv.totals["repro_http_requests_total"]; got != 14 {
+		t.Errorf("http requests total = %g, want 14", got)
+	}
+
+	rep := buildReport(cfg, result{elapsed: time.Second, write: classStats{ops: 1, latMS: []float64{1}}}, srv)
+	series := map[string]float64{}
+	for _, s := range rep.Summary {
+		series[s.Series] = s.Mean
+	}
+	if series["server.shard_ops"] != 10 || series["server.http_requests"] != 14 {
+		t.Errorf("server series not folded in: %v / %v",
+			series["server.shard_ops"], series["server.http_requests"])
+	}
+	if _, ok := series["server.storage_appends"]; !ok {
+		t.Error("absent family should still emit a zero-valued server row")
+	}
+}
+
 // TestBuildReportEmptyRun: a run that completed nothing marks its
 // percentile and throughput rows invalid instead of fabricating zeros
 // as valid measurements.
 func TestBuildReportEmptyRun(t *testing.T) {
 	cfg := config{clients: 2, seed: 1, ratio: 1, shards: 1, addrs: []string{"x"}}
-	rep := buildReport(cfg, result{elapsed: time.Second, write: classStats{errs: 5}})
+	rep := buildReport(cfg, result{elapsed: time.Second, write: classStats{errs: 5}}, nil)
 	for _, s := range rep.Summary {
 		switch {
 		case strings.HasSuffix(s.Series, ".errors"):

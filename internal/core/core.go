@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/datalink"
 	"repro/internal/fd"
@@ -130,7 +131,8 @@ type Node struct {
 	// the legacy pull-only path is preserved bit-for-bit.
 	batching bool
 
-	ticks uint64
+	// ticks is atomic: /metrics reads it live while the node runs.
+	ticks atomic.Uint64
 }
 
 // NewNode constructs a node attached to the transport. The caller must
@@ -198,8 +200,9 @@ func NewNode(net Transport, p Params) (*Node, error) {
 // Self returns the node's identifier.
 func (n *Node) Self() ids.ID { return n.self }
 
-// Ticks returns the number of timer ticks executed.
-func (n *Node) Ticks() uint64 { return n.ticks }
+// Ticks returns the number of timer ticks executed. Safe to call
+// concurrently with the node's own execution.
+func (n *Node) Ticks() uint64 { return n.ticks.Load() }
 
 // Connect establishes the data link toward a peer.
 func (n *Node) Connect(peer ids.ID) { n.Endpoint.Connect(peer) }
@@ -237,7 +240,7 @@ func (n *Node) NumShards() int { return len(n.apps) }
 // Tick is the node's periodic timer body: step every layer, snapshot the
 // outgoing envelopes, then drive the data link.
 func (n *Node) Tick() {
-	n.ticks++
+	n.ticks.Add(1)
 	n.SA.Step()
 	n.maMsg = n.MA.Step(n.SA.PeerPart)
 	n.joinTargets = n.Joiner.Step(n.Trusted())

@@ -47,6 +47,8 @@ package datalink
 import (
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ids"
 )
@@ -164,11 +166,26 @@ type peer struct {
 // Endpoint is one processor's data-link multiplexer over all its peers.
 // It is a pure step machine: the owner invokes Tick and HandlePacket, and
 // the endpoint calls back through the injected functions.
+//
+// Concurrency: protocol steps run in the owner's single execution
+// context, but observability readers (a /metrics scrape, a load tool)
+// poll Stats, QueueLen and QueuedTotal from other goroutines while the
+// owner ticks. A mutex guards the peer table and queues; the event
+// counters are atomics read lock-free. Callbacks (send, deliver,
+// heartbeat, source) are invoked with the mutex held and must not
+// re-enter the endpoint — the stack satisfies this by construction:
+// every Endpoint call in core.Node is a top-level step, never nested
+// inside a callback.
 type Endpoint struct {
-	self  ids.ID
-	opts  Options
-	rng   *rand.Rand
+	self ids.ID
+	opts Options
+	rng  *rand.Rand
+
+	mu    sync.Mutex // guards peers and all per-peer protocol state
 	peers map[ids.ID]*peer
+	// queued tracks the total outbound-queue depth across links for the
+	// queue-depth gauge, maintained alongside every queue mutation.
+	queued atomic.Int64
 
 	// send transmits a raw packet through the (unreliable) network.
 	send func(to ids.ID, pkt Packet)
@@ -181,10 +198,24 @@ type Endpoint struct {
 	// (an empty token is still exchanged, so heartbeats keep flowing).
 	source func(to ids.ID) any
 
-	stats Stats
+	stats statsCounters
 }
 
-// Stats counts link-level events for the benchmarks.
+// statsCounters are the live event counters, atomic so a concurrent
+// /metrics scrape reads them without taking the endpoint mutex.
+type statsCounters struct {
+	cleanings     atomic.Uint64
+	cyclesDone    atomic.Uint64
+	delivered     atomic.Uint64
+	staleIgnored  atomic.Uint64
+	timeoutsReset atomic.Uint64
+	batches       atomic.Uint64
+	batchPayloads atomic.Uint64
+	queueEvicted  atomic.Uint64
+}
+
+// Stats is a snapshot of the endpoint's link-level event counters, used
+// by the benchmarks and exported (via counter views) on /metrics.
 type Stats struct {
 	Cleanings     uint64
 	CyclesDone    uint64
@@ -249,8 +280,25 @@ func NewEndpoint(cfg Config) *Endpoint {
 	return e
 }
 
-// Stats returns a copy of the endpoint counters.
-func (e *Endpoint) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the endpoint counters. It is safe to call
+// concurrently with protocol steps (each field is an atomic read; the
+// snapshot is per-field consistent, not cross-field).
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		Cleanings:     e.stats.cleanings.Load(),
+		CyclesDone:    e.stats.cyclesDone.Load(),
+		Delivered:     e.stats.delivered.Load(),
+		StaleIgnored:  e.stats.staleIgnored.Load(),
+		TimeoutsReset: e.stats.timeoutsReset.Load(),
+		Batches:       e.stats.batches.Load(),
+		BatchPayloads: e.stats.batchPayloads.Load(),
+		QueueEvicted:  e.stats.queueEvicted.Load(),
+	}
+}
+
+// QueuedTotal returns the total outbound-queue depth across all links
+// (the /metrics queue-depth gauge), without taking the endpoint mutex.
+func (e *Endpoint) QueuedTotal() int64 { return e.queued.Load() }
 
 // MaxBatch returns the configured payload bound per DATA packet.
 func (e *Endpoint) MaxBatch() int { return e.opts.MaxBatch }
@@ -265,20 +313,27 @@ func (e *Endpoint) batched() bool { return e.opts.MaxBatch > 1 }
 // themselves on QueueLen). It reports false for unknown peers and nil
 // payloads.
 func (e *Endpoint) Enqueue(to ids.ID, payload any) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	p, ok := e.peers[to]
 	if !ok || payload == nil {
 		return false
 	}
 	if len(p.queue) >= e.opts.MaxBatch {
 		p.queue = p.queue[1:]
-		e.stats.QueueEvicted++
+		e.queued.Add(-1)
+		e.stats.queueEvicted.Add(1)
 	}
 	p.queue = append(p.queue, payload)
+	e.queued.Add(1)
 	return true
 }
 
-// QueueLen returns the number of payloads queued toward a peer.
+// QueueLen returns the number of payloads queued toward a peer. Safe to
+// call concurrently with protocol steps.
 func (e *Endpoint) QueueLen(to ids.ID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if p, ok := e.peers[to]; ok {
 		return len(p.queue)
 	}
@@ -287,6 +342,8 @@ func (e *Endpoint) QueueLen(to ids.ID) int {
 
 // Peers returns the identifiers of all known peers.
 func (e *Endpoint) Peers() ids.Set {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := ids.Set{}
 	for id := range e.peers {
 		out = out.Add(id)
@@ -301,6 +358,8 @@ func (e *Endpoint) Connect(to ids.ID) {
 	if to == e.self || !to.Valid() {
 		return
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, ok := e.peers[to]; ok {
 		return
 	}
@@ -311,7 +370,14 @@ func (e *Endpoint) Connect(to ids.ID) {
 
 // Disconnect forgets a peer entirely (used when the failure detector has
 // permanently given up on it, to bound state).
-func (e *Endpoint) Disconnect(to ids.ID) { delete(e.peers, to) }
+func (e *Endpoint) Disconnect(to ids.ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.peers[to]; ok {
+		e.queued.Add(-int64(len(p.queue)))
+		delete(e.peers, to)
+	}
+}
 
 func (e *Endpoint) startClean(p *peer) {
 	p.state = senderCleaning
@@ -321,7 +387,7 @@ func (e *Endpoint) startClean(p *peer) {
 	p.curValid = false
 	p.acks = 0
 	p.stale = 0
-	e.stats.Cleanings++
+	e.stats.cleanings.Add(1)
 }
 
 func (e *Endpoint) nonce() uint64 {
@@ -335,6 +401,8 @@ func (e *Endpoint) nonce() uint64 {
 // (map order would make same-seed simulations diverge across runs); the
 // owner calls it on its periodic timer.
 func (e *Endpoint) Tick() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	order := make([]ids.ID, 0, len(e.peers))
 	for to := range e.peers {
 		order = append(order, to)
@@ -363,7 +431,7 @@ func (e *Endpoint) tickPeer(to ids.ID, p *peer) {
 	}
 	p.stale++
 	if p.stale > e.opts.StaleTicks {
-		e.stats.TimeoutsReset++
+		e.stats.timeoutsReset.Add(1)
 		e.startClean(p)
 	}
 }
@@ -383,11 +451,13 @@ func (e *Endpoint) nextPayload(to ids.ID, p *peer) (any, []any) {
 	if k == 1 {
 		single := p.queue[0]
 		p.queue = p.queue[1:]
+		e.queued.Add(-1)
 		return single, nil
 	}
 	batch := make([]any, k)
 	copy(batch, p.queue[:k])
 	p.queue = append([]any(nil), p.queue[k:]...)
+	e.queued.Add(-int64(k))
 	return nil, batch
 }
 
@@ -398,6 +468,8 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 	if from == e.self || !from.Valid() {
 		return
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	p, ok := e.peers[from]
 	if !ok {
 		p = &peer{}
@@ -450,7 +522,7 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 		e.send(from, Packet{Kind: KindCleanAck, Session: pkt.Session})
 	case KindCleanAck:
 		if p.state != senderCleaning || pkt.Session != p.session {
-			e.stats.StaleIgnored++
+			e.stats.staleIgnored.Add(1)
 			return
 		}
 		p.cleanAcks++
@@ -466,7 +538,7 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 		if !p.rxSessionValid || pkt.Session != p.rxSession {
 			// Stale or unknown incarnation: ignore. The sender's
 			// progress timeout will re-clean the link.
-			e.stats.StaleIgnored++
+			e.stats.staleIgnored.Add(1)
 			return
 		}
 		if e.batched() {
@@ -488,7 +560,7 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 			case pkt.Seq == p.rxSeq:
 				e.send(from, Packet{Kind: KindAck, Session: pkt.Session, Seq: pkt.Seq})
 			default:
-				e.stats.StaleIgnored++
+				e.stats.staleIgnored.Add(1)
 			}
 			return
 		}
@@ -500,16 +572,16 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 		}
 	case KindAck:
 		if p.state != senderSteady || pkt.Session != p.session || pkt.Seq != p.seq || !p.curValid {
-			e.stats.StaleIgnored++
+			e.stats.staleIgnored.Add(1)
 			return
 		}
 		p.acks++
 		p.stale = 0
 		if p.acks >= e.opts.AckThreshold {
 			// Token returned: cycle complete.
-			e.stats.CyclesDone++
+			e.stats.cyclesDone.Add(1)
 			if len(p.curBatch) > 0 {
-				e.stats.Batches++
+				e.stats.batches.Add(1)
 			}
 			if e.batched() {
 				p.seq++ // cumulative mod-256 label
@@ -522,7 +594,7 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 			e.heartbeat(from)
 		}
 	default:
-		e.stats.StaleIgnored++
+		e.stats.staleIgnored.Add(1)
 	}
 }
 
@@ -534,14 +606,14 @@ func (e *Endpoint) deliverData(from ids.ID, pkt Packet) {
 			if payload == nil {
 				continue
 			}
-			e.stats.Delivered++
-			e.stats.BatchPayloads++
+			e.stats.delivered.Add(1)
+			e.stats.batchPayloads.Add(1)
 			e.deliver(from, payload)
 		}
 		return
 	}
 	if pkt.Payload != nil {
-		e.stats.Delivered++
+		e.stats.delivered.Add(1)
 		e.deliver(from, pkt.Payload)
 	}
 }

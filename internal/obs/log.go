@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging setup shared by the daemons: one slog.Logger per
+// process, text or JSON handler, and per-subsystem component tags so a
+// grep for component=datalink isolates one layer of a noisy node.
+
+// ParseLevel maps the -log-level flag values onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf(`log level %q: want "debug", "info", "warn" or "error"`, s)
+}
+
+// NewLogger builds the process logger writing to w. format is "text"
+// (logfmt-style, the default) or "json" (one object per line, for log
+// shippers).
+func NewLogger(w io.Writer, level slog.Level, format string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf(`log format %q: want "text" or "json"`, format)
+}
+
+// Component returns a child logger tagged with component=name; every
+// subsystem logs through its own component logger. A nil parent yields
+// a logger that discards everything, so call sites never nil-check.
+func Component(l *slog.Logger, name string) *slog.Logger {
+	if l == nil {
+		return slog.New(discardHandler{})
+	}
+	return l.With(slog.String("component", name))
+}
+
+// discardHandler drops every record.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, slog.LevelInfo, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Component(l, "datalink").Info("hello", "queue", 3)
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatalf("json log line invalid: %v: %q", err, buf.String())
+	}
+	if obj["component"] != "datalink" || obj["msg"] != "hello" {
+		t.Fatalf("json line missing fields: %v", obj)
+	}
+
+	buf.Reset()
+	l, err = NewLogger(&buf, slog.LevelWarn, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Fatalf("level filtering wrong: %q", out)
+	}
+
+	if _, err := NewLogger(&buf, slog.LevelInfo, "xml"); err == nil {
+		t.Error("NewLogger accepted bad format")
+	}
+}
+
+func TestComponentNilParent(t *testing.T) {
+	l := Component(nil, "anything")
+	l.Info("must not panic") // and must not write anywhere
+}

@@ -1,0 +1,403 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the strict side of the exposition contract: a parser for
+// the Prometheus text format that refuses anything the renderer should
+// never produce. Tests round-trip Render through Parse, and CI pipes a
+// live node's /metrics page through it (cmd/metricslint), so a
+// formatting regression fails fast instead of silently breaking
+// scrapers.
+
+// Sample is one parsed series: the sample name (which for histograms
+// includes the _bucket/_sum/_count suffix), its sorted label pairs, and
+// the value.
+type Sample struct {
+	Name   string
+	Labels Labels
+	Value  float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Parse reads a complete Prometheus text exposition page and returns
+// its families keyed by name. It is strict: every sample must follow
+// its family's # TYPE line, HELP (when present) must precede TYPE,
+// names and labels must be well-formed, duplicate series are an error,
+// and histogram families must consist of cumulative _bucket samples
+// (ending in le="+Inf") plus exactly one _sum and one _count per label
+// set, with the +Inf bucket equal to _count.
+func Parse(r io.Reader) (map[string]*Family, error) {
+	fams := make(map[string]*Family)
+	var cur *Family
+	helps := make(map[string]string)
+	seen := make(map[string]bool) // duplicate-series detection: "name{labels}"
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			switch kind {
+			case "HELP":
+				if _, dup := helps[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				if _, typed := fams[name]; typed {
+					return nil, fmt.Errorf("line %d: HELP for %s after its TYPE", lineNo, name)
+				}
+				helps[name] = unescapeHelp(rest)
+			case "TYPE":
+				if rest != TypeCounter && rest != TypeGauge && rest != TypeHistogram {
+					return nil, fmt.Errorf("line %d: unsupported type %q for %s", lineNo, rest, name)
+				}
+				if _, dup := fams[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				cur = &Family{Name: name, Type: rest, Help: helps[name]}
+				fams[name] = cur
+			default:
+				// Arbitrary comments are legal in the format; the
+				// renderer never writes them but a scrape target is
+				// allowed to.
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		// A sample must belong to the most recent TYPE: the bare name
+		// for counters and gauges, or one of the three histogram
+		// suffixes of it.
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, s.Name)
+		}
+		f := cur
+		switch {
+		case f.Type == TypeHistogram &&
+			(s.Name == f.Name+"_bucket" || s.Name == f.Name+"_sum" || s.Name == f.Name+"_count"):
+		case f.Type != TypeHistogram && s.Name == f.Name:
+		default:
+			return nil, fmt.Errorf("line %d: sample %s does not belong to current family %s (%s)",
+				lineNo, s.Name, f.Name, f.Type)
+		}
+		if f.Type == TypeHistogram && s.Name == f.Name+"_bucket" {
+			if _, ok := s.Labels["le"]; !ok {
+				return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for name := range helps {
+		if _, ok := fams[name]; !ok {
+			return nil, fmt.Errorf("HELP for %s without TYPE", name)
+		}
+	}
+	for _, f := range fams {
+		if f.Type == TypeHistogram {
+			if err := checkHistogram(f); err != nil {
+				return nil, fmt.Errorf("family %s: %w", f.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	kind, tail, _ := strings.Cut(body, " ")
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", nil
+	}
+	name, rest, ok := strings.Cut(tail, " ")
+	if kind == "TYPE" && !ok {
+		return "", "", "", fmt.Errorf("malformed %s line", kind)
+	}
+	if !nameRe.MatchString(name) {
+		return "", "", "", fmt.Errorf("%s for invalid metric name %q", kind, name)
+	}
+	return kind, name, rest, nil
+}
+
+func unescapeHelp(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// parseSample parses `name{k="v",...} value` (labels optional).
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !nameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		labels, tail, err := parseLabelBlock(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		// An optional timestamp is the only thing allowed after the
+		// value; the renderer writes none.
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(tok, 64)
+}
+
+// parseLabelBlock parses `{k="v",...}` honoring \\ \" \n escapes, and
+// returns the remaining tail of the line.
+func parseLabelBlock(s string) (Labels, string, error) {
+	labels := Labels{}
+	i := 1 // past '{'
+	for {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		key := strings.TrimSpace(s[i:j])
+		if !labelRe.MatchString(key) {
+			return nil, "", fmt.Errorf("invalid label name %q", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", key)
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %q: value not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("label %q: dangling escape", key)
+				}
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return nil, "", fmt.Errorf("label %q: bad escape \\%c", key, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(s[i])
+			i++
+		}
+		if i >= len(s) {
+			return nil, "", fmt.Errorf("label %q: unterminated value", key)
+		}
+		labels[key] = val.String()
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		return nil, "", fmt.Errorf("expected ',' or '}' after label %q", key)
+	}
+}
+
+func seriesKey(s Sample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkHistogram validates each label set of a histogram family:
+// buckets cumulative and sorted by le, last bucket le="+Inf", exactly
+// one _sum and one _count, and count equal to the +Inf bucket.
+func checkHistogram(f *Family) error {
+	type group struct {
+		les     []float64
+		cum     []float64
+		sum     *float64
+		count   *float64
+		infSeen bool
+	}
+	groups := make(map[string]*group)
+	gkey := func(labels Labels) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k == "le" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	for _, s := range f.Samples {
+		g := groups[gkey(s.Labels)]
+		if g == nil {
+			g = &group{}
+			groups[gkey(s.Labels)] = g
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("bad le %q", s.Labels["le"])
+			}
+			g.les = append(g.les, le)
+			g.cum = append(g.cum, s.Value)
+			if math.IsInf(le, +1) {
+				g.infSeen = true
+			}
+		case f.Name + "_sum":
+			v := s.Value
+			g.sum = &v
+		case f.Name + "_count":
+			v := s.Value
+			g.count = &v
+		}
+	}
+	for key, g := range groups {
+		if !g.infSeen {
+			return fmt.Errorf("series {%s}: no le=\"+Inf\" bucket", key)
+		}
+		if g.sum == nil || g.count == nil {
+			return fmt.Errorf("series {%s}: missing _sum or _count", key)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("series {%s}: le bounds not increasing", key)
+			}
+			if g.cum[i] < g.cum[i-1] {
+				return fmt.Errorf("series {%s}: bucket counts not cumulative", key)
+			}
+		}
+		if g.cum[len(g.cum)-1] != *g.count {
+			return fmt.Errorf("series {%s}: +Inf bucket %v != count %v", key, g.cum[len(g.cum)-1], *g.count)
+		}
+	}
+	return nil
+}
+
+// SumFamily adds up a family's sample values; for histograms it sums
+// the _count samples. nodeload uses it to fold per-endpoint scrapes
+// into cluster-wide totals.
+func SumFamily(f *Family) float64 {
+	if f == nil {
+		return 0
+	}
+	total := 0.0
+	for _, s := range f.Samples {
+		if f.Type == TypeHistogram {
+			if s.Name == f.Name+"_count" {
+				total += s.Value
+			}
+			continue
+		}
+		total += s.Value
+	}
+	return total
+}

@@ -14,6 +14,7 @@ package regmem
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ids"
@@ -188,6 +189,10 @@ type SharedMemory struct {
 	store     storage.Backend
 	snapEvery uint64
 	snapDue   bool
+	// onSnapshot, when set, observes every snapshot save (duration and
+	// outcome) for the observability layer. The clock is read only when
+	// the hook is installed, so simulations without it stay untouched.
+	onSnapshot func(d time.Duration, err error)
 }
 
 var _ core.App = (*SharedMemory)(nil)

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/storage"
 	"repro/internal/vs"
@@ -140,6 +141,18 @@ func (s *SharedMemory) maybeSnapshot() {
 }
 
 func (s *SharedMemory) saveSnapshot() error {
+	var start time.Time
+	if s.onSnapshot != nil {
+		start = time.Now()
+	}
+	err := s.saveSnapshotInner()
+	if s.onSnapshot != nil {
+		s.onSnapshot(time.Since(start), err)
+	}
+	return err
+}
+
+func (s *SharedMemory) saveSnapshotInner() error {
 	data, err := encodeGob(asState(s.mgr.Replica().State).snapshot())
 	if err != nil {
 		return fmt.Errorf("regmem: encode snapshot: %w", err)
@@ -149,6 +162,13 @@ func (s *SharedMemory) saveSnapshot() error {
 	}
 	s.snapDue = false
 	return nil
+}
+
+// ObserveSnapshots installs fn as the snapshot observer: it receives
+// every snapshot save's duration and outcome. Install at wiring time
+// (before the node ticks); the clock is never read without an observer.
+func (s *SharedMemory) ObserveSnapshots(fn func(d time.Duration, err error)) {
+	s.onSnapshot = fn
 }
 
 // ForceSnapshot saves a compacted snapshot now (the admin API's

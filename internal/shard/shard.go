@@ -13,6 +13,7 @@ package shard
 import (
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ids"
@@ -63,6 +64,23 @@ func NamesPerShard(n, per int) [][]string {
 type Map struct {
 	self ids.ID
 	mems []*regmem.SharedMemory
+	// ops are the per-shard routed-operation counters (atomic — read
+	// live by /metrics while the HTTP layer routes).
+	ops []opCounters
+}
+
+// opCounters counts one shard's routed register operations.
+type opCounters struct {
+	writes    atomic.Uint64
+	reads     atomic.Uint64
+	syncReads atomic.Uint64
+}
+
+// OpStats is a snapshot of one shard's routed-operation counters.
+type OpStats struct {
+	Writes    uint64
+	Reads     uint64
+	SyncReads uint64
 }
 
 // New builds a processor's shard map with n stacks (n < 1 is raised to
@@ -72,11 +90,24 @@ func New(self ids.ID, n int, eval vs.EvalConf) *Map {
 	if n < 1 {
 		n = 1
 	}
-	m := &Map{self: self, mems: make([]*regmem.SharedMemory, n)}
+	m := &Map{self: self, mems: make([]*regmem.SharedMemory, n), ops: make([]opCounters, n)}
 	for i := range m.mems {
 		m.mems[i] = regmem.New(self, eval)
 	}
 	return m
+}
+
+// OpStats returns a snapshot of shard i's routed-operation counters
+// (zero for out-of-range i). Safe to call concurrently with routing.
+func (m *Map) OpStats(i int) OpStats {
+	if i < 0 || i >= len(m.ops) {
+		return OpStats{}
+	}
+	return OpStats{
+		Writes:    m.ops[i].writes.Load(),
+		Reads:     m.ops[i].reads.Load(),
+		SyncReads: m.ops[i].syncReads.Load(),
+	}
 }
 
 // N returns the shard count.
@@ -117,12 +148,14 @@ func (m *Map) For(name string) (*regmem.SharedMemory, int) {
 // Write routes a register write to its owning shard.
 func (m *Map) Write(name, value string) (*regmem.Handle, int) {
 	mem, i := m.For(name)
+	m.ops[i].writes.Add(1)
 	return mem.Write(name, value), i
 }
 
 // Read serves a fast local read from the owning shard.
 func (m *Map) Read(name string) (string, bool) {
-	mem, _ := m.For(name)
+	mem, i := m.For(name)
+	m.ops[i].reads.Add(1)
 	return mem.Read(name)
 }
 
@@ -130,6 +163,7 @@ func (m *Map) Read(name string) (string, bool) {
 // shard.
 func (m *Map) SyncRead(name string) (*regmem.Handle, int) {
 	mem, i := m.For(name)
+	m.ops[i].syncReads.Add(1)
 	return mem.SyncRead(name), i
 }
 

@@ -24,8 +24,8 @@ func TestManyRoundsStateConsistency(t *testing.T) {
 	first := true
 	vc.EachAlive(func(n *core.Node) {
 		m := vc.mgrs[n.Self()]
-		if m.StateMismatches > 0 {
-			t.Errorf("%v: %d determinism mismatches", n.Self(), m.StateMismatches)
+		if mm := m.Metrics().StateMismatches; mm > 0 {
+			t.Errorf("%v: %d determinism mismatches", n.Self(), mm)
 		}
 		s, _ := m.Replica().State.(string)
 		if first {

@@ -42,10 +42,7 @@ type Manager struct {
 	lastDelivered uint64
 	haveDelivered bool
 
-	metrics Metrics
-	// StateMismatches counts adopted states that differ from the locally
-	// recomputed Apply result — a determinism violation detector.
-	StateMismatches uint64
+	metrics metricsCounters
 }
 
 var _ core.App = (*Manager)(nil)
@@ -67,8 +64,9 @@ func NewManager(self ids.ID, app App, eval EvalConf) *Manager {
 // Counter exposes the embedded counter manager (tests tune ExhaustAt).
 func (m *Manager) Counter() *counter.Manager { return m.ctr }
 
-// Metrics returns a copy of the counters.
-func (m *Manager) Metrics() Metrics { return m.metrics }
+// Metrics returns a snapshot of the counters. Safe to call concurrently
+// with protocol steps (atomic per-field reads).
+func (m *Manager) Metrics() Metrics { return m.metrics.snapshot() }
 
 // Replica returns a copy of the current replica record.
 func (m *Manager) Replica() Replica { return m.rep.clone() }
@@ -84,6 +82,7 @@ func (m *Manager) Restore(state any) { m.rep.State = state }
 // notifyAdopted fires the optional StateAdopter hook after the replica
 // state was replaced by a remote record's state.
 func (m *Manager) notifyAdopted() {
+	m.metrics.adoptions.Add(1)
 	if a, ok := m.app.(StateAdopter); ok {
 		a.StateAdopted(m.rep.State)
 	}
@@ -191,7 +190,7 @@ func (m *Manager) Tick(n *core.Node) {
 	// suspends during a reconfiguration.
 	if !n.NoReco() {
 		m.rep.Suspend = true
-		m.metrics.SuspendedTicks++
+		m.metrics.suspendedTicks.Add(1)
 	} else if haveCrd && crd == m.self && m.rep.Status == StatusMulticast {
 		m.rep.Suspend = m.evalConf(conf, trusted)
 		if !m.rep.Suspend {
@@ -236,7 +235,7 @@ func (m *Manager) maybePropose(n *core.Node, conf, trusted, part ids.Set, crd id
 			m.rep.Crd = m.self
 			m.confOfView = conf
 			m.haveConf = true
-			m.metrics.Proposals++
+			m.metrics.proposals.Add(1)
 		}
 		return
 	}
@@ -319,7 +318,7 @@ func (m *Manager) coordinate(n *core.Node, conf ids.Set) {
 		m.rep.Suspend = false
 		m.reconfReady = false
 		m.lastDelivered, m.haveDelivered = 0, false
-		m.metrics.ViewsInstalled++
+		m.metrics.viewsInstalled.Add(1)
 	case StatusMulticast:
 		if !m.allReport(m.rep.View.Set, trusted, func(r Replica) bool {
 			return r.Status == StatusMulticast && r.View.Equal(m.rep.View) && r.Rnd == m.rep.Rnd
@@ -341,7 +340,7 @@ func (m *Manager) coordinate(n *core.Node, conf ids.Set) {
 			m.reconfReady = all
 			if m.reconfReady && n.NoReco() && m.evalConf(conf, trusted) {
 				if n.Estab(n.Participants()) {
-					m.metrics.ReconfigRequests++
+					m.metrics.reconfigRequests.Add(1)
 				}
 			}
 			return // no rounds while suspended
@@ -355,7 +354,7 @@ func (m *Manager) coordinate(n *core.Node, conf ids.Set) {
 			round := Round{View: m.rep.View, Rnd: m.rep.Rnd, Inputs: copyInputs(m.rep.Inputs)}
 			m.deliverOnce(round)
 			m.rep.State = m.app.Apply(m.rep.State, round)
-			m.metrics.RoundsApplied++
+			m.metrics.roundsApplied.Add(1)
 			consumed = consumed || inputConsumed(round.Inputs, m.self, m.rep.Input)
 		}
 		// An input stays pending until some round has carried it; only
@@ -458,7 +457,7 @@ func (m *Manager) follow(crd ids.ID) {
 				m.rep.View = r.View
 				m.rep.Status = StatusMulticast
 				m.lastDelivered, m.haveDelivered = 0, false
-				m.metrics.ViewsInstalled++
+				m.metrics.viewsInstalled.Add(1)
 				if adopted {
 					m.notifyAdopted()
 				}
@@ -479,9 +478,9 @@ func (m *Manager) follow(crd ids.ID) {
 				m.deliverOnce(round)
 				local := m.app.Apply(m.rep.State, round)
 				if r.Rnd == m.rep.Rnd+1 && !reflect.DeepEqual(local, r.State) {
-					m.StateMismatches++
+					m.metrics.stateMismatches.Add(1)
 				}
-				m.metrics.RoundsApplied++
+				m.metrics.roundsApplied.Add(1)
 				consumed = consumed || inputConsumed(round.Inputs, m.self, m.rep.Input)
 			}
 			consumed = consumed || inputConsumed(r.Inputs, m.self, m.rep.Input)

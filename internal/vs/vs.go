@@ -20,6 +20,7 @@ package vs
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/counter"
 	"repro/internal/ids"
@@ -136,11 +137,41 @@ func copyInputs(in map[ids.ID]any) map[ids.ID]any {
 	return out
 }
 
-// Metrics counts VS events.
+// Metrics is a snapshot of the VS event counters.
 type Metrics struct {
 	ViewsInstalled   uint64
 	RoundsApplied    uint64
 	Proposals        uint64
 	SuspendedTicks   uint64
 	ReconfigRequests uint64
+	// Adoptions counts replica-state adoptions (view changes, joins,
+	// recovery) — one per StateAdopter hook firing.
+	Adoptions uint64
+	// StateMismatches counts adopted states that differ from the locally
+	// recomputed Apply result — a determinism violation detector.
+	StateMismatches uint64
+}
+
+// metricsCounters are the live counters behind Metrics, atomic so a
+// concurrent /metrics scrape reads them while the node ticks.
+type metricsCounters struct {
+	viewsInstalled   atomic.Uint64
+	roundsApplied    atomic.Uint64
+	proposals        atomic.Uint64
+	suspendedTicks   atomic.Uint64
+	reconfigRequests atomic.Uint64
+	adoptions        atomic.Uint64
+	stateMismatches  atomic.Uint64
+}
+
+func (c *metricsCounters) snapshot() Metrics {
+	return Metrics{
+		ViewsInstalled:   c.viewsInstalled.Load(),
+		RoundsApplied:    c.roundsApplied.Load(),
+		Proposals:        c.proposals.Load(),
+		SuspendedTicks:   c.suspendedTicks.Load(),
+		ReconfigRequests: c.reconfigRequests.Load(),
+		Adoptions:        c.adoptions.Load(),
+		StateMismatches:  c.stateMismatches.Load(),
+	}
 }

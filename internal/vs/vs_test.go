@@ -150,7 +150,7 @@ func TestMulticastReplicatesState(t *testing.T) {
 	// All replicas must hold identical state strings eventually (run to a
 	// common round).
 	vc.RunFor(3000)
-	if n := vc.mgrs[1].StateMismatches; n > 0 {
+	if n := vc.mgrs[1].Metrics().StateMismatches; n > 0 {
 		t.Fatalf("determinism mismatches: %d", n)
 	}
 }
@@ -345,7 +345,7 @@ func TestJoinerEntersNextView(t *testing.T) {
 			agreed, v, j.IsParticipant())
 	}
 	// The joiner must have adopted the replica state, not invented one.
-	if vc.mgrs[9].StateMismatches > 0 {
+	if vc.mgrs[9].Metrics().StateMismatches > 0 {
 		t.Fatal("joiner state mismatches")
 	}
 }

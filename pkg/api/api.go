@@ -41,6 +41,20 @@ const (
 	PathStorageSnapshot = "/v1/storage/snapshot"
 )
 
+// Unversioned operational endpoints. These sit outside the /v1
+// contract: they follow ecosystem conventions rather than this API's
+// versioning and envelope rules, and their output schemas (Prometheus
+// text exposition format, the net/http/pprof pages) may change with the
+// implementation.
+const (
+	// PathMetrics serves the node's metrics in Prometheus text
+	// exposition format (always on).
+	PathMetrics = "/metrics"
+	// PathPprof is the net/http/pprof index; it is served only when the
+	// daemon was started with -pprof.
+	PathPprof = "/debug/pprof/"
+)
+
 // MaxBody bounds request and response bodies on both sides of the wire.
 const MaxBody = 1 << 20
 
