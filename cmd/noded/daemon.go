@@ -67,6 +67,14 @@ type DaemonConfig struct {
 	// cycle and commands per multicast round input (DESIGN.md §11;
 	// <= 1 disables batching; the bound must be cluster-uniform).
 	Batch int
+	// Window bounds the in-flight datalink token cycles per link
+	// (DESIGN.md §14; <= 1 keeps the legacy stop-and-wait cycle;
+	// cluster-uniform like Batch).
+	Window int
+	// Adaptive switches hot-path batch sizing to the queue-depth EWMA
+	// (datalink drains and smr round inputs); false keeps the static
+	// Batch bound bit-identical.
+	Adaptive bool
 	// MaxN is the system bound N (failure detector sizing).
 	MaxN int
 	// OpTimeout is the write/sync-read completion deadline
@@ -115,7 +123,11 @@ func NewDaemon(tr transport.Transport, self ids.ID, cfg DaemonConfig) (*Daemon, 
 	if cfg.Batch < 1 {
 		cfg.Batch = 1
 	}
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
 	mem.SetMaxBatch(cfg.Batch)
+	mem.SetAdaptiveBatch(cfg.Adaptive)
 
 	d := &Daemon{self: self, tr: tr, mem: mem, opTimeout: cfg.OpTimeout}
 	// Attach durability before the node exists: recovery seeds each
@@ -152,7 +164,11 @@ func NewDaemon(tr transport.Transport, self ids.ID, cfg DaemonConfig) (*Daemon, 
 		Initial:  initial,
 		EvalConf: func(ids.Set, ids.Set) bool { return false },
 		Apps:     mem.Apps(),
-		Link:     datalink.Options{MaxBatch: cfg.Batch},
+		Link: datalink.Options{
+			MaxBatch:      cfg.Batch,
+			Window:        cfg.Window,
+			AdaptiveBatch: cfg.Adaptive,
+		},
 	})
 	if err != nil {
 		return nil, err

@@ -9,7 +9,8 @@
 //
 //	noded -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102,..." \
 //	      -http 127.0.0.1:8101 [-members 1,2,3] [-seed 1] [-shards 4] \
-//	      [-batch 16] [-wire-version 2] [-loss 0.02] [-dup 0.01] [-tick 2ms] \
+//	      [-batch 16] [-window 4] [-adaptive-batch] [-wire-version 2] \
+//	      [-loss 0.02] [-dup 0.01] [-tick 2ms] \
 //	      [-data-dir /var/lib/noded-1] [-fsync always|snapshot] [-snap-every 1024] \
 //	      [-log-level info] [-log-format text|json] [-pprof]
 //
@@ -38,9 +39,14 @@
 //
 // With -batch B the hot path batches: up to B application payloads ride
 // one datalink token cycle and up to B submitted commands ride one
-// multicast round input (DESIGN.md §11). The bound must be uniform
+// multicast round input (DESIGN.md §11). With -window W up to W token
+// cycles stay in flight per link (pipelining, DESIGN.md §14), and
+// -adaptive-batch sizes each batch from an EWMA of the observed queue
+// depth instead of the static bound. All three knobs must be uniform
 // across the cluster. -wire-version writes an older wire-format version
-// during rolling upgrades (readers always accept the full range).
+// during rolling upgrades (readers always accept the full range);
+// current-version streams encode hot DATA packets with the compact
+// binary fast path.
 //
 // The HTTP surface is the versioned /v1 contract defined in
 // repro/pkg/api (typed documents, uniform JSON error envelope); the
@@ -76,6 +82,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/datalink"
 	"repro/internal/ids"
 	"repro/internal/obs"
 	"repro/internal/storage"
@@ -113,6 +120,8 @@ func runDaemon(args []string) error {
 		capacity = fs.Int("capacity", 256, "bounded link/queue capacity")
 		shards   = fs.Int("shards", 1, "register namespace shards (independent service stacks)")
 		batch    = fs.Int("batch", 1, "hot-path batch bound: payloads per datalink token and commands per round (cluster-uniform; 1 = unbatched)")
+		window   = fs.Int("window", 1, "pipelined datalink window: in-flight token cycles per link (cluster-uniform; 1 = stop-and-wait)")
+		adaptive = fs.Bool("adaptive-batch", false, "size hot-path batches from an EWMA of queue depth instead of the static -batch bound")
 		wireVer  = fs.Int("wire-version", 0, "wire-format version to write (0 = current; older accepted versions serve not-yet-upgraded peers)")
 		maxN     = fs.Int("maxn", 16, "system bound N (failure detector sizing)")
 		opTO     = fs.Duration("op-timeout", 30*time.Second, "write/sync-read completion deadline")
@@ -160,6 +169,13 @@ func runDaemon(args []string) error {
 		// never serve. Refuse the combination outright.
 		return fmt.Errorf("-wire-version 1 cannot carry -shards %d (no shard field before version 2); use -shards 1 or -wire-version >= 2", *shards)
 	}
+	if *wireVer != 0 && *wireVer < 5 && (*batch > 1 || *window > 1) {
+		// The binary fast path only exists on version-5 streams; batched
+		// and pipelined hot paths still work over gob framing, just
+		// without the codec savings — worth a note, not a refusal.
+		logger.Warn("wire version predates the binary fast path; hot-path packets fall back to gob",
+			"batch", *batch, "window", *window, "wire_version", *wireVer)
+	}
 	if *wireVer != 0 && *wireVer < 3 && *batch > 1 {
 		// Batches collapse to their freshest payload on a <= 2 stream;
 		// commands still flow (they ride inside the freshest envelope),
@@ -202,6 +218,12 @@ func runDaemon(args []string) error {
 		// draining into one packet would wedge the link forever.
 		return fmt.Errorf("-batch %d exceeds the wire codec's per-packet bound %d", *batch, wire.MaxWireBatch)
 	}
+	if *window < 1 || *window > datalink.MaxWindow {
+		// Beyond the structural clamp the mod-256 sequence discipline
+		// could confuse an in-flight cycle with a stale ack; refuse
+		// rather than silently clamp a cluster-uniform knob.
+		return fmt.Errorf("-window %d outside supported range 1..%d", *window, datalink.MaxWindow)
+	}
 	fsync, ok := storage.ParseFsync(*fsyncStr)
 	if !ok {
 		return fmt.Errorf(`-fsync %q: want "always" or "snapshot"`, *fsyncStr)
@@ -212,6 +234,8 @@ func runDaemon(args []string) error {
 		Members:   initial,
 		Shards:    *shards,
 		Batch:     *batch,
+		Window:    *window,
+		Adaptive:  *adaptive,
 		MaxN:      *maxN,
 		OpTimeout: *opTO,
 		DataDir:   *dataDir,
@@ -242,6 +266,8 @@ func runDaemon(args []string) error {
 		"members", setInts(initial),
 		"shards", *shards,
 		"batch", *batch,
+		"window", *window,
+		"adaptive_batch", *adaptive,
 		"wire_version", effWire,
 		"data_dir", *dataDir,
 		"fsync", fsync.String(),

@@ -82,12 +82,22 @@ func (d *Daemon) registerDatalink(reg *obs.Registry) {
 	reg.CounterFunc("repro_datalink_batch_payloads_total",
 		"Payloads delivered out of received batches.",
 		nil, view(func(s datalink.Stats) uint64 { return s.BatchPayloads }))
-	reg.CounterFunc("repro_datalink_queue_evicted_total",
+	reg.CounterFunc("repro_datalink_evictions_total",
 		"Queued payloads displaced by outbound-queue overflow.",
 		nil, view(func(s datalink.Stats) uint64 { return s.QueueEvicted }))
 	reg.GaugeFunc("repro_datalink_queue_depth",
 		"Total outbound-queue depth across all links.",
 		nil, func() float64 { return float64(ep.QueuedTotal()) })
+	reg.GaugeFunc("repro_datalink_inflight_window",
+		"In-flight DATA cycles across all links (pipelined window occupancy).",
+		nil, func() float64 { return float64(ep.InflightTotal()) })
+	// Cycle ack RTT, measured in endpoint ticks. The observer runs with
+	// the datalink mutex held, so it must stay allocation-free: resolve
+	// the histogram once here, only Observe (pure atomics) inside.
+	ackHist := reg.Histogram("repro_datalink_ack_rtt_ticks",
+		"Ticks from a DATA cycle's first transmission to its completing ack.",
+		nil, []float64{1, 2, 4, 8, 16, 32, 64, 128})
+	ep.SetAckRTTObserver(func(ticks uint64) { ackHist.Observe(float64(ticks)) })
 }
 
 func (d *Daemon) registerTCP(reg *obs.Registry) {

@@ -10,8 +10,8 @@
 // Usage:
 //
 //	nodeload -addrs http://127.0.0.1:8141,http://127.0.0.1:8142,... \
-//	         [-clients 8] [-duration 5s] [-ratio 0.5] [-shards 1] \
-//	         [-keys 4] [-timeout 10s] [-wait 60s] [-seed 1] \
+//	         [-clients 8] [-duration 5s] [-warmup 0s] [-ratio 0.5] \
+//	         [-shards 1] [-keys 4] [-timeout 10s] [-wait 60s] [-seed 1] \
 //	         [-format table|csv|json] [-out DIR]
 //
 // -ratio is the write fraction of the mixed workload (the rest are
@@ -19,6 +19,10 @@
 // is built from shard.NamesPerShard so every shard receives traffic,
 // and the shared client routes each key's requests to the shard's
 // preferred endpoint — the client-side shard-aware connection pool.
+// -warmup excludes the run's first ops from accounting: operations
+// completing inside the warmup window (connection setup, first-request
+// link cleaning) are executed but not measured, and throughput divides
+// by the post-warmup elapsed time only.
 //
 // At end of run nodeload scrapes each endpoint's /metrics page,
 // strict-parses it, and folds the summed server-side counters (shard
@@ -69,8 +73,8 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "nodeload: %d clients × %v against %d endpoint(s), write ratio %.2f, %d shard(s), %d key(s)\n",
-		cfg.clients, cfg.duration, len(cfg.addrs), cfg.ratio, cfg.shards, cfg.keys*cfg.shards)
+	fmt.Fprintf(os.Stderr, "nodeload: %d clients × %v (+%v warmup) against %d endpoint(s), write ratio %.2f, %d shard(s), %d key(s)\n",
+		cfg.clients, cfg.duration, cfg.warmup, len(cfg.addrs), cfg.ratio, cfg.shards, cfg.keys*cfg.shards)
 	res := drive(ctx, c, cfg)
 	srv := scrapeCluster(cfg)
 	rep := buildReport(cfg, res, srv)
@@ -92,6 +96,7 @@ type config struct {
 	addrs    []string
 	clients  int
 	duration time.Duration
+	warmup   time.Duration
 	ratio    float64
 	shards   int
 	keys     int
@@ -107,7 +112,8 @@ func parseFlags(args []string) (config, error) {
 	var (
 		addrs    = fs.String("addrs", "", "comma-separated daemon API base URLs (required; all cluster nodes for failover + shard routing)")
 		clients  = fs.Int("clients", 8, "concurrent client workers")
-		duration = fs.Duration("duration", 5*time.Second, "workload duration")
+		duration = fs.Duration("duration", 5*time.Second, "workload duration (measured window; warmup runs before it)")
+		warmup   = fs.Duration("warmup", 0, "unmeasured lead-in: ops completing in this window are excluded from the report")
 		ratio    = fs.Float64("ratio", 0.5, "write fraction of the mix (rest are sync-reads), 0..1")
 		shards   = fs.Int("shards", 1, "cluster shard count (shard-aware key routing)")
 		keys     = fs.Int("keys", 4, "distinct registers per shard")
@@ -121,7 +127,7 @@ func parseFlags(args []string) (config, error) {
 		return config{}, err
 	}
 	cfg := config{
-		clients: *clients, duration: *duration, ratio: *ratio,
+		clients: *clients, duration: *duration, warmup: *warmup, ratio: *ratio,
 		shards: *shards, keys: *keys, timeout: *timeout, wait: *wait,
 		seed: *seed, format: *format, out: *out,
 	}
@@ -138,6 +144,9 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.duration <= 0 {
 		return config{}, fmt.Errorf("-duration must be positive")
+	}
+	if cfg.warmup < 0 {
+		return config{}, fmt.Errorf("-warmup must be >= 0")
 	}
 	if cfg.ratio < 0 || cfg.ratio > 1 {
 		return config{}, fmt.Errorf("-ratio must be in [0,1]")
@@ -195,7 +204,10 @@ type result struct {
 // drive runs the mixed workload: cfg.clients workers sharing one
 // cluster client, each picking a key (spread over every shard) and an
 // operation (write with probability cfg.ratio, else sync-read) per
-// iteration until the duration elapses.
+// iteration until the duration elapses. Operations completing inside
+// the warmup window run but are excluded from the stats (connection
+// setup, first-request link cleaning), and elapsed time — hence
+// throughput — counts from the end of warmup only.
 func drive(ctx context.Context, c *client.Client, cfg config) result {
 	keys := make([]string, 0, cfg.shards*cfg.keys)
 	for _, group := range shard.NamesPerShard(cfg.shards, cfg.keys) {
@@ -206,7 +218,8 @@ func drive(ctx context.Context, c *client.Client, cfg config) result {
 		res result
 	)
 	start := time.Now()
-	deadline := start.Add(cfg.duration)
+	measureStart := start.Add(cfg.warmup)
+	deadline := measureStart.Add(cfg.duration)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.clients; w++ {
 		wg.Add(1)
@@ -225,7 +238,17 @@ func drive(ctx context.Context, c *client.Client, cfg config) result {
 				} else {
 					_, err = c.SyncRead(ctx, key)
 				}
-				lat := time.Since(t0)
+				done := time.Now()
+				lat := done.Sub(t0)
+				if done.Before(measureStart) {
+					// Warmup op: executed for its side effects only. Failures
+					// still surface through lastErr so an entirely-broken
+					// cluster is reported, but they don't skew the counters.
+					if err != nil {
+						lastErr = err
+					}
+					continue
+				}
 				st := &sread
 				if isWrite {
 					st = &write
@@ -248,7 +271,7 @@ func drive(ctx context.Context, c *client.Client, cfg config) result {
 		}(w)
 	}
 	wg.Wait()
-	res.elapsed = time.Since(start)
+	res.elapsed = time.Since(measureStart)
 	return res
 }
 
@@ -327,6 +350,8 @@ var serverMetrics = []struct {
 	{"vs_view_changes", "count", "repro_vs_views_installed_total"},
 	{"datalink_cycles", "count", "repro_datalink_cycles_total"},
 	{"datalink_batches", "count", "repro_datalink_batches_total"},
+	{"datalink_evictions", "count", "repro_datalink_evictions_total"},
+	{"datalink_inflight", "gauge", "repro_datalink_inflight_window"},
 	{"tcp_conn_writes", "count", "repro_tcp_conn_writes_total"},
 	{"tcp_frames_written", "count", "repro_tcp_frames_written_total"},
 	{"tcp_redials", "count", "repro_tcp_redials_total"},

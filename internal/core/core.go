@@ -124,11 +124,13 @@ type Node struct {
 	// echoes always reflect the state of the last atomic step — the
 	// paper's interleaving model, on which the unison proofs depend.
 	outbox map[ids.ID]Envelope
-	// batching mirrors Params.Link.MaxBatch > 1: every tick's envelope is
-	// additionally pushed into the data link's per-peer outbound queue,
-	// so one token cycle carries the envelopes of several atomic steps
-	// instead of only the latest snapshot (DESIGN.md §11). At MaxBatch 1
-	// the legacy pull-only path is preserved bit-for-bit.
+	// batching mirrors Params.Link.MaxBatch > 1 or Link.Window > 1:
+	// every tick's envelope is additionally pushed into the data link's
+	// per-peer outbound queue, so one token cycle carries the envelopes
+	// of several atomic steps instead of only the latest snapshot
+	// (DESIGN.md §11), and a pipelined link has queued material to
+	// restart cycles on ack (§14). At MaxBatch 1 and Window 1 the
+	// legacy pull-only path is preserved bit-for-bit.
 	batching bool
 
 	// ticks is atomic: /metrics reads it live while the node runs.
@@ -190,7 +192,7 @@ func NewNode(net Transport, p Params) (*Node, error) {
 			return env
 		},
 	})
-	n.batching = n.Endpoint.MaxBatch() > 1
+	n.batching = n.Endpoint.MaxBatch() > 1 || n.Endpoint.Window() > 1
 	if err := net.AddNode(p.Self, n); err != nil {
 		return nil, err
 	}

@@ -42,6 +42,39 @@
 // their exact event sequences. Like the rest of the link options,
 // MaxBatch must be configured uniformly across a cluster: the receiver
 // picks its acceptance discipline from its own options.
+//
+// # Pipelining
+//
+// With Options.Window > 1 the sender additionally retires the two
+// stop-and-wait taxes (DESIGN.md §14). First, the token cycle restarts
+// on the acknowledgment itself instead of waiting for the next tick:
+// when an ACK completes a cycle the sender immediately assembles and
+// transmits the next DATA packet, so the cycle time drops from
+// RTT-rounded-up-to-a-tick to the bare RTT. Second, up to Window cycles
+// may be in flight at once, each with its own cumulative sequence
+// number; the receiver keeps the strict in-order acceptance of the
+// batching discipline (it only ever accepts rxSeq+1), and an ACK is
+// cumulative — acknowledging sequence s completes every outstanding
+// cycle up to and including s. Unacknowledged cycles are re-sent on
+// every tick (the selective re-send) and the existing staleness timeout
+// and session machinery are untouched, so the self-stabilization
+// argument of the single-cycle link carries over: a window is just
+// Window consecutive single cycles whose tokens can overlap in the
+// channel, and cleaning still flushes all of them. Each session opens
+// with a one-cycle slow start — the receiver anchors its sequence
+// history on the first DATA it accepts after adopting a session, so
+// the sender lets exactly one cycle win that race before widening to
+// the full window (otherwise a lost first cycle could be overtaken by
+// its successor and skipped forever). Window <= 1 (the default) is
+// bit-identical to the legacy behavior. Like MaxBatch, Window must be
+// uniform across a cluster.
+//
+// Options.AdaptiveBatch sizes the effective batch from an EWMA of the
+// queue depth observed at each drain (clamped to [1, MaxBatch]) instead
+// of always draining up to the static bound: light load keeps packets
+// small and latency low, heavy load grows batches toward MaxBatch. The
+// EWMA uses integer fixed-point arithmetic so simulations stay
+// byte-identical across platforms.
 package datalink
 
 import (
@@ -120,12 +153,34 @@ type Options struct {
 	// and the strict cumulative-sequence discipline (see the package
 	// comment). Must be uniform across a cluster.
 	MaxBatch int
+	// Window bounds the number of DATA cycles a sender keeps in flight
+	// at once. Values <= 1 keep the legacy one-outstanding-cycle
+	// contract bit-identically; values > 1 enable pipelining — the
+	// cycle restarts on ack instead of the next tick and up to Window
+	// cycles overlap under the strict cumulative-sequence discipline
+	// (see the package comment). Clamped to [1, 64] so in-flight
+	// sequence numbers stay unambiguous mod 256. Must be uniform
+	// across a cluster (the receiver's acceptance discipline follows
+	// its own options). The outbound queue bound grows to
+	// MaxBatch×Window so a full window of full batches can be staged.
+	Window int
+	// AdaptiveBatch, when true, sizes each drain from an EWMA of the
+	// observed queue depth (clamped to [1, MaxBatch]) instead of the
+	// static MaxBatch bound. False keeps the static drain bit-identical.
+	AdaptiveBatch bool
 }
 
 // DefaultOptions matches netsim.DefaultOptions' capacity.
 func DefaultOptions() Options {
-	return Options{Capacity: 8, AckThreshold: 1, StaleTicks: 12, MaxBatch: 1}
+	return Options{Capacity: 8, AckThreshold: 1, StaleTicks: 12, MaxBatch: 1, Window: 1}
 }
+
+// MaxWindow bounds Options.Window: well below 128 so an in-flight
+// sequence number can never be confused with a stale ack from the same
+// session 256 cycles earlier (the bounded channel cannot hold packets
+// that old anyway; the clamp makes it structural). Exported so flag
+// validation can refuse out-of-range values instead of clamping.
+const MaxWindow = 64
 
 type senderState int
 
@@ -133,6 +188,17 @@ const (
 	senderCleaning senderState = iota + 1
 	senderSteady
 )
+
+// cycle is one in-flight DATA exchange of a pipelined (Window > 1)
+// link: its sequence label, payload(s), ack count and the endpoint tick
+// at which it was first sent (for the ack-RTT histogram).
+type cycle struct {
+	seq      uint8
+	payload  any
+	batch    []any
+	acks     int
+	sentTick uint64
+}
 
 type peer struct {
 	// sender half (this endpoint's own data link toward the peer)
@@ -143,8 +209,26 @@ type peer struct {
 	cur       any
 	curBatch  []any // multi-payload cycle (batched links only)
 	curValid  bool
+	curTick   uint64 // endpoint tick at which cur was first sent
 	acks      int
 	stale     int
+	// inflight holds the outstanding cycles of a pipelined link
+	// (Window > 1), oldest first, with consecutive sequence numbers
+	// ending just below seq (the next label to assign). Empty on
+	// legacy links, which use the cur* single slot above.
+	inflight []cycle
+	// sessionAcked reports that at least one cycle of the current
+	// session has completed. Until then a pipelined sender keeps its
+	// window at 1 (slow start): the receiver anchors its sequence
+	// history on the first DATA it accepts after adopting a session,
+	// so the sender must not have two cycles racing for that anchor —
+	// if cycle 0 lost the race to cycle 1, cycle 0's payload would be
+	// skipped forever (the receiver only accepts successors) yet
+	// completed by the cumulative ack.
+	sessionAcked bool
+	// ewma16 is the adaptive-batch queue-depth estimate in 1/16 units
+	// (integer fixed point keeps simulations byte-identical).
+	ewma16 int
 	// queue is the bounded per-link outbound queue drained into DATA
 	// batches; Enqueue evicts the oldest entry when it overflows.
 	queue []any
@@ -186,6 +270,16 @@ type Endpoint struct {
 	// queued tracks the total outbound-queue depth across links for the
 	// queue-depth gauge, maintained alongside every queue mutation.
 	queued atomic.Int64
+	// inflightN tracks the total in-flight DATA cycles across links for
+	// the pipelining window gauge (legacy links count their single
+	// outstanding cycle).
+	inflightN atomic.Int64
+	// ticks counts Tick invocations; cycle ack RTTs are measured in it.
+	ticks uint64
+	// ackRTT, when set (SetAckRTTObserver), observes the tick-measured
+	// RTT of every completed DATA cycle. Called with the mutex held —
+	// observers must be cheap and must not re-enter the endpoint.
+	ackRTT func(ticks uint64)
 
 	// send transmits a raw packet through the (unreliable) network.
 	send func(to ids.ID, pkt Packet)
@@ -258,6 +352,12 @@ func NewEndpoint(cfg Config) *Endpoint {
 	if cfg.Opts.MaxBatch <= 0 {
 		cfg.Opts.MaxBatch = 1
 	}
+	if cfg.Opts.Window <= 0 {
+		cfg.Opts.Window = 1
+	}
+	if cfg.Opts.Window > MaxWindow {
+		cfg.Opts.Window = MaxWindow
+	}
 	e := &Endpoint{
 		self:      cfg.Self,
 		opts:      cfg.Opts,
@@ -303,8 +403,38 @@ func (e *Endpoint) QueuedTotal() int64 { return e.queued.Load() }
 // MaxBatch returns the configured payload bound per DATA packet.
 func (e *Endpoint) MaxBatch() int { return e.opts.MaxBatch }
 
+// Window returns the configured in-flight cycle bound (after clamping).
+func (e *Endpoint) Window() int { return e.opts.Window }
+
+// InflightTotal returns the total in-flight DATA cycles across all
+// links (the /metrics pipelining gauge), without taking the endpoint
+// mutex.
+func (e *Endpoint) InflightTotal() int64 { return e.inflightN.Load() }
+
+// SetAckRTTObserver installs fn to observe the tick-measured RTT of
+// every completed DATA cycle (time from first transmission to the
+// completing acknowledgment, in endpoint ticks). fn runs with the
+// endpoint mutex held: it must be cheap and must not re-enter the
+// endpoint. A nil fn removes the observer.
+func (e *Endpoint) SetAckRTTObserver(fn func(ticks uint64)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ackRTT = fn
+}
+
 // batched reports whether the endpoint runs the batching discipline.
 func (e *Endpoint) batched() bool { return e.opts.MaxBatch > 1 }
+
+// windowed reports whether the endpoint runs the pipelining discipline.
+func (e *Endpoint) windowed() bool { return e.opts.Window > 1 }
+
+// strict reports whether the receiver applies the strict
+// cumulative-sequence acceptance (batched or pipelined links; the
+// legacy alternating-bit discipline otherwise).
+func (e *Endpoint) strict() bool { return e.batched() || e.windowed() }
+
+// queueCap is the outbound queue bound: one full batch per window slot.
+func (e *Endpoint) queueCap() int { return e.opts.MaxBatch * e.opts.Window }
 
 // Enqueue appends a payload to the link's outbound queue; the next token
 // cycle drains up to MaxBatch queued payloads into one DATA packet.
@@ -319,7 +449,7 @@ func (e *Endpoint) Enqueue(to ids.ID, payload any) bool {
 	if !ok || payload == nil {
 		return false
 	}
-	if len(p.queue) >= e.opts.MaxBatch {
+	if len(p.queue) >= e.queueCap() {
 		p.queue = p.queue[1:]
 		e.queued.Add(-1)
 		e.stats.queueEvicted.Add(1)
@@ -375,6 +505,7 @@ func (e *Endpoint) Disconnect(to ids.ID) {
 	defer e.mu.Unlock()
 	if p, ok := e.peers[to]; ok {
 		e.queued.Add(-int64(len(p.queue)))
+		e.dropInflight(p)
 		delete(e.peers, to)
 	}
 }
@@ -384,10 +515,24 @@ func (e *Endpoint) startClean(p *peer) {
 	p.session = e.nonce()
 	p.cleanAcks = 0
 	p.cur, p.curBatch = nil, nil
+	if p.curValid {
+		e.inflightN.Add(-1)
+	}
 	p.curValid = false
+	e.dropInflight(p)
+	p.sessionAcked = false
 	p.acks = 0
 	p.stale = 0
 	e.stats.cleanings.Add(1)
+}
+
+// dropInflight abandons every outstanding pipelined cycle (cleaning,
+// corruption recovery, disconnect), keeping the in-flight gauge honest.
+func (e *Endpoint) dropInflight(p *peer) {
+	if len(p.inflight) > 0 {
+		e.inflightN.Add(-int64(len(p.inflight)))
+		p.inflight = nil
+	}
 }
 
 func (e *Endpoint) nonce() uint64 {
@@ -403,6 +548,7 @@ func (e *Endpoint) nonce() uint64 {
 func (e *Endpoint) Tick() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.ticks++
 	order := make([]ids.ID, 0, len(e.peers))
 	for to := range e.peers {
 		order = append(order, to)
@@ -418,10 +564,22 @@ func (e *Endpoint) tickPeer(to ids.ID, p *peer) {
 	case senderCleaning:
 		e.send(to, Packet{Kind: KindClean, Session: p.session})
 	case senderSteady:
+		if e.windowed() {
+			// Selective re-send: every still-unacknowledged cycle,
+			// oldest first, then top the window up with new cycles.
+			for i := range p.inflight {
+				c := &p.inflight[i]
+				e.send(to, Packet{Kind: KindData, Session: p.session, Seq: c.seq, Payload: c.payload, Batch: c.batch})
+			}
+			e.fillWindow(to, p, false)
+			break
+		}
 		if !p.curValid {
 			p.cur, p.curBatch = e.nextPayload(to, p)
 			p.curValid = true
+			p.curTick = e.ticks
 			p.acks = 0
+			e.inflightN.Add(1)
 		}
 		e.send(to, Packet{Kind: KindData, Session: p.session, Seq: p.seq, Payload: p.cur, Batch: p.curBatch})
 	default:
@@ -436,17 +594,68 @@ func (e *Endpoint) tickPeer(to ids.ID, p *peer) {
 	}
 }
 
+// fillWindow starts new DATA cycles until the pipelining window is full
+// or there is nothing useful to send. On a tick (onAck false) the first
+// cycle of an empty window may fall back to the pull Source, so an idle
+// link still exchanges one token per tick and heartbeats keep flowing;
+// further slots — and every ack-time refill — are filled only from the
+// outbound queue: pipelining copies of the same latest-state snapshot
+// would waste channel capacity for no information, and an idle link
+// restarting empty cycles on ack would ping-pong at the network RTT
+// instead of the tick period.
+func (e *Endpoint) fillWindow(to ids.ID, p *peer, onAck bool) {
+	limit := e.opts.Window
+	if !p.sessionAcked {
+		// Slow start: one cycle until the session's first completion
+		// anchors the receiver's sequence history at this session's
+		// first label (see peer.sessionAcked).
+		limit = 1
+	}
+	for len(p.inflight) < limit {
+		if len(p.queue) == 0 && (onAck || len(p.inflight) > 0) {
+			return
+		}
+		payload, batch := e.nextPayload(to, p)
+		c := cycle{seq: p.seq, payload: payload, batch: batch, sentTick: e.ticks}
+		p.seq++
+		p.inflight = append(p.inflight, c)
+		e.inflightN.Add(1)
+		e.send(to, Packet{Kind: KindData, Session: p.session, Seq: c.seq, Payload: c.payload, Batch: c.batch})
+	}
+}
+
+// ewmaShift is the adaptive-batch smoothing factor: the estimate moves
+// 1/4 of the way toward each observation (alpha = 0.25), in 1/16
+// fixed-point units.
+const ewmaShift = 4
+
 // nextPayload assembles the payload(s) of a new token cycle: queued
-// payloads first (up to MaxBatch, the freshest last), falling back to
-// the pull Source when the queue is empty. A single payload travels in
-// the legacy Payload slot so unbatched traffic keeps its exact shape.
+// payloads first (up to the batch bound, the freshest last), falling
+// back to the pull Source when the queue is empty. A single payload
+// travels in the legacy Payload slot so unbatched traffic keeps its
+// exact shape. The static batch bound is MaxBatch; with AdaptiveBatch
+// it is an EWMA of the queue depth observed at each drain, clamped to
+// [1, MaxBatch], so light load ships small low-latency packets and
+// heavy load grows toward the static bound.
 func (e *Endpoint) nextPayload(to ids.ID, p *peer) (any, []any) {
+	limit := e.opts.MaxBatch
+	if e.opts.AdaptiveBatch {
+		// ewma += (observation - ewma) / 4, in 1/16 units.
+		p.ewma16 += (len(p.queue)<<ewmaShift - p.ewma16) >> 2
+		limit = (p.ewma16 + (1 << ewmaShift) - 1) >> ewmaShift // ceil
+		if limit < 1 {
+			limit = 1
+		}
+		if limit > e.opts.MaxBatch {
+			limit = e.opts.MaxBatch
+		}
+	}
 	if len(p.queue) == 0 {
 		return e.source(to), nil
 	}
 	k := len(p.queue)
-	if k > e.opts.MaxBatch {
-		k = e.opts.MaxBatch
+	if k > limit {
+		k = limit
 	}
 	if k == 1 {
 		single := p.queue[0]
@@ -501,7 +710,7 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 		// session still drive the sender's handshake and stale acks
 		// are ignored by session mismatch.
 		switch {
-		case !e.batched() || !p.rxSessionValid:
+		case !e.strict() || !p.rxSessionValid:
 			p.rxSession = pkt.Session
 			p.rxSessionValid = true
 			p.rxSeqValid = false
@@ -541,7 +750,7 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 			e.stats.staleIgnored.Add(1)
 			return
 		}
-		if e.batched() {
+		if e.strict() {
 			// Strict cumulative-sequence discipline: accept only the
 			// successor cycle (or the first after cleaning), re-ack the
 			// already-delivered cycle, and stay silent on overtaking
@@ -571,6 +780,10 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 			e.deliverData(from, pkt)
 		}
 	case KindAck:
+		if e.windowed() {
+			e.handleWindowAck(from, p, pkt)
+			return
+		}
 		if p.state != senderSteady || pkt.Session != p.session || pkt.Seq != p.seq || !p.curValid {
 			e.stats.staleIgnored.Add(1)
 			return
@@ -583,7 +796,8 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 			if len(p.curBatch) > 0 {
 				e.stats.batches.Add(1)
 			}
-			if e.batched() {
+			e.observeAckRTT(e.ticks - p.curTick)
+			if e.strict() {
 				p.seq++ // cumulative mod-256 label
 			} else {
 				p.seq ^= 1 // legacy alternating bit
@@ -591,10 +805,61 @@ func (e *Endpoint) HandlePacket(from ids.ID, pkt Packet) {
 			p.cur, p.curBatch = nil, nil
 			p.curValid = false
 			p.acks = 0
+			e.inflightN.Add(-1)
 			e.heartbeat(from)
 		}
 	default:
 		e.stats.staleIgnored.Add(1)
+	}
+}
+
+// handleWindowAck processes an acknowledgment on a pipelined link. The
+// receiver only ever accepts cycles in sequence order, so an ack for
+// sequence s is cumulative: it completes every outstanding cycle up to
+// and including s. Completion immediately tops the window back up
+// (fillWindow) — this is the pipelining lever, the next token cycle
+// starts on the ack instead of the next tick.
+func (e *Endpoint) handleWindowAck(from ids.ID, p *peer, pkt Packet) {
+	if p.state != senderSteady || pkt.Session != p.session {
+		e.stats.staleIgnored.Add(1)
+		return
+	}
+	idx := -1
+	for i := range p.inflight {
+		if p.inflight[i].seq == pkt.Seq {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		e.stats.staleIgnored.Add(1)
+		return
+	}
+	p.inflight[idx].acks++
+	p.stale = 0
+	if p.inflight[idx].acks < e.opts.AckThreshold {
+		return
+	}
+	for i := 0; i <= idx; i++ {
+		c := &p.inflight[i]
+		e.stats.cyclesDone.Add(1)
+		if len(c.batch) > 0 {
+			e.stats.batches.Add(1)
+		}
+		e.observeAckRTT(e.ticks - c.sentTick)
+	}
+	p.inflight = append(p.inflight[:0:0], p.inflight[idx+1:]...)
+	e.inflightN.Add(-int64(idx + 1))
+	p.sessionAcked = true // receiver anchored; open the full window
+	e.heartbeat(from)
+	e.fillWindow(from, p, true)
+}
+
+// observeAckRTT feeds a completed cycle's tick-measured RTT to the
+// installed observer, if any.
+func (e *Endpoint) observeAckRTT(ticks uint64) {
+	if e.ackRTT != nil {
+		e.ackRTT(ticks)
 	}
 }
 
@@ -637,5 +902,10 @@ func (e *Endpoint) CorruptState(rng *rand.Rand) {
 		p.rxSession = uint64(rng.Int63())
 		p.rxSessionValid = rng.Intn(2) == 0
 		p.rxSeqValid = rng.Intn(2) == 0
+		// A transient fault may also lose the pipelined in-flight set;
+		// recovery must come from cleaning either way.
+		if e.windowed() && rng.Intn(2) == 0 {
+			e.dropInflight(p)
+		}
 	}
 }

@@ -23,9 +23,14 @@ func TestOrderedExactDeliveryProperty(t *testing.T) {
 		name     string
 		seeds    []int64
 		maxBatch int
+		// window pipelines that many cycles concurrently (0/1 = the
+		// stop-and-wait token cycle). Windowed links run the same strict
+		// cumulative-sequence discipline as batched ones.
+		window int
 		// pace bounds how many payloads may sit in the queue at once
-		// (0 = fill to MaxBatch); pace 1 sends single-payload cycles
-		// through the batching discipline — the "not batched" shape.
+		// (0 = fill to MaxBatch×Window); pace 1 sends single-payload
+		// cycles through the batching discipline — the "not batched"
+		// shape.
 		pace     int
 		loss     float64
 		dup      float64
@@ -48,6 +53,19 @@ func TestOrderedExactDeliveryProperty(t *testing.T) {
 		// overtaken stale DATA).
 		{name: "batch4/late-dup-cleans", seeds: []int64{19, 37, 41},
 			maxBatch: 4, loss: 0.10, dup: 0.30, maxDelay: 120, payloads: 40},
+		// Pipelined windows 2/4/8 (window 1 is every arm above): the
+		// strict in-order acceptance must hold with several cycles in
+		// flight, with and without batching, under the same adversaries.
+		{name: "window2/batch1/loss+dup+jitter", seeds: []int64{4, 14, 43},
+			maxBatch: 1, window: 2, loss: 0.20, dup: 0.15, maxDelay: 15, payloads: 120},
+		{name: "window4/batch4/loss+dup+jitter", seeds: []int64{6, 21, 47},
+			maxBatch: 4, window: 4, loss: 0.20, dup: 0.15, maxDelay: 15, payloads: 160},
+		{name: "window8/batch2/heavy-adversary", seeds: []int64{8, 25, 53},
+			maxBatch: 2, window: 8, loss: 0.30, dup: 0.25, maxDelay: 20, payloads: 160},
+		{name: "window4/single-payload-cycles", seeds: []int64{9, 27},
+			maxBatch: 4, window: 4, pace: 1, loss: 0.15, dup: 0.20, maxDelay: 12, payloads: 60},
+		{name: "window2/late-dup-cleans", seeds: []int64{19, 37, 41},
+			maxBatch: 4, window: 2, loss: 0.10, dup: 0.30, maxDelay: 120, payloads: 40},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -66,6 +84,7 @@ func TestOrderedExactDeliveryProperty(t *testing.T) {
 					// while it stays established).
 					StaleTicks: 120,
 					MaxBatch:   tc.maxBatch,
+					Window:     tc.window,
 				}
 				h := newSeededHarness(t, 2, seed, netOpts, linkOpts)
 				h.connectAll()
@@ -77,6 +96,9 @@ func TestOrderedExactDeliveryProperty(t *testing.T) {
 				bound := tc.pace
 				if bound <= 0 {
 					bound = tc.maxBatch
+					if tc.window > 1 {
+						bound *= tc.window // keep the pipeline fed
+					}
 				}
 				next := 0
 				deadline := sim.Time(400_000)
@@ -193,6 +215,39 @@ func TestBatchedLinkRecoversFromCorruption(t *testing.T) {
 	}
 	if h.eps[1].Stats().Cleanings < 2 {
 		t.Fatal("recovery should have re-cleaned the link")
+	}
+}
+
+// TestWindowedLinkRecoversFromCorruption: pipelining must not weaken
+// self-stabilization — a window is just Window consecutive single
+// cycles whose tokens overlap in the channel, and cleaning flushes all
+// of them. After randomizing both endpoints' link state (including the
+// in-flight window), the link re-cleans and flows again.
+func TestWindowedLinkRecoversFromCorruption(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxBatch = 4
+	opts.Window = 4
+	h := newHarness(t, 2, adversarial(), opts)
+	h.connectAll()
+	seq := 0
+	h.next[1] = func(ids.ID) any { seq++; return seq }
+	h.sched.RunUntil(1000)
+	rng := newTestRng(6)
+	h.eps[1].CorruptState(rng)
+	h.eps[2].CorruptState(rng)
+	before := len(h.delivered[2])
+	h.sched.RunUntil(6000)
+	if len(h.delivered[2]) <= before+5 {
+		t.Fatalf("windowed link did not recover after corruption: %d -> %d",
+			before, len(h.delivered[2]))
+	}
+	if h.eps[1].Stats().Cleanings < 2 {
+		t.Fatal("recovery should have re-cleaned the link")
+	}
+	// Gauge consistency: the in-flight count tracks the live windows and
+	// never goes negative through cleanings and corruption.
+	if got := h.eps[1].InflightTotal(); got < 0 || got > int64(opts.Window) {
+		t.Fatalf("in-flight gauge %d outside [0, %d]", got, opts.Window)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/counter"
+	"repro/internal/datalink"
 	"repro/internal/ids"
 	"repro/internal/label"
 	"repro/internal/netsim"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/regmem"
 	"repro/internal/shard"
 	"repro/internal/sim"
+	"repro/internal/transport/wire"
 	"repro/internal/vs"
 	"repro/internal/workload"
 )
@@ -473,6 +475,104 @@ func e12Cell(sync bool) func(seed int64, n int) workload.Row {
 			Y:     float64(done) / float64(elapsed) * 1000,
 			Valid: ok,
 			Note:  fmt.Sprintf("%d/%d ops in %d ticks", done, len(handles), elapsed),
+		}
+	}
+}
+
+// e13Cell builds one throughput arm of E13 "pipelining frontier":
+// register write throughput on a fixed 3-node single-shard cluster with
+// the hot-path batch bound held at 16 (E12's knee) while the swept N is
+// the datalink WINDOW — the in-flight token cycles per link. Window 1
+// with a static batch is bit-identical to the E12 batch-16 cell; wider
+// windows restart the token cycle on acknowledgment instead of waiting
+// out the full legacy exchange, so throughput rises with the window
+// until the queue no longer keeps it full. The adaptive arm additionally
+// sizes every batch from the queue-depth EWMA, trading peak batch fill
+// for lower queueing delay at light load — together the two arms plus
+// the codec-bytes series below chart the latency/throughput frontier's
+// three levers (window, batch sizing, codec). The offered load doubles
+// E12's (96 ops, issued round-robin) so the pipeline has a backlog to
+// stream; throughput is still comparable since both experiments report
+// steady-state aggregate ops/kilotick.
+func e13Cell(adaptive bool) func(seed int64, n int) workload.Row {
+	return func(seed int64, n int) workload.Row {
+		const nodes = 3
+		const batch = 16
+		const opsTotal = 96
+		mems, c, err := pipelinedMemCluster(seed, nodes, batch, n, adaptive)
+		if err != nil {
+			return workload.Row{X: n, Note: "bootstrap: " + err.Error()}
+		}
+		ok := c.Sched.RunWhile(func() bool {
+			_, has := mems[1].VS().CurrentView()
+			return !has
+		}, 6_000_000)
+		if !ok {
+			return workload.Row{X: n, Note: "no view"}
+		}
+		var handles []*regmem.Handle
+		start := c.Sched.Now()
+		for i := 0; i < opsTotal; i++ {
+			who := ids.ID(i%nodes + 1)
+			handles = append(handles, mems[who].Write(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)))
+		}
+		ok = c.Sched.RunWhile(func() bool {
+			for _, h := range handles {
+				if !h.Done() {
+					return true
+				}
+			}
+			return false
+		}, 8_000_000)
+		elapsed := c.Sched.Now() - start
+		done := 0
+		for _, h := range handles {
+			if h.Done() {
+				done++
+			}
+		}
+		if done == 0 || elapsed <= 0 {
+			return workload.Row{X: n, Note: "no ops completed"}
+		}
+		return workload.Row{
+			X:     n,
+			Y:     float64(done) / float64(elapsed) * 1000,
+			Valid: ok,
+			Note:  fmt.Sprintf("%d/%d ops in %d ticks", done, len(handles), elapsed),
+		}
+	}
+}
+
+// e13CodecCell is E13's codec lever, measured without a simulation: the
+// steady-state encoded bytes per payload of one hot DATA packet carrying
+// an N-payload batch of representative envelopes, under the binary fast
+// path and under gob framing (wire.CodecSizes). The numbers are pure
+// functions of the codec — deterministic across runs and machines — and
+// chart how the binary encoding's fixed savings compound as batches
+// amortize the packet header.
+func e13CodecCell(binary bool) func(seed int64, n int) workload.Row {
+	return func(seed int64, n int) workload.Row {
+		batch := make([]any, n)
+		for i := range batch {
+			batch[i] = core.Envelope{
+				App:       fmt.Sprintf("cmd-%03d", i),
+				ShardApps: []core.ShardApp{{Shard: 1, App: fmt.Sprintf("s-%03d", i)}},
+			}
+		}
+		pkt := datalink.Packet{Kind: datalink.KindData, Session: 7, Seq: 1, Batch: batch}
+		binSize, gobSize, binOK := wire.CodecSizes(wire.NewMsg(1, 2, pkt))
+		size, valid := gobSize, gobSize > 0
+		if binary {
+			size, valid = binSize, binOK
+		}
+		if !valid {
+			return workload.Row{X: n, Note: "encoding failed"}
+		}
+		return workload.Row{
+			X:     n,
+			Y:     float64(size) / float64(n),
+			Valid: true,
+			Note:  fmt.Sprintf("%d bytes for %d payloads", size, n),
 		}
 	}
 }

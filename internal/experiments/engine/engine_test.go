@@ -5,14 +5,14 @@ import (
 	"fmt"
 	"testing"
 
-	_ "repro/internal/experiments" // registers E1–E12
+	_ "repro/internal/experiments" // registers E1–E13
 	"repro/internal/experiments/engine"
 	"repro/internal/workload"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := engine.All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}
@@ -239,6 +239,37 @@ func TestParallelDeterminismE12(t *testing.T) {
 	}
 	if p1, p8 := emit(1), emit(8); !bytes.Equal(p1, p8) {
 		t.Errorf("E12 emission differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", p1, p8)
+	}
+}
+
+// TestParallelDeterminismE13 extends the determinism regression to the
+// pipelining-frontier experiment: E13 cells run whole pipelined
+// (window > 1, adaptive-batch) cluster simulations plus the pure codec
+// measurements, and their emissions must be byte-identical for any
+// worker count.
+func TestParallelDeterminismE13(t *testing.T) {
+	emit := func(workers int) []byte {
+		rep, err := engine.Run(engine.Config{
+			Seed:    42,
+			Sizes:   []int{1, 4},
+			Repeats: 1,
+			Workers: workers,
+			Only:    map[string]bool{"E13": true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := engine.WriteCellsCSV(&out, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.WriteJSON(&out, rep); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	if p1, p8 := emit(1), emit(8); !bytes.Equal(p1, p8) {
+		t.Errorf("E13 emission differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", p1, p8)
 	}
 }
 

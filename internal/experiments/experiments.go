@@ -1,9 +1,10 @@
 // Package experiments implements the paper-reproduction experiment suite
-// E1–E12 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
+// E1–E13 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
 // empirical tables; E1–E10 each operationalize one of its theorems or
 // explicit asymptotic claims, E11 measures the sharded register
-// namespace's scaling (DESIGN.md §9), and E12 the hot-path batching
-// (DESIGN.md §11), producing the series recorded in EXPERIMENTS.md.
+// namespace's scaling (DESIGN.md §9), E12 the hot-path batching
+// (DESIGN.md §11), and E13 the pipelining/adaptive-batch/codec frontier
+// (DESIGN.md §14), producing the series recorded in EXPERIMENTS.md.
 //
 // The per-cell simulations live in cells.go; this file registers them
 // with the engine registry (internal/experiments/engine), which
@@ -119,6 +120,22 @@ func init() {
 			{Key: "syncread", Name: "E12 sync-read throughput (ops/kilotick)", Run: e12Cell(true)},
 		},
 	})
+	engine.MustRegister(engine.Descriptor{
+		// E13 sweeps the WINDOW (the cluster stays 3 nodes, one shard,
+		// batch 16): the grid size is the in-flight token cycles per
+		// datalink (DESIGN.md §14). The write/adaptive arms measure
+		// throughput in the simulator; the *bytes arms are the codec
+		// lever — deterministic encoded bytes per payload of an N-payload
+		// hot DATA batch under the binary fast path vs gob.
+		ID: "E13", Title: "pipelining frontier (N = window, 3 nodes, batch 16)", Metric: "ops/kilotick",
+		DefaultSizes: []int{1, 2, 4, 8}, MinSize: 1,
+		Series: []engine.SeriesSpec{
+			{Key: "write", Name: "E13 write throughput, static batch (ops/kilotick)", Run: e13Cell(false)},
+			{Key: "adaptive", Name: "E13 write throughput, adaptive batch (ops/kilotick)", Run: e13Cell(true)},
+			{Key: "binbytes", Name: "E13 binary codec (bytes/payload)", Run: e13CodecCell(true)},
+			{Key: "gobbytes", Name: "E13 gob codec (bytes/payload)", Run: e13CodecCell(false)},
+		},
+	})
 }
 
 // runSeries sweeps one registered series sequentially over sizes, using
@@ -228,5 +245,19 @@ func E12BatchScaling(seed int64, batches []int) []workload.Series {
 	return []workload.Series{
 		runSeries("E12", "write", seed, batches),
 		runSeries("E12", "syncread", seed, batches),
+	}
+}
+
+// E13PipeliningFrontier charts the latency/throughput frontier's three
+// levers (see e13Cell and e13CodecCell; sizes are datalink windows, and
+// the codec series' batch sizes): write throughput with a static and an
+// adaptive batch as the window widens, plus the deterministic
+// bytes-per-payload of the binary fast path against gob.
+func E13PipeliningFrontier(seed int64, windows []int) []workload.Series {
+	return []workload.Series{
+		runSeries("E13", "write", seed, windows),
+		runSeries("E13", "adaptive", seed, windows),
+		runSeries("E13", "binbytes", seed, windows),
+		runSeries("E13", "gobbytes", seed, windows),
 	}
 }

@@ -71,6 +71,48 @@ func TestE12(t *testing.T) {
 	}
 }
 
+func TestE13(t *testing.T) {
+	for _, s := range E13PipeliningFrontier(113, []int{1, 2}) {
+		requireValid(t, s)
+	}
+}
+
+// TestE13PipeliningSpeedup is this tentpole's acceptance check: with the
+// batch bound held at E12's knee (16) and the datalink window widened to
+// let cycles restart on acknowledgment, aggregate write throughput on
+// the 3-node cluster must reach at least 1.5× the stop-and-wait E12
+// batch-16 baseline — in the deterministic simulator's virtual time, so
+// the assertion is exact and reproducible. The codec series must also
+// show the binary fast path strictly under gob's bytes per payload at
+// every swept batch size.
+func TestE13PipeliningSpeedup(t *testing.T) {
+	base := E12BatchScaling(42, []int{16})[0]
+	if len(base.Rows) != 1 || !base.Rows[0].Valid {
+		t.Fatalf("bad E12 baseline: %+v", base.Rows)
+	}
+	series := E13PipeliningFrontier(42, []int{4})
+	writes := series[0]
+	if len(writes.Rows) != 1 || !writes.Rows[0].Valid {
+		t.Fatalf("bad E13 window-4 row: %+v", writes.Rows)
+	}
+	b, w := base.Rows[0], writes.Rows[0]
+	if w.Y < 1.5*b.Y {
+		t.Fatalf("window-4 write throughput %.3f < 1.5× stop-and-wait batch-16 %.3f ops/kilotick", w.Y, b.Y)
+	}
+	t.Logf("write throughput: window 1 (E12) %.3f, window 4 %.3f ops/kilotick (%.2fx)",
+		b.Y, w.Y, w.Y/b.Y)
+	bin, gob := series[2], series[3]
+	for i := range bin.Rows {
+		if !bin.Rows[i].Valid || !gob.Rows[i].Valid {
+			t.Fatalf("invalid codec rows: bin %+v, gob %+v", bin.Rows[i], gob.Rows[i])
+		}
+		if bin.Rows[i].Y >= gob.Rows[i].Y {
+			t.Errorf("batch %d: binary %.1f bytes/payload not under gob %.1f",
+				bin.Rows[i].X, bin.Rows[i].Y, gob.Rows[i].Y)
+		}
+	}
+}
+
 // TestE12BatchScalingSpeedup is this tentpole's acceptance check: with
 // the hot path batching up to 16 payloads per token cycle (and commands
 // per round), aggregate write throughput on the 3-node cluster must be

@@ -44,6 +44,14 @@ type Backend struct {
 	// it nil and the mixed-version subtest is skipped. The suite closes
 	// both.
 	MixedPair func(t *testing.T, seed int64, opts transport.Options, universe ids.Set) (a, b Harness)
+	// VersionPair, when non-nil, builds two interconnected transports
+	// pinned to the two given wire-format versions (0 = current). It
+	// powers version-specific pairings beyond MixedPair's fixed v2
+	// shape — e.g. the v4↔v5 arm asserting the binary fast path and
+	// plain gob framing interoperate losslessly. Backends without a
+	// serialized wire format leave it nil and those subtests are
+	// skipped.
+	VersionPair func(t *testing.T, seed int64, opts transport.Options, universe ids.Set, va, vb byte) (a, b Harness)
 }
 
 // Harness couples a transport with the way model time advances on it:
@@ -401,6 +409,65 @@ func Run(t *testing.T, b Backend) {
 				t.Fatalf("new side got unexpected session %d", pkt.Session)
 			}
 		}
+	})
+
+	t.Run("MixedVersionPairV4V5", func(t *testing.T) {
+		// A version-4 (plain gob framing) process and a version-5
+		// (binary fast path) process interoperate losslessly in both
+		// directions: version 5 is a framing-only change, so batched and
+		// single-payload DATA traffic must cross unharmed — the v5
+		// writer emits binary frames only on v5 streams, and the v4
+		// writer's gob frames decode identically on a v5 reader.
+		if b.VersionPair == nil {
+			t.Skip("backend has no serialized wire format")
+		}
+		hv4, hv5 := b.VersionPair(t, 11, quietOpts(), universe, 4, 5)
+		defer hv4.Net.Close()
+		defer hv5.Net.Close()
+		rx4, rx5 := &packetRecorder{}, &packetRecorder{}
+		if err := hv4.Net.AddNode(1, rx4); err != nil {
+			t.Fatal(err)
+		}
+		if err := hv5.Net.AddNode(2, rx5); err != nil {
+			t.Fatal(err)
+		}
+		batch := []any{"p1", "p2", "p3"}
+		hv5.Net.Send(2, 1, datalink.Packet{Kind: datalink.KindData, Session: 1, Batch: batch})
+		hv4.Net.Send(1, 2, datalink.Packet{Kind: datalink.KindData, Session: 2, Batch: batch})
+		hv5.Net.Send(2, 1, datalink.Packet{Kind: datalink.KindData, Session: 3, Payload: "plain"})
+		hv4.Net.Send(1, 2, datalink.Packet{Kind: datalink.KindData, Session: 4, Payload: "plain"})
+
+		if !await(hv4, 10*time.Second, func() bool {
+			at4 := inspected(t, hv4, 1, func() int { return len(rx4.pkts) })
+			at5 := inspected(t, hv5, 2, func() int { return len(rx5.pkts) })
+			return at4 == 2 && at5 == 2
+		}) {
+			t.Fatalf("v4↔v5 pair delivered %d+%d packets, want 2+2",
+				inspected(t, hv4, 1, func() int { return len(rx4.pkts) }),
+				inspected(t, hv5, 2, func() int { return len(rx5.pkts) }))
+		}
+		check := func(name string, pkts []datalink.Packet, batchSession, plainSession uint64) {
+			for _, pkt := range pkts {
+				switch pkt.Session {
+				case batchSession:
+					if !reflect.DeepEqual(pkt.Batch, batch) {
+						t.Fatalf("%s batch mutated: %#v", name, pkt.Batch)
+					}
+				case plainSession:
+					if pkt.Payload != "plain" || pkt.Batch != nil {
+						t.Fatalf("%s single payload mutated: %#v", name, pkt)
+					}
+				default:
+					t.Fatalf("%s got unexpected session %d", name, pkt.Session)
+				}
+			}
+		}
+		check("v5→v4", inspected(t, hv4, 1, func() []datalink.Packet {
+			return append([]datalink.Packet(nil), rx4.pkts...)
+		}), 1, 3)
+		check("v4→v5", inspected(t, hv5, 2, func() []datalink.Packet {
+			return append([]datalink.Packet(nil), rx5.pkts...)
+		}), 2, 4)
 	})
 
 	t.Run("FullStackConvergence", func(t *testing.T) {

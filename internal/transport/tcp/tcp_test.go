@@ -34,6 +34,18 @@ func TestConformance(t *testing.T) {
 			return conformance.Harness{Net: old, Settle: time.Sleep},
 				conformance.Harness{Net: cur, Settle: time.Sleep}
 		},
+		// Arbitrary version pinning (the v4↔v5 arm exercises the binary
+		// fast path against plain gob framing).
+		VersionPair: func(t *testing.T, seed int64, opts transport.Options, universe ids.Set, va, vb byte) (conformance.Harness, conformance.Harness) {
+			addrs, err := tcp.FreeAddrs(universe.Members()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := tcp.New(tcp.Config{Addrs: addrs, Seed: seed, Opts: opts, WireVersion: va})
+			b := tcp.New(tcp.Config{Addrs: addrs, Seed: seed + 1, Opts: opts, WireVersion: vb})
+			return conformance.Harness{Net: a, Settle: time.Sleep},
+				conformance.Harness{Net: b, Settle: time.Sleep}
+		},
 	})
 }
 

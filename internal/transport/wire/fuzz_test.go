@@ -47,11 +47,14 @@ func fuzzSeedStream(tb testing.TB, version byte) []byte {
 // past its declared bounds (MaxFrame per frame, MaxWireBatch per batch;
 // gob's own message sanity limits cover the rest). The seed corpus
 // (f.Add plus the checked-in testdata corpus, which plain `go test`
-// executes as a regression suite) covers well-formed v1/v2/v3 streams,
-// truncations at every structural boundary, corrupted preambles,
-// oversize frame headers, and absurd batch counts.
+// executes as a regression suite) covers well-formed v1..v5 streams
+// (version 5 mixes binary fast-path and gob frames), truncations at
+// every structural boundary, corrupted preambles, oversize frame
+// headers, absurd batch counts, and corrupt binary-frame internals
+// (bad shapes, unknown type tags, over-bound counts, both flag bits
+// set).
 func FuzzReadMsg(f *testing.F) {
-	for _, version := range []byte{1, 2, 3, 4} {
+	for _, version := range []byte{1, 2, 3, 4, 5} {
 		stream := fuzzSeedStream(f, version)
 		f.Add(stream)
 		// Truncations: inside the preamble, inside a frame header,
@@ -107,6 +110,44 @@ func FuzzReadMsg(f *testing.F) {
 
 		f.Add(append(append([]byte(nil), pre...), chunkFrame(8, 1, 2, []byte("efgh"))...))
 		f.Add(append(append([]byte(nil), pre...), chunkFrame(8, 0, 2, []byte("abcd"))[:9]...))
+	}
+	// Binary fast-path frames (version 5). A valid frame with interior
+	// corruption at several offsets, an empty and an oversize binFlag
+	// header, both flag bits set, a binary frame under a v4 preamble,
+	// and an over-bound batch count inside the frame.
+	{
+		pre := fuzzSeedStream(f, Version)[:preambleLen]
+		pkt := datalink.Packet{Kind: datalink.KindData, Session: 9, Seq: 3,
+			Batch: []any{core.Envelope{App: "app"}, "raw"}}
+		body, ok := appendBinaryMsg(nil, NewMsg(1, 2, pkt))
+		if !ok {
+			f.Fatal("seed packet should be binary-encodable")
+		}
+		frame := func(b []byte) []byte {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], binFlag|uint32(len(b)))
+			return append(hdr[:], b...)
+		}
+		valid := append(append([]byte(nil), pre...), frame(body)...)
+		f.Add(valid)
+		for _, off := range []int{0, len(body) / 4, len(body) / 2, len(body) - 1} {
+			bad := append([]byte(nil), valid...)
+			bad[preambleLen+4+off] ^= 0xff
+			f.Add(bad)
+		}
+		f.Add(append(append([]byte(nil), pre...), 0x40, 0, 0, 0))             // empty binFlag frame
+		f.Add(append(append([]byte(nil), pre...), 0x7f, 0xff, 0xff, 0xff))    // binFlag, size > MaxFrame
+		f.Add(append(append([]byte(nil), pre...), 0xc0, 0, 0, 8, 1, 2, 3, 4)) // chunkFlag|binFlag
+		v4pre := append([]byte(nil), pre...)
+		v4pre[len(magic)] = 4
+		f.Add(append(v4pre, frame(body)...))
+		overBatch := append(append([]byte(nil), pre...), frame([]byte{
+			2, 4, byte(datalink.KindData),
+			0, 0, 0, 0, 0, 0, 0, 1, 1,
+			3,                            // shapeBatch
+			0xff, 0xff, 0xff, 0xff, 0x7f, // absurd count
+		})...)
+		f.Add(overBatch)
 	}
 	// An over-MaxWireBatch batch in an otherwise valid stream.
 	{

@@ -9,11 +9,13 @@
 //	preamble: 6-byte magic "recfg\x00", 1-byte version, 1-byte reserved
 //	frames:   4-byte big-endian header, then payload bytes
 //
-// The header's low 31 bits are the payload length; bit 31 (version 4+)
-// marks a chunk frame of a chunked state transfer. The frame payloads
-// of one connection form a single continuous gob stream (type
-// definitions are transmitted once, on first use), decoded into Msg
-// values.
+// The header's low 30 bits are the payload length; bit 31 (version 4+)
+// marks a chunk frame of a chunked state transfer, and bit 30 (version
+// 5+) marks a self-contained binary fast-path frame (see binary.go).
+// The remaining (gob) frame payloads of one connection form a single
+// continuous gob stream (type definitions are transmitted once, on
+// first use), decoded into Msg values; binary frames may interleave
+// freely because they never touch the gob stream state.
 //
 // A message larger than MaxFrame is chunked (version 4): each chunk
 // frame carries a fixed header — the declared total size of the whole
@@ -72,7 +74,13 @@ import (
 // (Packet.HasBatch / Batch, DESIGN.md §11); Version 4 added chunked
 // state transfer (oversize messages travel as flagged chunk frames with
 // a declared total, sequencing, and per-chunk CRC, DESIGN.md §12) — a
-// framing change only, the message schema is untouched. The schema
+// framing change only, the message schema is untouched; Version 5 added
+// the binary fast path (DESIGN.md §14): hot DATA/batch packets whose
+// payload types all belong to the stack's closed type set travel as
+// self-contained binFlag frames in a hand-rolled binary encoding
+// instead of the gob stream — again framing only, the message schema
+// and the gob fallback are untouched, and a v5 writer emits plain gob
+// for everything a binary frame cannot carry. The schema
 // additions are gob-compatible — an older frame simply decodes with the
 // presence boolean false — so readers accept [MinVersion, Version], and
 // unbatched single-shard frames carry no format break: shard 0's
@@ -87,7 +95,7 @@ import (
 // adoption themselves; regmem does (a legacy map[string]string replica
 // state is adopted as the base of a delta-chain State rather than
 // discarded).
-const Version = 4
+const Version = 5
 
 // MinVersion is the oldest preamble version a Reader accepts (and the
 // oldest a Writer can be asked to emit).
@@ -327,6 +335,7 @@ type Writer struct {
 	w       *bufio.Writer
 	buf     bytes.Buffer
 	enc     *gob.Encoder
+	bin     []byte // binary fast-path scratch (version 5)
 	version byte
 	frames  uint64
 }
@@ -368,6 +377,11 @@ func (w *Writer) Version() byte { return w.version }
 //     during mixed-version operation to avoid it entirely.
 //   - below version 2, shard-tagged payloads (shards >= 1) are dropped;
 //     shard 0 traffic is unaffected.
+//
+// Versions 4 and 5 are framing-only changes (chunked transfer, binary
+// fast path), so no schema rewrite exists for them: a writer negotiated
+// to 4 merely stops emitting binary frames, one negotiated to 3 also
+// spans oversize messages across plain frames.
 func downgrade(m Msg, version byte) Msg {
 	if version >= Version || !m.HasPkt {
 		return m
@@ -413,9 +427,31 @@ var ErrMessageTooLarge = errors.New("wire: message encoding exceeds MaxMessage")
 // bound; writing such a message would dead-loop the link on rejection).
 // Any Append error leaves the gob stream state undefined — discard the
 // writer and start a fresh stream (the tcp backend redials).
+//
+// A version-5 writer first tries the binary fast path for DATA packets
+// (binary.go): payloads entirely within the closed hot-path type set
+// whose encoding fits one frame travel as a self-contained binFlag
+// frame, skipping gob reflection; anything else falls through to the
+// gob stream below, bit-identical to version 4.
 func (w *Writer) Append(m Msg) error {
+	m = downgrade(m, w.version)
+	if w.version >= 5 && m.HasPkt && m.Pkt.Kind == int(datalink.KindData) {
+		if b, ok := appendBinaryMsg(w.bin[:0], m); ok && len(b) <= MaxFrame {
+			w.bin = b
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], binFlag|uint32(len(b)))
+			if _, err := w.w.Write(hdr[:]); err != nil {
+				return err
+			}
+			if _, err := w.w.Write(b); err != nil {
+				return err
+			}
+			w.frames++
+			return nil
+		}
+	}
 	w.buf.Reset()
-	if err := w.enc.Encode(downgrade(m, w.version)); err != nil {
+	if err := w.enc.Encode(m); err != nil {
 		return fmt.Errorf("wire: encode: %w", err)
 	}
 	if w.buf.Len() > MaxMessage {
@@ -498,13 +534,22 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if v := pre[len(magic)]; v < MinVersion || v > Version {
 		return nil, fmt.Errorf("wire: version %d, want %d..%d", v, MinVersion, Version)
 	}
-	fr := &frameReader{r: br}
+	fr := &frameReader{r: br, version: pre[len(magic)]}
 	return &Reader{fr: fr, dec: gob.NewDecoder(fr)}, nil
 }
 
-// ReadMsg decodes the next message, blocking until a frame arrives.
+// ReadMsg decodes the next message, blocking until a frame arrives. At
+// a message boundary the next frame header is peeked: a binary
+// fast-path frame (version 5) is decoded by binary.go without touching
+// the gob stream; any other header is stashed and the gob decoder
+// proceeds exactly as before.
 func (r *Reader) ReadMsg() (Msg, error) {
 	r.fr.budget = MaxMessage
+	if b, err := r.fr.nextBinary(); err != nil {
+		return Msg{}, err
+	} else if b != nil {
+		return decodeBinaryMsg(b)
+	}
 	var m Msg
 	if err := r.dec.Decode(&m); err != nil {
 		return Msg{}, err
@@ -523,9 +568,14 @@ func (r *Reader) ReadMsg() (Msg, error) {
 // sequencing, per-chunk CRC — and their verified data is spliced back
 // into the continuous stream.
 type frameReader struct {
-	r      *bufio.Reader
-	remain int
-	budget int
+	r       *bufio.Reader
+	version byte
+	remain  int
+	budget  int
+
+	// Frame header peeked by nextBinary but belonging to the gob stream.
+	pending    uint32
+	hasPending bool
 
 	// Verified chunk data not yet consumed by the decoder.
 	chunk    []byte
@@ -538,13 +588,57 @@ type frameReader struct {
 	asmGot     uint64
 }
 
+// nextBinary peeks the next frame header at a message boundary. A
+// binary fast-path frame is read whole and returned; any other header
+// is stashed for Read (the gob path) and nil is returned. When the
+// reader is mid-stream — undrained frame bytes, chunk data, or an
+// in-progress chunked assembly — there is no boundary to peek at and
+// the gob path continues untouched.
+func (f *frameReader) nextBinary() ([]byte, error) {
+	if f.hasPending || f.remain > 0 || f.chunkOff < len(f.chunk) || f.assembling {
+		return nil, nil
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n&chunkFlag != 0 || n&binFlag == 0 {
+		f.pending, f.hasPending = n, true
+		return nil, nil
+	}
+	if f.version < 5 {
+		return nil, fmt.Errorf("wire: binary frame on version-%d stream", f.version)
+	}
+	size := n &^ uint32(binFlag)
+	if size == 0 || size > MaxFrame {
+		return nil, fmt.Errorf("wire: binary frame of %d bytes outside (0, MaxFrame]", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f.r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 func (f *frameReader) Read(p []byte) (int, error) {
 	for f.remain == 0 && f.chunkOff == len(f.chunk) {
-		var hdr [4]byte
-		if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
-			return 0, err
+		var n uint32
+		if f.hasPending {
+			n, f.hasPending = f.pending, false
+		} else {
+			var hdr [4]byte
+			if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+				return 0, err
+			}
+			n = binary.BigEndian.Uint32(hdr[:])
 		}
-		n := binary.BigEndian.Uint32(hdr[:])
+		if n&chunkFlag == 0 && n&binFlag != 0 {
+			// A binary frame can only begin at a message boundary, where
+			// nextBinary consumes it; reaching one here means the gob
+			// decoder wanted more bytes mid-message.
+			return 0, errors.New("wire: binary frame interrupts gob message")
+		}
 		if n&chunkFlag != 0 {
 			if err := f.readChunk(n &^ chunkFlag); err != nil {
 				return 0, err

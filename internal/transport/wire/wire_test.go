@@ -188,7 +188,10 @@ func TestUnshardedEnvelopeHasNoShardField(t *testing.T) {
 // gob-compatible addition; old frames just carry HasShards=false).
 func TestReaderAcceptsMinVersionStream(t *testing.T) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf)
+	// Version 4 emits the current message schema with plain gob framing
+	// (the version-5 binary fast path is a framing change, and binary
+	// frames are rightly rejected under a downgraded preamble).
+	w, err := NewWriterVersion(&buf, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
