@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/workload"
@@ -115,10 +117,15 @@ func Run(cfg Config) (*Report, error) {
 				kept = append(kept, d)
 			}
 		}
+		var unknown []string
 		for id := range cfg.Only {
 			if !matched[id] {
-				return nil, fmt.Errorf("engine: unknown experiment %q", id)
+				unknown = append(unknown, id)
 			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			return nil, fmt.Errorf("engine: unknown experiment %q", strings.Join(unknown, ","))
 		}
 		descs = kept
 	}
