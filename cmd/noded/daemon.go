@@ -636,6 +636,7 @@ func (d *Daemon) Handler() http.Handler {
 	// text exposition format by definition).
 	mux.HandleFunc("GET "+api.PathMetrics, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		//repolint:allow errenvelope -- /metrics serves Prometheus text exposition, not the JSON envelope
 		_ = d.reg.Render(w)
 	})
 	if d.pprof {

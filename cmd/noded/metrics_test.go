@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -93,6 +94,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	// both against a live 3-node cluster.)
 	nonzero := []string{
 		"repro_node_ticks_total",
+		"repro_build_info",
 		"repro_vs_rounds_applied_total",
 		"repro_shard_ops_total",
 		"repro_storage_appends_total",
@@ -114,6 +116,18 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if fams[name] == nil {
 			t.Errorf("family %s missing", name)
+		}
+	}
+
+	// Build identity: exactly one series, value 1, stamped with the
+	// running toolchain version.
+	if f := fams["repro_build_info"]; f != nil {
+		if len(f.Samples) != 1 {
+			t.Errorf("repro_build_info has %d series, want 1", len(f.Samples))
+		} else if got := f.Samples[0].Labels["go_version"]; got != runtime.Version() {
+			t.Errorf("repro_build_info go_version = %q, want %q", got, runtime.Version())
+		} else if f.Samples[0].Labels["vcs_rev"] == "" {
+			t.Errorf("repro_build_info missing vcs_rev label")
 		}
 	}
 

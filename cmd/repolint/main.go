@@ -1,0 +1,78 @@
+// Command repolint runs the repository's own static-analysis suite
+// (internal/analysis) over the module: the invariants earlier PRs
+// learned the hard way — explicit wire presence, byte-determinism,
+// atomic-field discipline, metric naming, and the HTTP error envelope —
+// enforced mechanically on every change.
+//
+// Usage:
+//
+//	go run ./cmd/repolint ./...          # whole module (CI invocation)
+//	go run ./cmd/repolint ./internal/smr # one package tree
+//	go run ./cmd/repolint -list          # describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+//
+// Suppressions are in-source and audited: a finding on a line covered
+// by "//repolint:allow <analyzer> -- <justification>" is silenced, a
+// bare allow is itself a finding, and an allow that silences nothing is
+// reported as unused. See DESIGN.md §15.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repolint [-list] [patterns]\n\npatterns default to ./... relative to the module root\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fail(err)
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		fail(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fail(err)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fail(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "repolint:", err)
+	os.Exit(2)
+}

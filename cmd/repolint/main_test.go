@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSuiteRegistration pins the multichecker's analyzer set: every
+// analyzer the suite ships is registered exactly once, under its
+// documented name.
+func TestSuiteRegistration(t *testing.T) {
+	want := []string{
+		"explicitpresence",
+		"determinism",
+		"atomicfields",
+		"metricname",
+		"errenvelope",
+	}
+	got := analysis.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	seen := map[string]bool{}
+	for i, a := range got {
+		if a == nil || a.Run == nil {
+			t.Fatalf("analyzer %d is nil or has no Run", i)
+		}
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d is %q, want %q", i, a.Name, want[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %q registered more than once", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

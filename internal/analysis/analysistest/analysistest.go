@@ -1,0 +1,132 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against expectations written in the fixture
+// itself — a stdlib-only reimplementation of the x/tools analysistest
+// idea, sized to repolint's needs.
+//
+// Expectations are trailing comments:
+//
+//	time.Now() // want "wall clock"
+//	x, y()     // want "first finding" "second finding"
+//
+// Each quoted string is a regular expression. Every diagnostic on a
+// line must be matched by one of that line's want patterns, every want
+// pattern must match at least one diagnostic on its line, and a
+// diagnostic on a line with no want comment fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *analysis.Loader
+	loaderErr  error
+)
+
+// loader returns a process-wide loader so fixtures share one
+// type-checking universe (std imports are expensive to re-check).
+func loader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loaderVal, loaderErr = analysis.NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("analysistest: building loader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// Load loads the fixture package in dir under importPath (which drives
+// path-based analyzer scoping) without running anything — for tests
+// that assert on raw Run output, like the escape-hatch tests.
+func Load(t *testing.T, dir, importPath string) *analysis.Package {
+	t.Helper()
+	pkg, err := loader(t).LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s as %q: %v", dir, importPath, err)
+	}
+	if pkg == nil {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	return pkg
+}
+
+// Run loads the fixture package in dir under importPath, runs exactly
+// one analyzer, and matches diagnostics against the // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg := Load(t, dir, importPath)
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	wants := parseWants(t, pkg)
+
+	matchedWant := map[*want]bool{}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		lineWants := wants[key]
+		matched := false
+		for _, w := range lineWants {
+			if w.re.MatchString(d.Message) {
+				matched = true
+				matchedWant[w] = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", key, d.Message, d.Analyzer)
+		}
+	}
+	for key, lineWants := range wants {
+		for _, w := range lineWants {
+			if !matchedWant[w] {
+				t.Errorf("%s: no diagnostic matched want %q", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+var (
+	wantCommentRE = regexp.MustCompile(`^// want (.*)$`)
+	wantPatternRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// parseWants collects want patterns keyed by "file:line".
+func parseWants(t *testing.T, pkg *analysis.Package) map[string][]*want {
+	t.Helper()
+	out := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantCommentRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats := wantPatternRE.FindAllStringSubmatch(m[1], -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, p := range pats {
+					re, err := regexp.Compile(p[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p[1], err)
+					}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestExplicitPresence(t *testing.T) {
+	analysistest.Run(t, analysis.ExplicitPresence, "testdata/explicitpresence/wire", "wire")
+}
+
+func TestExplicitPresenceOutOfScope(t *testing.T) {
+	// The same fixture under a non-wire import path must produce nothing:
+	// the analyzer scopes itself by path segment.
+	pkg := analysistest.Load(t, "testdata/explicitpresence/wire", "notwire")
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.ExplicitPresence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, want 0:\n%v", len(diags), diags)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "testdata/determinism/smr", "smr")
+}
+
+func TestAtomicFields(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicFields, "testdata/atomicfields/atomics", "atomics")
+}
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analysis.MetricName, "testdata/metricname/metrics", "metrics")
+}
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, analysis.ErrEnvelope, "testdata/errenvelope/noded", "noded")
+}
+
+// TestEscapeHatch pins the //repolint:allow contract: a justified allow
+// suppresses (same line or line above), an allow without a
+// justification is malformed, and an allow that suppresses nothing is
+// reported as unused.
+func TestEscapeHatch(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/hatch", "hatch/smr")
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3:\n%s", len(diags), strings.Join(got, "\n"))
+	}
+	wantFrags := []string{
+		"malformed repolint:allow",
+		"unused repolint:allow",
+		"wall clock", // the site under the malformed directive stays flagged
+	}
+	for _, frag := range wantFrags {
+		found := false
+		for _, g := range got {
+			if strings.Contains(g, frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic contains %q:\n%s", frag, strings.Join(got, "\n"))
+		}
+	}
+	for _, g := range got {
+		if strings.Contains(g, "justified exception") {
+			t.Errorf("suppressed site leaked a diagnostic: %s", g)
+		}
+	}
+}
+
+// TestUnusedJudgedOnlyWhenCovered pins the fairness rule: a directive
+// naming an analyzer that did not run in this invocation is never
+// reported as unused.
+func TestUnusedJudgedOnlyWhenCovered(t *testing.T) {
+	pkg := analysistest.Load(t, "testdata/hatch", "hatch2/smr")
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.ErrEnvelope})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unused repolint:allow") {
+			t.Errorf("unused-directive report for an analyzer that did not run: %s", d)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the whole module — the same
+// invocation CI uses. Every real violation is fixed or carries a
+// justified annotation, and this keeps it that way.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis is a few seconds; skipped in -short")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from ./..., expected the whole module", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AtomicFields generalizes the PR 7 datalink retrofit, repo-wide:
+//
+//  1. A struct field that is ever passed to a sync/atomic function
+//     (atomic.AddUint64(&s.f, …) style) must never be read or written
+//     plainly — mixed access is a data race the race detector only
+//     catches when both sides happen to run under -race. (Fields
+//     declared as atomic.Uint64 & co. are safe by construction: their
+//     only access path is atomic methods.)
+//  2. Scrape-path methods — Stats, Metrics, QueueLen and *Stats
+//     variants, called concurrently with protocol steps by the
+//     /metrics gatherers — must hold one of the struct's own mutexes
+//     while touching plain (non-atomic) fields of the receiver.
+var AtomicFields = &Analyzer{
+	Name: "atomicfields",
+	Doc: "fields accessed via sync/atomic are never accessed plainly; " +
+		"Stats()/scrape-path methods hold the owning mutex for plain state",
+	Run: runAtomicFields,
+}
+
+// scrapeMethod reports whether a method name is on the scrape path.
+func scrapeMethod(name string) bool {
+	return name == "Stats" || name == "Metrics" || name == "QueueLen" ||
+		strings.HasSuffix(name, "Stats")
+}
+
+func runAtomicFields(pass *Pass) error {
+	// Pass 1: collect fields used through sync/atomic package functions,
+	// and remember the selector nodes inside those calls as blessed.
+	atomicVars := map[*types.Var]bool{}
+	blessed := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVar(pass.TypesInfo, sel); v != nil {
+					atomicVars[v] = true
+					blessed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: any other use of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			v := fieldVar(pass.TypesInfo, sel)
+			if v == nil || !atomicVars[v] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed via sync/atomic elsewhere; this plain access races with it (use the atomic API everywhere, or declare the field as an atomic.* type)",
+				v.Name())
+			return true
+		})
+	}
+	// Pass 3: scrape-path methods on mutex-owning structs.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !scrapeMethod(fd.Name.Name) {
+				continue
+			}
+			checkScrapeMethod(pass, fd)
+		}
+	}
+	return nil
+}
+
+// fieldVar resolves a selector to the struct field it denotes (nil for
+// methods, package selectors, and non-field objects).
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// checkScrapeMethod enforces rule 2 on one method: if the receiver's
+// struct has mutex fields and the body reads plain receiver state, a
+// Lock/RLock on one of those mutexes must appear in the body.
+func checkScrapeMethod(pass *Pass, fd *ast.FuncDecl) {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	recvType := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if recvType == nil {
+		return
+	}
+	st := structOf(recvType)
+	if st == nil {
+		return
+	}
+	mus := mutexFields(st)
+	if len(mus) == 0 {
+		return
+	}
+	locked := false
+	var plainReads []*ast.SelectorExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base := receiverOf(sel.X)
+		if base == nil || base.Name != recvName {
+			return true
+		}
+		// e.mu.Lock() / RLock() on a receiver mutex?
+		if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+			if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+				for _, mu := range mus {
+					if inner.Sel.Name == mu {
+						locked = true
+					}
+				}
+			}
+			return true
+		}
+		v := fieldVar(pass.TypesInfo, sel)
+		if v == nil {
+			return true
+		}
+		for _, mu := range mus {
+			if v.Name() == mu {
+				return true
+			}
+		}
+		if isAtomicType(v.Type()) {
+			return true
+		}
+		// Interior selector of a longer chain? The leaf decides.
+		if isSelectorParentChain(fd.Body, sel) {
+			return true
+		}
+		plainReads = append(plainReads, sel)
+		return true
+	})
+	if locked || len(plainReads) == 0 {
+		return
+	}
+	pass.Reportf(plainReads[0].Pos(),
+		"scrape-path method %s reads plain field %s without holding a receiver mutex (%s); lock it or make the field atomic",
+		fd.Name.Name, plainReads[0].Sel.Name, strings.Join(mus, "/"))
+}
+
+// isSelectorParentChain reports whether sel is the X of an enclosing
+// selector (e.stats in e.stats.cleanings.Load()) — interior links are
+// skipped; the leaf field or method decides safety.
+func isSelectorParentChain(root ast.Node, sel *ast.SelectorExpr) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if outer, ok := n.(*ast.SelectorExpr); ok && ast.Unparen(outer.X) == sel {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

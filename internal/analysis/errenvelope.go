@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrEnvelope keeps the admin API's error contract uniform (DESIGN.md
+// §10): every response a noded HTTP handler emits goes through
+// api.WriteJSON or api.WriteError, so clients always get the JSON error
+// envelope with a machine-readable code.
+//
+// Inside any noded function that takes an http.ResponseWriter
+// parameter, the analyzer flags:
+//
+//   - direct w.Write / w.WriteHeader calls (header *reads and sets* via
+//     w.Header() stay legal — content-type negotiation is fine), and
+//   - handing the writer to a cross-package callee other than
+//     api.WriteJSON, api.WriteError, or a ServeHTTP method — which
+//     catches http.Error, fmt.Fprintf(w, …), json.NewEncoder(w), and
+//     friends. Same-package helpers are allowed because they are
+//     scanned by this same rule.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc: "noded HTTP handlers emit responses only through api.WriteJSON/api.WriteError " +
+		"so every error carries the uniform JSON envelope",
+	Run: runErrEnvelope,
+}
+
+const respWriterPath = "net/http.ResponseWriter"
+
+func runErrEnvelope(pass *Pass) error {
+	if !pass.PathHasSegment("noded") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var sig *types.Signature
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					sig, _ = obj.Type().(*types.Signature)
+				}
+			case *ast.FuncLit:
+				body = fn.Body
+				sig, _ = pass.TypesInfo.TypeOf(fn).(*types.Signature)
+			default:
+				return true
+			}
+			if body == nil || sig == nil || !hasRespWriterParam(sig) {
+				return true
+			}
+			checkHandlerBody(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func hasRespWriterParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if namedTypePath(sig.Params().At(i).Type()) == respWriterPath {
+			return true
+		}
+	}
+	return false
+}
+
+func isRespWriter(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && namedTypePath(tv.Type) == respWriterPath
+}
+
+// envelopeWriters are the only cross-package callees a handler may hand
+// the ResponseWriter to: the api envelope helpers and ServeHTTP
+// (delegation to another handler, e.g. a mux or pprof).
+func allowedEnvelopeCallee(fn *types.Func) bool {
+	if fn.Name() == "ServeHTTP" {
+		return true
+	}
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != "api" && !strings.HasSuffix(path, "/api") {
+		return false
+	}
+	return fn.Name() == "WriteJSON" || fn.Name() == "WriteError"
+}
+
+func checkHandlerBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// w.Write(...) / w.WriteHeader(...) directly on the writer.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isRespWriter(pass, sel.X) {
+			switch sel.Sel.Name {
+			case "Write", "WriteHeader":
+				pass.Reportf(call.Pos(),
+					"handler calls %s directly on the ResponseWriter; emit through api.WriteJSON/api.WriteError so the response carries the envelope",
+					sel.Sel.Name)
+			}
+			return true
+		}
+		// Handing the writer to someone else.
+		for _, arg := range call.Args {
+			if !isRespWriter(pass, ast.Unparen(arg)) {
+				continue
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				continue // dynamic call through a function value
+			}
+			if fn.Pkg() != nil && fn.Pkg() == pass.Pkg {
+				continue // same-package helper: scanned by this same rule
+			}
+			if allowedEnvelopeCallee(fn) {
+				continue
+			}
+			pass.Reportf(arg.Pos(),
+				"handler passes the ResponseWriter to %s; only api.WriteJSON, api.WriteError, and ServeHTTP delegation keep the error envelope uniform",
+				fn.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the function or method it
+// invokes (nil for conversions, builtins, and dynamic calls through
+// function-typed values).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function (no
+// receiver) pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// unwrapConversions peels type conversions (and parens) off an
+// expression: uint64(len(m)) → len(m).
+func unwrapConversions(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		if tv, ok := info.Types[call.Fun]; !ok || !tv.IsType() {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+// isMapExpr reports whether e's static type is (or underlies to) a map.
+func isMapExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// lenOfMap reports whether e (after peeling conversions) is a len()
+// call over a map-typed operand.
+func lenOfMap(info *types.Info, e ast.Expr) bool {
+	call, ok := unwrapConversions(info, e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "len" {
+		return false
+	}
+	return isMapExpr(info, call.Args[0])
+}
+
+// namedTypePath returns "pkgpath.Name" for a (possibly pointered) named
+// type, "" otherwise.
+func namedTypePath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// isAtomicType reports whether t is one of sync/atomic's instrument
+// types (atomic.Uint64, atomic.Int64, …) or a named type from a package
+// whose path ends in "obs" (obs.Counter and friends wrap atomics).
+func isAtomicType(t types.Type) bool {
+	path := namedTypePath(t)
+	if strings.HasPrefix(path, "sync/atomic.") {
+		return true
+	}
+	return false
+}
+
+// structOf returns the struct underlying a (possibly pointered, possibly
+// named) type, or nil.
+func structOf(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, _ := t.Underlying().(*types.Struct)
+	return s
+}
+
+// mutexFields returns the names of sync.Mutex / sync.RWMutex fields of
+// a struct type.
+func mutexFields(s *types.Struct) []string {
+	var out []string
+	for i := 0; i < s.NumFields(); i++ {
+		switch namedTypePath(s.Field(i).Type()) {
+		case "sync.Mutex", "sync.RWMutex":
+			out = append(out, s.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// receiverOf returns the receiver base identifier of a selector chain
+// (e for e.stats.cleanings), or nil if the base is not an identifier.
+func receiverOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFunc returns the innermost *ast.FuncDecl or *ast.FuncLit in
+// file whose span contains pos (nil at top level) — how analyzers ask
+// "does the surrounding function also do X".
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if pos < n.Pos() || pos >= n.End() {
+			return false // subtree cannot contain pos
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			best = n // visited parents-first, so a later hit is more inner
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricName pins the metric naming contract (DESIGN.md §11, §15):
+//
+//  1. Every obs.Registry registration (Counter, CounterFunc, Gauge,
+//     GaugeFunc, Histogram) uses a constant name matching
+//     repro_<subsystem>_<name>, with the kind-appropriate suffix
+//     (counters end in _total; histograms in _seconds/_ticks/_bytes;
+//     gauges in neither), drawn from the metricfamilies.go allowlist,
+//     and — when the label set is written literally — with exactly the
+//     family's declared label keys.
+//  2. Any other "repro_…" string literal in the tree (dashboards-by-
+//     grep tables like cmd/nodeload's) must name an allowlisted family,
+//     so references cannot drift from registrations.
+//
+// The analysis package itself is exempt: the allowlist and these doc
+// strings legitimately mention family names and the pattern.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "obs.Registry registrations use constant repro_<subsystem>_<name> families " +
+		"from the metricfamilies.go allowlist with matching kind suffix and label keys",
+	Run: runMetricName,
+}
+
+var metricNameRE = regexp.MustCompile(`^repro_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// registryMethods maps obs.Registry method names to the instrument kind
+// they register.
+var registryMethods = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+func runMetricName(pass *Pass) error {
+	if pass.PathHasSegment("analysis") {
+		return nil
+	}
+	// Positions of name arguments already checked at a registration call
+	// site, so the stray-literal sweep does not double-report them.
+	checked := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryMethodKind(pass, call)
+			if !ok {
+				return true
+			}
+			if len(call.Args) > 0 {
+				checked[ast.Unparen(call.Args[0]).Pos()] = true
+			}
+			checkRegistration(pass, call, kind)
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || checked[lit.Pos()] {
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil || !strings.HasPrefix(val, "repro_") {
+				return true
+			}
+			if !metricNameRE.MatchString(val) {
+				pass.Reportf(lit.Pos(),
+					"string %q looks like a metric family but does not match repro_<subsystem>_<name> (lower-case, underscore-separated)", val)
+				return true
+			}
+			if _, ok := metricFamilies[val]; !ok {
+				pass.Reportf(lit.Pos(),
+					"metric family %q is not in the metricfamilies.go allowlist; add it there (with kind and labels) in the same change", val)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// registryMethodKind reports whether call invokes a registration method
+// on obs.Registry, and if so which instrument kind it registers.
+func registryMethodKind(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	kind, ok := registryMethods[fn.Name()]
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	path := namedTypePath(sig.Recv().Type())
+	if path != "obs.Registry" && !strings.HasSuffix(path, "/obs.Registry") {
+		return "", false
+	}
+	return kind, true
+}
+
+// checkRegistration validates one registration call: constant name,
+// pattern, kind suffix, allowlist membership, and (when literal) label
+// keys. At most one diagnostic per call, most fundamental first.
+func checkRegistration(pass *Pass, call *ast.CallExpr, kind string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	nameArg := call.Args[0]
+	tv := pass.TypesInfo.Types[nameArg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(nameArg.Pos(),
+			"metric name passed to %s must be a constant string so the allowlist can vouch for it", kind)
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(name) {
+		pass.Reportf(nameArg.Pos(),
+			"metric family %q does not match repro_<subsystem>_<name> (lower-case, underscore-separated)", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(nameArg.Pos(), "counter family %q must end in _total", name)
+			return
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(nameArg.Pos(), "gauge family %q must not end in _total (that suffix is reserved for counters)", name)
+			return
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_ticks") && !strings.HasSuffix(name, "_bytes") {
+			pass.Reportf(nameArg.Pos(), "histogram family %q must end in a unit suffix (_seconds, _ticks, or _bytes)", name)
+			return
+		}
+	}
+	fam, ok := metricFamilies[name]
+	if !ok {
+		pass.Reportf(nameArg.Pos(),
+			"metric family %q is not in the metricfamilies.go allowlist; add it there (with kind and labels) in the same change", name)
+		return
+	}
+	if fam.kind != kind {
+		pass.Reportf(nameArg.Pos(),
+			"metric family %q is allowlisted as a %s but registered as a %s", name, fam.kind, kind)
+		return
+	}
+	checkRegistrationLabels(pass, call, name, fam)
+}
+
+// checkRegistrationLabels compares a literal obs.Labels argument against
+// the family's declared key schema. Non-literal label arguments (tables,
+// loop-built maps) are skipped — the family row still bounds them in
+// review, and values are free to vary.
+func checkRegistrationLabels(pass *Pass, call *ast.CallExpr, name string, fam metricFamily) {
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		path := namedTypePath(tv.Type)
+		if path != "obs.Labels" && !strings.HasSuffix(path, "/obs.Labels") {
+			continue
+		}
+		lit, ok := ast.Unparen(arg).(*ast.CompositeLit)
+		if !ok {
+			return // non-literal labels: cannot check keys statically
+		}
+		var keys []string
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				return
+			}
+			ktv := pass.TypesInfo.Types[kv.Key]
+			if ktv.Value == nil || ktv.Value.Kind() != constant.String {
+				pass.Reportf(kv.Key.Pos(),
+					"label key for metric family %q must be a constant string", name)
+				return
+			}
+			keys = append(keys, constant.StringVal(ktv.Value))
+		}
+		want := append([]string(nil), fam.labels...)
+		got := append([]string(nil), keys...)
+		sort.Strings(want)
+		sort.Strings(got)
+		if !equalStrings(want, got) {
+			pass.Reportf(lit.Pos(),
+				"metric family %q declares label keys [%s] in the allowlist but this registration uses [%s]",
+				name, strings.Join(want, " "), strings.Join(got, " "))
+		}
+		return
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,66 @@
+// Package atomics is an atomicfields fixture: mixed atomic/plain field
+// access and scrape-path methods with and without the owning mutex.
+package atomics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter uses old-style sync/atomic functions on a plain field.
+type counter struct {
+	n uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+func (c *counter) racy() uint64 {
+	return c.n // want "plain access races"
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want "plain access races"
+}
+
+// Endpoint mirrors the datalink shape: a mutex, plain state, and an
+// atomic-typed stats block.
+type Endpoint struct {
+	mu    sync.Mutex
+	depth int
+	stats struct {
+		hits atomic.Uint64
+	}
+}
+
+// Stats reads plain state without the mutex: racy scrape.
+func (e *Endpoint) Stats() int {
+	return e.depth // want "without holding a receiver mutex"
+}
+
+// QueueLen holds the mutex: safe scrape.
+func (e *Endpoint) QueueLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.depth
+}
+
+// HitStats reads only atomic-typed state: safe without the mutex.
+func (e *Endpoint) HitStats() uint64 {
+	return e.stats.hits.Load()
+}
+
+var (
+	_ = (*counter).inc
+	_ = (*counter).read
+	_ = (*counter).racy
+	_ = (*counter).racyWrite
+	_ = (*Endpoint).Stats
+	_ = (*Endpoint).QueueLen
+	_ = (*Endpoint).HitStats
+)

@@ -1,0 +1,92 @@
+// Package smr is a determinism fixture; its import path ends in "smr",
+// one of the byte-determinism packages.
+package smr
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "wall-clock delay"
+}
+
+func env() string {
+	return os.Getenv("HOME") // want "environment read"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "global math/rand"
+}
+
+// seeded is the sanctioned pattern: constructors are not draws from the
+// global source.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// sum is order-insensitive: commutative accumulation.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert is order-insensitive: distinct stores into another map.
+func invert(m map[string]int) map[int]string {
+	out := map[int]string{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// keys is the collect-then-sort idiom: the enclosing function sorts.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// firstKey leaks iteration order straight into the result.
+func firstKey(m map[string]int) string {
+	for k := range m { // want "map iteration order"
+		return k
+	}
+	return ""
+}
+
+// appendAll leaks iteration order into slice order with no sort in
+// sight.
+func appendAll(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order"
+		out = append(out, k)
+	}
+	return out
+}
+
+var (
+	_ = clock
+	_ = pause
+	_ = env
+	_ = roll
+	_ = seeded
+	_ = sum
+	_ = invert
+	_ = keys
+	_ = firstKey
+	_ = appendAll
+)

@@ -1,0 +1,69 @@
+// Package noded is an errenvelope fixture: its import path ends in
+// "noded", so handler-shaped functions are scanned.
+package noded
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/pkg/api"
+)
+
+func goodJSON(w http.ResponseWriter, r *http.Request) {
+	api.WriteJSON(w, map[string]string{"ok": "true"})
+}
+
+func goodError(w http.ResponseWriter, r *http.Request) {
+	api.WriteError(w, api.Errorf("bad_request", "nope"))
+}
+
+// goodDelegate hands off to another handler; ServeHTTP keeps whatever
+// envelope that handler enforces.
+func goodDelegate(w http.ResponseWriter, r *http.Request, mux *http.ServeMux) {
+	mux.ServeHTTP(w, r)
+}
+
+// helper is same-package: allowed at the call site because this rule
+// scans it too.
+func helper(w http.ResponseWriter) {
+	api.WriteJSON(w, nil)
+}
+
+func goodHelper(w http.ResponseWriter, r *http.Request) {
+	helper(w)
+}
+
+// goodHeaders may negotiate content types; only body/status writes are
+// restricted.
+func goodHeaders(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Fixture", "1")
+	api.WriteJSON(w, nil)
+}
+
+func badWriteHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusTeapot) // want "WriteHeader directly"
+}
+
+func badWrite(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("raw")) // want "Write directly"
+}
+
+func badFprint(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "raw") // want "passes the ResponseWriter to Fprintln"
+}
+
+func badHTTPError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusInternalServerError) // want "passes the ResponseWriter to Error"
+}
+
+var (
+	_ = goodJSON
+	_ = goodError
+	_ = goodDelegate
+	_ = goodHelper
+	_ = goodHeaders
+	_ = badWriteHeader
+	_ = badWrite
+	_ = badFprint
+	_ = badHTTPError
+)

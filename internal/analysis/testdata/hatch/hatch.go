@@ -1,0 +1,33 @@
+// Package hatch exercises //repolint:allow directive handling: a used
+// allow, an unused allow, and a malformed allow (no justification). It
+// is loaded under an import path ending in "smr" so the determinism
+// analyzer is in scope.
+package hatch
+
+import "time"
+
+func suppressed() time.Time {
+	//repolint:allow determinism -- fixture: justified exception on the line above
+	return time.Now()
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //repolint:allow determinism -- fixture: justified exception in trailing position
+}
+
+func unused() int {
+	//repolint:allow determinism -- fixture: nothing here to suppress
+	return 1
+}
+
+//repolint:allow determinism
+func malformed() time.Time {
+	return time.Now()
+}
+
+var (
+	_ = suppressed
+	_ = suppressedSameLine
+	_ = unused
+	_ = malformed
+)

@@ -1,0 +1,35 @@
+// Package metrics is a metricname fixture exercising registration calls
+// against the real obs.Registry API and the checked-in allowlist.
+package metrics
+
+import "repro/internal/obs"
+
+func register(reg *obs.Registry) {
+	// Allowlisted families with the right kind, suffix, and labels.
+	reg.Counter("repro_node_ticks_total", "Ticks.", nil)
+	reg.Gauge("repro_datalink_queue_depth", "Depth.", nil)
+	reg.Histogram("repro_storage_snapshot_seconds", "Latency.", obs.Labels{"shard": "0"}, nil)
+
+	// Wrong shape or not vouched for.
+	reg.Counter("repro_bad_counter", "No _total suffix.", nil)                       // want "must end in _total"
+	reg.Gauge("repro_bad_gauge_total", "Counter suffix on a gauge.", nil)            // want "must not end in _total"
+	reg.Histogram("repro_storage_snapshot_latency", "No unit suffix.", nil, nil)     // want "must end in a unit suffix"
+	reg.Counter("repro_UPPER_total", "Bad charset.", nil)                            // want "does not match repro_"
+	reg.Counter("repro_unknown_thing_total", "Absent from the allowlist.", nil)      // want "not in the metricfamilies.go allowlist"
+	reg.Gauge("repro_node_ticks_total", "Kind clash: allowlisted as counter.", nil)  // want "must not end in _total"
+	reg.Counter("repro_storage_appends_total", "Missing shard label.", obs.Labels{}) // want "declares label keys"
+	reg.Gauge("repro_smr_pending_commands", "Wrong key.", obs.Labels{"shardx": "0"}) // want "declares label keys"
+	name := "repro_node_ticks_total"
+	reg.Counter(name, "Non-constant name.", nil) // want "must be a constant string"
+}
+
+// reference tables may mention families, but only allowlisted ones.
+var families = []string{
+	"repro_node_ticks_total",
+	"repro_made_up_total", // want "not in the metricfamilies.go allowlist"
+}
+
+var (
+	_ = register
+	_ = families
+)

@@ -475,6 +475,7 @@ func (e *Endpoint) Peers() ids.Set {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := ids.Set{}
+	//repolint:allow determinism -- set insertion is commutative; the resulting ids.Set is identical for every iteration order
 	for id := range e.peers {
 		out = out.Add(id)
 	}

@@ -164,6 +164,7 @@ func (n *Network) Crashed(id ids.ID) bool {
 // Alive returns the identifiers of non-crashed registered nodes.
 func (n *Network) Alive() ids.Set {
 	out := ids.Set{}
+	//repolint:allow determinism -- set insertion is commutative; the resulting ids.Set is identical for every iteration order
 	for id, ns := range n.nodes {
 		if !ns.crashed {
 			out = out.Add(id)

@@ -143,10 +143,12 @@ func (s *SharedMemory) maybeSnapshot() {
 func (s *SharedMemory) saveSnapshot() error {
 	var start time.Time
 	if s.onSnapshot != nil {
+		//repolint:allow determinism -- timing feeds the opt-in ObserveSnapshots hook only; nil in every experiment path
 		start = time.Now()
 	}
 	err := s.saveSnapshotInner()
 	if s.onSnapshot != nil {
+		//repolint:allow determinism -- duration goes to the opt-in ObserveSnapshots hook, never into replayed state
 		s.onSnapshot(time.Since(start), err)
 	}
 	return err

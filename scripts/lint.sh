@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo lint suite, in the same order CI runs it: gofmt, go vet,
+# staticcheck (when installed), repolint. Run from anywhere in the repo
+# before pushing; the CI lint job runs exactly this plus govulncheck.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:"
+  echo "$out"
+  exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+else
+  echo "staticcheck not installed; skipping (CI installs the pinned version)"
+fi
+
+echo "== repolint"
+go run ./cmd/repolint ./...
+
+echo "lint: OK"

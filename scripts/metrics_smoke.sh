@@ -100,6 +100,7 @@ done
 # folded server.shard_ops series.
 FAMILIES=(
   repro_node_ticks_total=nonzero
+  repro_build_info=nonzero
   repro_tcp_sent_total=nonzero
   repro_tcp_delivered_total=nonzero
   repro_tcp_frames_written_total=nonzero
