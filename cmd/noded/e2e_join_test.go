@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+	"repro/pkg/client"
+)
+
+// TestJoinerAdoptedOverTCP is the live-socket counterpart of the
+// unit-tested internal/join flow: a 3-node TCP cluster takes writes,
+// then a fresh process started with -members none (it knows addresses
+// but is in nobody's configuration) must be adopted through the joining
+// mechanism — Algorithm 3.3 over real sockets — reach serving within
+// its -join-timeout, and answer sync-reads with the state written
+// before it existed (Theorem 4.13: joiners adopt, they do not reset).
+func TestJoinerAdoptedOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real noded processes")
+	}
+	bin := filepath.Join(t.TempDir(), "noded")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building noded: %v\n%s", err, out)
+	}
+
+	const nodes, shards = 3, 2
+	joinerID := nodes + 1
+	var trAddrs, httpAddrs []string
+	for i := 0; i <= nodes; i++ {
+		trAddrs = append(trAddrs, freePort(t))
+		httpAddrs = append(httpAddrs, freePort(t))
+	}
+	book := ""
+	for i := 0; i <= nodes; i++ {
+		if i > 0 {
+			book += ","
+		}
+		book += fmt.Sprintf("%d=%s", i+1, trAddrs[i])
+	}
+
+	start := func(id int, members string, extra ...string) *exec.Cmd {
+		args := append([]string{
+			"-id", fmt.Sprint(id),
+			"-peers", book,
+			"-http", httpAddrs[id-1],
+			"-members", members,
+			"-shards", fmt.Sprint(shards),
+			"-data-dir", filepath.Join(t.TempDir(), fmt.Sprintf("n%d", id)),
+		}, extra...)
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting noded %d: %v", id, err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		})
+		return cmd
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	for id := 1; id <= nodes; id++ {
+		start(id, "1,2,3")
+	}
+	c, err := client.New(httpAddrs[:nodes],
+		client.WithShards(shards), client.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.WaitServing(ctx, 0); err != nil {
+		t.Fatalf("cluster never served: %v", err)
+	}
+
+	// State the joiner must adopt: written before its process exists.
+	want := map[string]string{}
+	for sh, group := range shard.NamesPerShard(shards, 2) {
+		for j, name := range group {
+			v := fmt.Sprintf("pre-join-%d-%d", sh, j)
+			if _, err := c.Write(ctx, name, v); err != nil {
+				t.Fatalf("write %s: %v", name, err)
+			}
+			want[name] = v
+		}
+	}
+
+	start(joinerID, "none", "-join-timeout", "60s")
+	jc, err := client.New([]string{httpAddrs[joinerID-1]},
+		client.WithShards(shards), client.WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	adopted := time.Now()
+	if _, err := jc.WaitServing(ctx, 0); err != nil {
+		t.Fatalf("joiner never reached serving: %v", err)
+	}
+	t.Logf("joiner serving after %v", time.Since(adopted).Round(time.Millisecond))
+
+	// The joiner answers with the adopted state, not a blank replica.
+	for name, v := range want {
+		got, err := jc.SyncRead(ctx, name)
+		if err != nil {
+			t.Fatalf("sync-read %s via joiner: %v", name, err)
+		}
+		if !got.Found || got.Value != v {
+			t.Fatalf("joiner state for %s: %+v, want %q", name, got, v)
+		}
+	}
+
+	// And it participates in new writes: a post-join write through the
+	// joiner's endpoint is visible cluster-wide.
+	if _, err := jc.Write(ctx, "post-join", "ok"); err != nil {
+		t.Fatalf("write via joiner: %v", err)
+	}
+	got, err := c.SyncRead(ctx, "post-join")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || got.Value != "ok" {
+		t.Fatalf("post-join write not visible cluster-wide: %+v", got)
+	}
+}

@@ -8,7 +8,7 @@
 // Daemon:
 //
 //	noded -id 1 -peers "1=127.0.0.1:7101,2=127.0.0.1:7102,..." \
-//	      -http 127.0.0.1:8101 [-members 1,2,3] [-seed 1] [-shards 4] \
+//	      -http 127.0.0.1:8101 [-members 1,2,3] [-join-timeout 60s] [-seed 1] [-shards 4] \
 //	      [-batch 16] [-window 4] [-adaptive-batch] [-wire-version 2] \
 //	      [-loss 0.02] [-dup 0.01] [-tick 2ms] \
 //	      [-data-dir /var/lib/noded-1] [-fsync always|snapshot] [-snap-every 1024] \
@@ -112,6 +112,7 @@ func runDaemon(args []string) error {
 		peers    = fs.String("peers", "", `cluster address book "1=host:port,2=host:port,..." (required)`)
 		httpAddr = fs.String("http", "127.0.0.1:0", "client API listen address")
 		members  = fs.String("members", "", `initial configuration ids "1,2,3" ("none" to start as a joiner; default: all peers)`)
+		joinTO   = fs.Duration("join-timeout", 0, "with -members none: exit nonzero if the joiner has not reached serving within this deadline (0 = wait forever)")
 		seed     = fs.Int64("seed", 1, "random seed component")
 		loss     = fs.Float64("loss", 0, "injected packet loss probability")
 		dup      = fs.Float64("dup", 0, "injected packet duplication probability")
@@ -272,11 +273,21 @@ func runDaemon(args []string) error {
 		"data_dir", *dataDir,
 		"fsync", fsync.String(),
 		"snap_every", *snapEv,
+		"join_timeout", joinTO.String(),
 		"pprof", *pprofOn,
 	)
 	srv := &http.Server{Handler: d.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// A joiner that is never adopted (dead cluster, partition, admission
+	// refused) would otherwise poll Algorithm 3.3 forever with no
+	// distinct diagnostic; the watchdog turns that into a structured
+	// join_timeout failure churn harnesses and scripts can assert on.
+	joinc := make(chan struct{})
+	if initial.Empty() && *joinTO > 0 {
+		go joinWatchdog(d, *joinTO, joinc)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -285,9 +296,32 @@ func runDaemon(args []string) error {
 		logger.Info("noded shutting down", "id", int(self), "reason", sig.String())
 		srv.Close()
 		return nil
+	case <-joinc:
+		logger.Error("noded shutting down", "id", int(self), "reason", "join_timeout",
+			"join_timeout", joinTO.String())
+		srv.Close()
+		return fmt.Errorf("joiner not serving within -join-timeout %s", *joinTO)
 	case err := <-errc:
 		logger.Error("noded shutting down", "id", int(self), "reason", err.Error())
 		return err
+	}
+}
+
+// joinWatchdog polls the daemon's status until it reports serving,
+// closing c if the deadline passes first. Only started for -members
+// none processes with a nonzero -join-timeout.
+func joinWatchdog(d *Daemon, timeout time.Duration, c chan struct{}) {
+	deadline := time.Now().Add(timeout)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for range tick.C {
+		if st, ok := d.status(); ok && st.Serving {
+			return
+		}
+		if time.Now().After(deadline) {
+			close(c)
+			return
+		}
 	}
 }
 

@@ -51,6 +51,7 @@ func (d *Daemon) initMetrics() {
 	d.registerDatalink(reg)
 	d.registerTCP(reg)
 	d.registerShards(reg)
+	d.registerJoin(reg)
 	d.registerNodeStateHook(reg)
 	d.httpReqs = newHTTPInstruments(reg)
 }
@@ -200,6 +201,8 @@ func (d *Daemon) registerShards(reg *obs.Registry) {
 				func() uint64 { return mgr.Metrics().Adoptions }},
 			{"repro_vs_state_mismatches_total", "Adopted states differing from the locally recomputed Apply result.",
 				func() uint64 { return mgr.Metrics().StateMismatches }},
+			{"repro_vs_no_coordinator_ticks_total", "Participant ticks spent without an established coordinator.",
+				func() uint64 { return mgr.Metrics().NoCoordinatorTicks }},
 		}
 		for _, c := range vsCounters {
 			//repolint:allow metricname -- names come from the literal vsCounters table above; each row is allowlist-checked as a repro_ string literal
@@ -235,11 +238,33 @@ func (d *Daemon) registerShards(reg *obs.Registry) {
 	}
 }
 
+// registerJoin exports the joining mechanism's protocol counters
+// (Algorithm 3.3). The Joiner's counters are atomics, so the views are
+// lock-free like the vs ones; the participant gauge is node-context
+// state and is refreshed by the gather hook below.
+func (d *Daemon) registerJoin(reg *obs.Registry) {
+	j := d.node.Joiner
+	reg.CounterFunc("repro_join_requests_total",
+		"Join requests issued by this node's joiner loop.",
+		nil, func() uint64 { return j.Metrics().Requests })
+	reg.CounterFunc("repro_join_responses_total",
+		"Join requests answered by this node as a configuration member.",
+		nil, func() uint64 { return j.Metrics().Responses })
+	reg.CounterFunc("repro_join_joined_total",
+		"Successful adoptions: majority pass collected and participation granted.",
+		nil, func() uint64 { return j.Metrics().Joined })
+	reg.CounterFunc("repro_join_denied_total",
+		"Adoption attempts where recSA refused participation.",
+		nil, func() uint64 { return j.Metrics().Denied })
+}
+
 // registerNodeStateHook exports the state only the node's execution
-// context may read: smr pending depth and the storage backend counters.
-// One Inspect per scrape refreshes all of it.
+// context may read: smr pending depth, the participant flag, and the
+// storage backend counters. One Inspect per scrape refreshes all of it.
 func (d *Daemon) registerNodeStateHook(reg *obs.Registry) {
 	n := d.mem.N()
+	participant := reg.Gauge("repro_join_participant",
+		"1 while recSA reports this node a participant, 0 while joining.", nil)
 	pending := make([]*obs.Gauge, n)
 	mirrors := make([]*storageMirror, n)
 	walRecords := make([]*obs.Gauge, n)
@@ -272,6 +297,11 @@ func (d *Daemon) registerNodeStateHook(reg *obs.Registry) {
 	}
 	reg.OnGather(func() {
 		d.tr.Inspect(d.self, func() {
+			if d.node.IsParticipant() {
+				participant.Set(1)
+			} else {
+				participant.Set(0)
+			}
 			for i := 0; i < n; i++ {
 				mem, err := d.mem.Mem(i)
 				if err != nil {

@@ -1,0 +1,561 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+	"repro/pkg/client"
+)
+
+// Churn mode: nodeload owns the cluster. It boots -nodes noded
+// processes over the TCP transport, drives the mixed workload against
+// them, and injects the paper's fault model mid-load on a seeded,
+// reproducible schedule: SIGKILL a victim (no shutdown path runs),
+// restart it over the same -data-dir (disk recovery + rejoin), and
+// start a fresh `-members none` process that must be adopted through
+// the joining mechanism (Algorithm 3.3) over real sockets. The report
+// gains churn.* series — recovery time, joiner adoption time, the
+// largest client-observed availability gap, and the acked-write
+// survival count — so the live numbers line up against the E14 simnet
+// grid (EXPERIMENTS.md).
+//
+// Write survival is checked per key with a single writer per key and a
+// monotone per-key sequence embedded in the value ("c<seq>"): after the
+// load stops and in-flight commands settle, a sync-read of every key
+// that had at least one acknowledged write must return a sequence >= the
+// last acknowledged one. A lower sequence or a missing register means an
+// acknowledged write vanished — the failover-path loss this harness
+// exists to flush out. (An unacknowledged write may legitimately land
+// late and win; the settle window plus round-ordered application makes
+// that a non-issue in practice, and the check errs toward reporting it.)
+
+// churnEvent is one kill/restart cycle of the seeded schedule.
+type churnEvent struct {
+	at           time.Duration // offset from measure start
+	victim       int           // index into the initial nodes
+	restartDelay time.Duration
+}
+
+// churnPlan is the full seeded schedule, derived from -seed alone so a
+// run is reproducible given the same flags.
+type churnPlan struct {
+	events []churnEvent
+	joinAt time.Duration // offset from measure start; < 0 disables
+}
+
+func planChurn(cfg config) churnPlan {
+	rng := rand.New(rand.NewSource(cfg.seed * 1627))
+	var p churnPlan
+	// Kills land in the first 60% of the measured window, evenly
+	// striped so sequential recovery cycles don't pile up.
+	for k := 0; k < cfg.churnKills; k++ {
+		lo := 0.15 + 0.6*float64(k)/float64(cfg.churnKills)
+		frac := lo + 0.1*rng.Float64()
+		p.events = append(p.events, churnEvent{
+			at:           time.Duration(frac * float64(cfg.duration)),
+			victim:       rng.Intn(cfg.nodes),
+			restartDelay: 300*time.Millisecond + time.Duration(rng.Int63n(int64(500*time.Millisecond))),
+		})
+	}
+	p.joinAt = -1
+	if cfg.churnJoin {
+		// The joiner starts in the back half, after the kill storm, so
+		// adoption is measured against a reconfiguring-but-stable view.
+		p.joinAt = time.Duration((0.55 + 0.1*rng.Float64()) * float64(cfg.duration))
+	}
+	return p
+}
+
+// nodeProc is one supervised noded process.
+type nodeProc struct {
+	id               int
+	trAddr, httpAddr string
+	dataDir          string
+	cmd              *exec.Cmd
+}
+
+// freeAddrs grabs n distinct ephemeral 127.0.0.1 ports. All listeners
+// stay open until every port is collected so no address repeats.
+func freeAddrs(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+// supervisor owns the noded processes of a churn run.
+type supervisor struct {
+	cfg     config
+	book    string // full address book, joiner included
+	members string // initial configuration "1,...,N"
+	nodes   []*nodeProc
+	joiner  *nodeProc
+}
+
+func newSupervisor(cfg config, dataRoot string) (*supervisor, error) {
+	addrs, err := freeAddrs(2 * (cfg.nodes + 1))
+	if err != nil {
+		return nil, err
+	}
+	s := &supervisor{cfg: cfg}
+	var book, members []string
+	mk := func(i int) *nodeProc {
+		n := &nodeProc{
+			id:       i + 1,
+			trAddr:   addrs[2*i],
+			httpAddr: addrs[2*i+1],
+			dataDir:  filepath.Join(dataRoot, fmt.Sprintf("node-%d", i+1)),
+		}
+		book = append(book, fmt.Sprintf("%d=%s", n.id, n.trAddr))
+		return n
+	}
+	for i := 0; i < cfg.nodes; i++ {
+		n := mk(i)
+		members = append(members, strconv.Itoa(n.id))
+		s.nodes = append(s.nodes, n)
+	}
+	// The joiner's transport address is in every node's book from the
+	// start (the book is boot-time fixed), but its id is outside the
+	// initial configuration: it must earn participation via Algorithm
+	// 3.3, not via -members.
+	s.joiner = mk(cfg.nodes)
+	s.book = strings.Join(book, ",")
+	s.members = strings.Join(members, ",")
+	return s, nil
+}
+
+// start launches (or relaunches) one node. memberArg "" means the
+// initial configuration; "none" boots the process as a joiner.
+func (s *supervisor) start(n *nodeProc, memberArg string) error {
+	if memberArg == "" {
+		memberArg = s.members
+	}
+	args := []string{
+		"-id", strconv.Itoa(n.id),
+		"-peers", s.book,
+		"-http", n.httpAddr,
+		"-members", memberArg,
+		"-shards", strconv.Itoa(s.cfg.shards),
+		"-batch", strconv.Itoa(s.cfg.batch),
+		"-window", strconv.Itoa(s.cfg.window),
+		"-data-dir", n.dataDir,
+		"-fsync", "always",
+		"-seed", strconv.FormatInt(s.cfg.seed+int64(n.id), 10),
+	}
+	if memberArg == "none" && s.cfg.joinTimeout > 0 {
+		args = append(args, "-join-timeout", s.cfg.joinTimeout.String())
+	}
+	cmd := exec.Command(s.cfg.noded, args...)
+	cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("starting noded %d: %w", n.id, err)
+	}
+	n.cmd = cmd
+	return nil
+}
+
+// kill SIGKILLs the process (no shutdown path) and reaps it.
+func (n *nodeProc) kill() {
+	if n.cmd == nil || n.cmd.Process == nil {
+		return
+	}
+	n.cmd.Process.Signal(syscall.SIGKILL)
+	n.cmd.Wait()
+	n.cmd = nil
+}
+
+func (s *supervisor) killAll() {
+	for _, n := range s.nodes {
+		n.kill()
+	}
+	s.joiner.kill()
+}
+
+// waitOne blocks until the node's own endpoint reports serving.
+func waitOne(ctx context.Context, n *nodeProc, shards int) error {
+	c, err := client.New([]string{n.httpAddr}, client.WithShards(shards))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.WaitServing(ctx, 0)
+	return err
+}
+
+// churnMeasure is what the fault-injection timeline records.
+type churnMeasure struct {
+	kills       int
+	recoveryMax time.Duration // SIGKILL -> restarted process serving again
+	joinAdopt   time.Duration // joiner exec -> serving (adopted)
+	joined      bool
+	note        string
+}
+
+// churnResult extends the workload result with survival bookkeeping.
+type churnResult struct {
+	result
+	okAt  []time.Time    // completion times of successful ops (gap series)
+	acked map[string]int // key -> highest acknowledged write sequence
+}
+
+// churnDrive is the churn-mode workload: like drive, but each key has
+// exactly one writer (keys are striped over workers) and writes carry a
+// monotone per-key sequence, which is what makes acked-write survival
+// checkable after the run.
+func churnDrive(ctx context.Context, c *client.Client, cfg config) churnResult {
+	keys := make([]string, 0, cfg.shards*cfg.keys)
+	for _, group := range shard.NamesPerShard(cfg.shards, cfg.keys) {
+		keys = append(keys, group...)
+	}
+	res := churnResult{acked: make(map[string]int)}
+	var mu sync.Mutex
+	start := time.Now()
+	measureStart := start.Add(cfg.warmup)
+	deadline := measureStart.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		var own []string
+		for i := w; i < len(keys); i += cfg.clients {
+			own = append(own, keys[i])
+		}
+		if len(own) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, own []string) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
+			seqs := make(map[string]int, len(own))
+			acked := make(map[string]int, len(own))
+			var write, sread classStats
+			var okAt []time.Time
+			var lastErr error
+			for ctx.Err() == nil && time.Now().Before(deadline) {
+				key := own[rng.Intn(len(own))]
+				isWrite := rng.Float64() < cfg.ratio
+				t0 := time.Now()
+				var err error
+				if isWrite {
+					seqs[key]++
+					_, err = c.Write(ctx, key, fmt.Sprintf("c%d", seqs[key]))
+					if err == nil {
+						acked[key] = seqs[key]
+					}
+				} else {
+					_, err = c.SyncRead(ctx, key)
+				}
+				done := time.Now()
+				lat := done.Sub(t0)
+				if done.Before(measureStart) {
+					if err != nil {
+						lastErr = err
+					}
+					continue
+				}
+				st := &sread
+				if isWrite {
+					st = &write
+				}
+				if err != nil {
+					st.errs++
+					lastErr = err
+					continue
+				}
+				st.ops++
+				st.latMS = append(st.latMS, float64(lat)/float64(time.Millisecond))
+				okAt = append(okAt, done)
+			}
+			mu.Lock()
+			res.write.merge(write)
+			res.sread.merge(sread)
+			res.okAt = append(res.okAt, okAt...)
+			for k, s := range acked {
+				res.acked[k] = s // single writer per key: no conflicts
+			}
+			if lastErr != nil {
+				res.lastErr = lastErr
+			}
+			mu.Unlock()
+		}(w, own)
+	}
+	wg.Wait()
+	res.elapsed = time.Since(measureStart)
+	if d := deadline.Sub(measureStart); res.elapsed > d && ctx.Err() == nil {
+		res.elapsed = d
+	}
+	return res
+}
+
+// maxGap returns the largest client-observed availability gap: the
+// longest stretch of the measured window [from, to] with no successful
+// operation completion.
+func maxGap(okAt []time.Time, from, to time.Time) time.Duration {
+	sort.Slice(okAt, func(i, j int) bool { return okAt[i].Before(okAt[j]) })
+	var max time.Duration
+	prev := from
+	for _, t := range okAt {
+		if t.After(to) {
+			break
+		}
+		if g := t.Sub(prev); g > max {
+			max = g
+		}
+		prev = t
+	}
+	if g := to.Sub(prev); g > max {
+		max = g
+	}
+	return max
+}
+
+// verifySurvival sync-reads every key that had an acknowledged write
+// and counts the ones whose final value regressed below the last
+// acknowledged sequence (or vanished outright).
+func verifySurvival(ctx context.Context, c *client.Client, acked map[string]int) (lost int, detail string) {
+	keys := make([]string, 0, len(acked))
+	for k := range acked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		want := acked[key]
+		var got string
+		var found bool
+		// A node mid-recovery can fail a first read; retry briefly
+		// before declaring the write lost.
+		for attempt := 0; attempt < 5; attempt++ {
+			r, err := c.SyncRead(ctx, key)
+			if err == nil {
+				got, found = r.Value, r.Found
+				break
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		seq := -1
+		if found {
+			if n, err := strconv.Atoi(strings.TrimPrefix(got, "c")); err == nil {
+				seq = n
+			}
+		}
+		if seq < want {
+			lost++
+			if detail == "" {
+				detail = fmt.Sprintf("first loss: %s acked c%d, read %q", key, want, got)
+			}
+		}
+	}
+	return lost, detail
+}
+
+// runChurn is the churn-mode main: boot cluster, drive load, inject the
+// seeded kill/restart + join schedule, verify survival, emit one report.
+func runChurn(ctx context.Context, cfg config) error {
+	dataRoot := cfg.dataRoot
+	if dataRoot == "" {
+		dir, err := os.MkdirTemp("", "nodeload-churn-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		dataRoot = dir
+	}
+	sup, err := newSupervisor(cfg, dataRoot)
+	if err != nil {
+		return err
+	}
+	defer sup.killAll()
+	for _, n := range sup.nodes {
+		if err := sup.start(n, ""); err != nil {
+			return err
+		}
+	}
+	for _, n := range sup.nodes {
+		cfg.addrs = append(cfg.addrs, "http://"+n.httpAddr)
+	}
+	plan := planChurn(cfg)
+	fmt.Fprintf(os.Stderr, "nodeload: churn plan (seed %d): ", cfg.seed)
+	for _, e := range plan.events {
+		fmt.Fprintf(os.Stderr, "[kill node %d at +%v, restart +%v] ", sup.nodes[e.victim].id, e.at.Round(time.Millisecond), e.restartDelay.Round(time.Millisecond))
+	}
+	if plan.joinAt >= 0 {
+		fmt.Fprintf(os.Stderr, "[join node %d at +%v]", sup.joiner.id, plan.joinAt.Round(time.Millisecond))
+	}
+	fmt.Fprintln(os.Stderr)
+
+	c, err := client.New(cfg.addrs,
+		client.WithShards(cfg.shards), client.WithTimeout(cfg.timeout),
+		client.WithBackoffSeed(cfg.seed))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if cfg.wait > 0 {
+		wctx, cancel := context.WithTimeout(ctx, cfg.wait)
+		err := waitCluster(wctx, cfg)
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "nodeload: churn: %d nodes × %d shard(s), %d clients × %v (+%v warmup), %d kill(s), join=%v\n",
+		cfg.nodes, cfg.shards, cfg.clients, cfg.duration, cfg.warmup, cfg.churnKills, cfg.churnJoin)
+
+	measureStart := time.Now().Add(cfg.warmup)
+	resCh := make(chan churnResult, 1)
+	go func() { resCh <- churnDrive(ctx, c, cfg) }()
+
+	// Fault-injection timeline. Sequential by design: each recovery is
+	// measured without the next fault overlapping it.
+	var m churnMeasure
+	sleepUntil := func(at time.Duration) bool {
+		d := time.Until(measureStart.Add(at))
+		if d <= 0 {
+			return ctx.Err() == nil
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	for _, e := range plan.events {
+		if !sleepUntil(e.at) {
+			break
+		}
+		victim := sup.nodes[e.victim]
+		killed := time.Now()
+		fmt.Fprintf(os.Stderr, "nodeload: churn: SIGKILL node %d\n", victim.id)
+		victim.kill()
+		m.kills++
+		select {
+		case <-ctx.Done():
+		case <-time.After(e.restartDelay):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if err := sup.start(victim, ""); err != nil {
+			m.note = err.Error()
+			break
+		}
+		wctx, cancel := context.WithTimeout(ctx, cfg.wait)
+		err := waitOne(wctx, victim, cfg.shards)
+		cancel()
+		if err != nil {
+			m.note = fmt.Sprintf("node %d never re-served: %v", victim.id, err)
+			break
+		}
+		rec := time.Since(killed)
+		if rec > m.recoveryMax {
+			m.recoveryMax = rec
+		}
+		fmt.Fprintf(os.Stderr, "nodeload: churn: node %d serving again %v after SIGKILL\n", victim.id, rec.Round(time.Millisecond))
+	}
+	if plan.joinAt >= 0 && ctx.Err() == nil && m.note == "" {
+		sleepUntil(plan.joinAt)
+		if ctx.Err() == nil {
+			started := time.Now()
+			fmt.Fprintf(os.Stderr, "nodeload: churn: starting joiner node %d (-members none)\n", sup.joiner.id)
+			if err := sup.start(sup.joiner, "none"); err != nil {
+				m.note = err.Error()
+			} else {
+				wctx, cancel := context.WithTimeout(ctx, cfg.wait)
+				err := waitOne(wctx, sup.joiner, cfg.shards)
+				cancel()
+				if err != nil {
+					m.note = fmt.Sprintf("joiner never served: %v", err)
+				} else {
+					m.joined = true
+					m.joinAdopt = time.Since(started)
+					fmt.Fprintf(os.Stderr, "nodeload: churn: joiner adopted and serving after %v\n", m.joinAdopt.Round(time.Millisecond))
+				}
+			}
+		}
+	}
+
+	res := <-resCh
+	truncated := ctx.Err() != nil
+
+	// Settle: let commands still queued inside the cluster drain
+	// through their rounds before the survival reads.
+	lost, detail := 0, ""
+	if !truncated {
+		time.Sleep(1500 * time.Millisecond)
+		vctx, cancel := context.WithTimeout(context.Background(), cfg.wait)
+		lost, detail = verifySurvival(vctx, c, res.acked)
+		cancel()
+	}
+
+	// The joiner's endpoint joins the scrape set so its repro_join_*
+	// families land in the report.
+	if m.joined {
+		cfg.addrs = append(cfg.addrs, "http://"+sup.joiner.httpAddr)
+	}
+	srv := scrapeCluster(cfg)
+	rep := buildReport(cfg, res.result, srv)
+	gapTo := measureStart.Add(cfg.duration)
+	if truncated {
+		gapTo = time.Now()
+	}
+	note := fmt.Sprintf("%d nodes, %d kill(s), join=%v, seed %d", cfg.nodes, m.kills, cfg.churnJoin, cfg.seed)
+	if m.note != "" {
+		note += "; " + m.note
+	}
+	addRow(rep, cfg, "churn.kills", "count", float64(m.kills), m.kills == cfg.churnKills && m.note == "", note)
+	addRow(rep, cfg, "churn.recovery_time_ms", "ms", float64(m.recoveryMax)/float64(time.Millisecond), m.kills > 0 && m.note == "", "max over kill/restart cycles: SIGKILL -> serving again")
+	addRow(rep, cfg, "churn.join_adopt_ms", "ms", float64(m.joinAdopt)/float64(time.Millisecond), m.joined || !cfg.churnJoin, "joiner exec -> adopted + serving")
+	addRow(rep, cfg, "churn.availability_gap_max_ms", "ms", float64(maxGap(res.okAt, measureStart, gapTo))/float64(time.Millisecond), len(res.okAt) > 0, "longest stretch with no successful op")
+	addRow(rep, cfg, "churn.acked_keys", "count", float64(len(res.acked)), len(res.acked) > 0, "")
+	addRow(rep, cfg, "churn.lost_acked_writes", "count", float64(lost), !truncated && lost == 0, detail)
+	addRow(rep, cfg, "run.truncated", "bool", b2f(truncated), !truncated, "")
+	if err := emit(rep, cfg.format, cfg.out); err != nil {
+		return err
+	}
+	switch {
+	case truncated:
+		return fmt.Errorf("interrupted: partial report emitted (truncated=true)")
+	case m.note != "":
+		return fmt.Errorf("churn schedule incomplete: %s", m.note)
+	case lost > 0:
+		return fmt.Errorf("%d acked write(s) lost (%s)", lost, detail)
+	case !m.joined && cfg.churnJoin:
+		return fmt.Errorf("joiner was never adopted")
+	}
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -14,6 +14,27 @@
 //	         [-shards 1] [-keys 4] [-timeout 10s] [-wait 60s] [-seed 1] \
 //	         [-format table|csv|json] [-out DIR]
 //
+// Churn mode (the chaos harness, DESIGN.md §16):
+//
+//	nodeload -churn -noded ./bin/noded [-nodes 3] [-churn-kills 1] \
+//	         [-churn-join] [-join-timeout 60s] [-data-root DIR] \
+//	         [-batch 1] [-window 1] ...workload flags as above
+//
+// With -churn, nodeload supervises its own cluster instead of taking
+// -addrs: it boots -nodes noded processes (TCP transport, per-node
+// -data-dir under -data-root, fsync always), runs the workload, and on
+// a schedule derived only from -seed SIGKILLs victims mid-load,
+// restarts them over the same data directory, and boots one fresh
+// `-members none` joiner that must be adopted through the joining
+// mechanism over real sockets. The report gains churn.* series
+// (recovery time, join adoption time, max availability gap, lost acked
+// writes) and the run exits nonzero if any acknowledged write is lost,
+// the joiner is never adopted, or the schedule cannot complete.
+//
+// A SIGINT/SIGTERM mid-run does not discard the measurements: the
+// workload stops, a partial report is still emitted with the
+// run.truncated series set to 1, and nodeload exits nonzero.
+//
 // -ratio is the write fraction of the mixed workload (the rest are
 // sync-reads, the linearizable read path). With -shards N the key set
 // is built from shard.NamesPerShard so every shard receives traffic,
@@ -40,10 +61,12 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments/engine"
@@ -58,13 +81,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// An interrupted run (Ctrl-C, CI timeout's SIGTERM) must still emit
+	// its report: the context unwinds the workers, and the partial
+	// report goes out with run.truncated=1 before the nonzero exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if cfg.churn {
+		if err := runChurn(ctx, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	c, err := client.New(cfg.addrs,
 		client.WithShards(cfg.shards), client.WithTimeout(cfg.timeout))
 	if err != nil {
 		fatal(err)
 	}
 	defer c.Close()
-	ctx := context.Background()
 	if cfg.wait > 0 {
 		wctx, cancel := context.WithTimeout(ctx, cfg.wait)
 		err := waitCluster(wctx, cfg)
@@ -76,10 +109,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "nodeload: %d clients × %v (+%v warmup) against %d endpoint(s), write ratio %.2f, %d shard(s), %d key(s)\n",
 		cfg.clients, cfg.duration, cfg.warmup, len(cfg.addrs), cfg.ratio, cfg.shards, cfg.keys*cfg.shards)
 	res := drive(ctx, c, cfg)
+	truncated := ctx.Err() != nil
 	srv := scrapeCluster(cfg)
 	rep := buildReport(cfg, res, srv)
+	addRow(rep, cfg, "run.truncated", "bool", b2f(truncated), !truncated, "")
 	if err := emit(rep, cfg.format, cfg.out); err != nil {
 		fatal(err)
+	}
+	if truncated {
+		fatal(fmt.Errorf("interrupted: partial report emitted (truncated=true)"))
 	}
 	if res.write.ops+res.sread.ops == 0 {
 		fatal(fmt.Errorf("no operation completed (write errs %d, sync-read errs %d, last: %v)",
@@ -105,6 +143,17 @@ type config struct {
 	seed     int64
 	format   string
 	out      string
+
+	// churn mode (chaos harness: nodeload supervises the cluster)
+	churn       bool
+	noded       string
+	nodes       int
+	churnKills  int
+	churnJoin   bool
+	joinTimeout time.Duration
+	dataRoot    string
+	batch       int
+	window      int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -122,6 +171,16 @@ func parseFlags(args []string) (config, error) {
 		seed     = fs.Int64("seed", 1, "workload random seed")
 		format   = fs.String("format", "table", "output format: table, csv or json")
 		out      = fs.String("out", "", "write results to files in DIR instead of stdout")
+
+		churn    = fs.Bool("churn", false, "chaos mode: supervise a noded cluster and inject kill/restart + join churn mid-load (replaces -addrs)")
+		noded    = fs.String("noded", "", "churn mode: path to the noded binary (required with -churn)")
+		nodes    = fs.Int("nodes", 3, "churn mode: initial cluster size")
+		kills    = fs.Int("churn-kills", 1, "churn mode: SIGKILL/restart cycles on the seeded schedule")
+		join     = fs.Bool("churn-join", true, "churn mode: also start one fresh -members none joiner mid-run")
+		joinTO   = fs.Duration("join-timeout", 60*time.Second, "churn mode: joiner's -join-timeout (it must be adopted within this)")
+		dataRoot = fs.String("data-root", "", "churn mode: parent directory for per-node -data-dir (default: a temp dir, removed afterwards)")
+		batch    = fs.Int("batch", 1, "churn mode: noded -batch (hot-path batch bound)")
+		window   = fs.Int("window", 1, "churn mode: noded -window (pipelined datalink window)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -130,13 +189,32 @@ func parseFlags(args []string) (config, error) {
 		clients: *clients, duration: *duration, warmup: *warmup, ratio: *ratio,
 		shards: *shards, keys: *keys, timeout: *timeout, wait: *wait,
 		seed: *seed, format: *format, out: *out,
+		churn: *churn, noded: *noded, nodes: *nodes, churnKills: *kills,
+		churnJoin: *join, joinTimeout: *joinTO, dataRoot: *dataRoot,
+		batch: *batch, window: *window,
 	}
 	for _, a := range strings.Split(*addrs, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			cfg.addrs = append(cfg.addrs, a)
 		}
 	}
-	if len(cfg.addrs) == 0 {
+	if cfg.churn {
+		if len(cfg.addrs) > 0 {
+			return config{}, fmt.Errorf("-churn supervises its own cluster; -addrs must not be set")
+		}
+		if cfg.noded == "" {
+			return config{}, fmt.Errorf("-churn requires -noded (path to the noded binary)")
+		}
+		if cfg.nodes < 2 {
+			return config{}, fmt.Errorf("-nodes must be >= 2 (churn needs survivors)")
+		}
+		if cfg.churnKills < 0 {
+			return config{}, fmt.Errorf("-churn-kills must be >= 0")
+		}
+		if cfg.batch < 1 || cfg.window < 1 {
+			return config{}, fmt.Errorf("-batch and -window must be >= 1")
+		}
+	} else if len(cfg.addrs) == 0 {
 		return config{}, fmt.Errorf("-addrs is required")
 	}
 	if cfg.clients < 1 {
@@ -228,7 +306,7 @@ func drive(ctx context.Context, c *client.Client, cfg config) result {
 			rng := rand.New(rand.NewSource(cfg.seed + int64(w)*7919))
 			var write, sread classStats
 			var lastErr error
-			for seq := 0; time.Now().Before(deadline); seq++ {
+			for seq := 0; ctx.Err() == nil && time.Now().Before(deadline); seq++ {
 				key := keys[rng.Intn(len(keys))]
 				isWrite := rng.Float64() < cfg.ratio
 				t0 := time.Now()
@@ -303,16 +381,7 @@ func buildReport(cfg config, res result, srv *serverCounters) *engine.Report {
 		cfg.clients, res.elapsed.Round(time.Millisecond), cfg.ratio, cfg.shards, len(cfg.addrs))
 	rep := &engine.Report{Seed: cfg.seed, Repeats: 1}
 	add := func(series, metric string, value float64, valid bool, rowNote string) {
-		cell := engine.Result{
-			Cell:  engine.Cell{Experiment: "nodeload", Series: series, N: cfg.clients, Seed: cfg.seed},
-			Value: value, Valid: valid, Note: rowNote,
-		}
-		rep.Cells = append(rep.Cells, cell)
-		rep.Summary = append(rep.Summary, engine.Summary{
-			Experiment: "nodeload", Series: series, Metric: metric,
-			N: cfg.clients, Repeats: 1, Valid: b2i(valid),
-			Mean: value, Min: value, Max: value,
-		})
+		addRow(rep, cfg, series, metric, value, valid, rowNote)
 	}
 	class := func(name string, st classStats) {
 		sort.Float64s(st.latMS)
@@ -339,6 +408,21 @@ func buildReport(cfg config, res result, srv *serverCounters) *engine.Report {
 		}
 	}
 	return rep
+}
+
+// addRow appends one single-value series (a cell plus its summary line)
+// to the report; churn mode and the truncation marker use it to extend
+// the base workload report.
+func addRow(rep *engine.Report, cfg config, series, metric string, value float64, valid bool, note string) {
+	rep.Cells = append(rep.Cells, engine.Result{
+		Cell:  engine.Cell{Experiment: "nodeload", Series: series, N: cfg.clients, Seed: cfg.seed},
+		Value: value, Valid: valid, Note: note,
+	})
+	rep.Summary = append(rep.Summary, engine.Summary{
+		Experiment: "nodeload", Series: series, Metric: metric,
+		N: cfg.clients, Repeats: 1, Valid: b2i(valid),
+		Mean: value, Min: value, Max: value,
+	})
 }
 
 // serverMetrics are the /metrics families folded into the report.

@@ -41,15 +41,24 @@ var metricFamilies = map[string]metricFamily{
 	"repro_tcp_write_coalescing":     {kind: "gauge"},
 
 	// per-shard vs/smr (cmd/noded registerShards)
-	"repro_vs_rounds_applied_total":    {kind: "counter", labels: []string{"shard"}},
-	"repro_vs_views_installed_total":   {kind: "counter", labels: []string{"shard"}},
-	"repro_vs_proposals_total":         {kind: "counter", labels: []string{"shard"}},
-	"repro_vs_suspended_ticks_total":   {kind: "counter", labels: []string{"shard"}},
-	"repro_vs_reconfig_requests_total": {kind: "counter", labels: []string{"shard"}},
-	"repro_vs_state_adoptions_total":   {kind: "counter", labels: []string{"shard"}},
-	"repro_vs_state_mismatches_total":  {kind: "counter", labels: []string{"shard"}},
-	"repro_smr_pending_commands":       {kind: "gauge", labels: []string{"shard"}},
-	"repro_shard_ops_total":            {kind: "counter", labels: []string{"shard", "op"}},
+	"repro_vs_rounds_applied_total":       {kind: "counter", labels: []string{"shard"}},
+	"repro_vs_views_installed_total":      {kind: "counter", labels: []string{"shard"}},
+	"repro_vs_proposals_total":            {kind: "counter", labels: []string{"shard"}},
+	"repro_vs_suspended_ticks_total":      {kind: "counter", labels: []string{"shard"}},
+	"repro_vs_reconfig_requests_total":    {kind: "counter", labels: []string{"shard"}},
+	"repro_vs_state_adoptions_total":      {kind: "counter", labels: []string{"shard"}},
+	"repro_vs_state_mismatches_total":     {kind: "counter", labels: []string{"shard"}},
+	"repro_vs_no_coordinator_ticks_total": {kind: "counter", labels: []string{"shard"}},
+	"repro_smr_pending_commands":          {kind: "gauge", labels: []string{"shard"}},
+	"repro_shard_ops_total":               {kind: "counter", labels: []string{"shard", "op"}},
+
+	// joining mechanism (cmd/noded registerJoin; Algorithm 3.3 progress
+	// under churn)
+	"repro_join_requests_total":  {kind: "counter"},
+	"repro_join_responses_total": {kind: "counter"},
+	"repro_join_joined_total":    {kind: "counter"},
+	"repro_join_denied_total":    {kind: "counter"},
+	"repro_join_participant":     {kind: "gauge"},
 
 	// durable storage (internal/shard/storage)
 	"repro_storage_appends_total":         {kind: "counter", labels: []string{"shard"}},

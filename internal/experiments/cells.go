@@ -577,6 +577,160 @@ func e13CodecCell(binary bool) func(seed int64, n int) workload.Row {
 	}
 }
 
+// e14Regs is the pre-churn register workload size shared by both E14
+// profiles: enough writes to make state survival meaningful, few enough
+// that the cell's cost is dominated by the churn event it measures.
+const e14Regs = 8
+
+// e14Seed seeds a churn cluster and completes the pre-churn register
+// workload, returning the cluster handles and whether setup succeeded.
+func e14Seed(seed int64, nodes, batch, window int) (map[ids.ID]*regmem.SharedMemory, *core.Cluster, string) {
+	mems, c, err := churnMemCluster(seed, nodes, batch, window)
+	if err != nil {
+		return nil, nil, "bootstrap: " + err.Error()
+	}
+	ok := c.Sched.RunWhile(func() bool {
+		_, has := mems[1].VS().CurrentView()
+		return !has
+	}, 6_000_000)
+	if !ok {
+		return nil, nil, "no initial view"
+	}
+	var handles []*regmem.Handle
+	for i := 0; i < e14Regs; i++ {
+		who := ids.ID(i%nodes + 1)
+		handles = append(handles, mems[who].Write(fmt.Sprintf("r%d", i), fmt.Sprintf("v%d", i)))
+	}
+	ok = c.Sched.RunWhile(func() bool {
+		for _, h := range handles {
+			if !h.Done() {
+				return true
+			}
+		}
+		return false
+	}, 8_000_000)
+	if !ok {
+		return nil, nil, "pre-churn writes incomplete"
+	}
+	return mems, c, ""
+}
+
+// e14PostWrite submits one fresh write and waits until it lands: the
+// handle completes, or the value is readable from the local replica. The
+// second arm matters under churn — a state adoption can jump the replica
+// past the round that carried the command, losing the per-handle
+// delivery indication while the write itself is durably applied (the
+// same at-least-once hazard pkg/client documents); what the cell must
+// assert is that the service resumed, not that no ack was lost.
+func e14PostWrite(c *core.Cluster, mem *regmem.SharedMemory) bool {
+	h := mem.Write("post", "1")
+	return c.Sched.RunWhile(func() bool {
+		if h.Done() {
+			return false
+		}
+		got, has := mem.Read("post")
+		return !(has && got == "1")
+	}, 8_000_000)
+}
+
+// e14Survived reports whether every acked pre-churn write is still
+// readable with its value on the given replica.
+func e14Survived(mem *regmem.SharedMemory) bool {
+	for i := 0; i < e14Regs; i++ {
+		got, has := mem.Read(fmt.Sprintf("r%d", i))
+		if !has || got != fmt.Sprintf("v%d", i) {
+			return false
+		}
+	}
+	return true
+}
+
+// e14KillCell is the E14 kill/recover profile: a 5-node churn cluster
+// (the real membership eval, see churnMemCluster) completes a register
+// workload, then the highest non-coordinator is crashed mid-service.
+// The measured value is the virtual time from the crash to full
+// recovery — configuration converged without the victim, every
+// survivor's view excluding it — and validity additionally demands that
+// every acked pre-kill write is still readable (Theorem 4.13's state
+// preservation) and that a fresh post-recovery write completes (the
+// service actually resumed). The swept N is the datalink WINDOW; batch
+// is the arm's fixed hot-path bound, so the grid predicts how the live
+// churn harness's recovery time moves with the transport levers.
+func e14KillCell(batch int) func(seed int64, n int) workload.Row {
+	return func(seed int64, n int) workload.Row {
+		const nodes = 5
+		mems, c, note := e14Seed(seed, nodes, batch, n)
+		if note != "" {
+			return workload.Row{X: n, Note: note}
+		}
+		v, _ := mems[1].VS().CurrentView()
+		victim := ids.ID(nodes)
+		if victim == v.Coordinator() {
+			victim = ids.ID(nodes - 1)
+		}
+		c.Crash(victim)
+		start := c.Sched.Now()
+		ok := c.Sched.RunWhile(func() bool {
+			cfg, conv := c.ConvergedConfig()
+			if !conv || cfg.Contains(victim) {
+				return true
+			}
+			good := true
+			c.EachAlive(func(node *core.Node) {
+				nv, has := mems[node.Self()].VS().CurrentView()
+				if !has || nv.Set.Contains(victim) {
+					good = false
+				}
+			})
+			return !good
+		}, 20_000_000)
+		recovery := c.Sched.Now() - start
+		survived := e14Survived(mems[1])
+		resumed := e14PostWrite(c, mems[1])
+		return workload.Row{X: n, Y: float64(recovery), Valid: ok && survived && resumed,
+			Note: fmt.Sprintf("batch %d: acked survived=%v resumed=%v", batch, survived, resumed)}
+	}
+}
+
+// e14JoinCell is the E14 joiner-adoption profile: a 3-node churn
+// cluster completes a register workload, then a fresh processor joins
+// through Algorithm 3.3 (join requests → majority pass → participate)
+// and the coordinator extends the view around it. The measured value is
+// the virtual time from the join start until the joiner is a
+// participant inside a view containing it AND every acked pre-join
+// write is readable from the joiner's own replica — the simnet twin of
+// the live harness's "-members none process reaches serving with state
+// intact". The swept N and the batch arm mirror the kill profile.
+func e14JoinCell(batch int) func(seed int64, n int) workload.Row {
+	return func(seed int64, n int) workload.Row {
+		const nodes = 3
+		mems, c, note := e14Seed(seed, nodes, batch, n)
+		if note != "" {
+			return workload.Row{X: n, Note: note}
+		}
+		jid := ids.ID(nodes + 10)
+		j, err := c.AddJoiner(jid)
+		if err != nil {
+			return workload.Row{X: n, Note: "join: " + err.Error()}
+		}
+		start := c.Sched.Now()
+		ok := c.Sched.RunWhile(func() bool {
+			if !j.IsParticipant() {
+				return true
+			}
+			jv, has := mems[jid].VS().CurrentView()
+			if !has || !jv.Set.Contains(jid) {
+				return true
+			}
+			return !e14Survived(mems[jid])
+		}, 20_000_000)
+		adopt := c.Sched.Now() - start
+		serving := e14PostWrite(c, mems[jid])
+		return workload.Row{X: n, Y: float64(adopt), Valid: ok && serving,
+			Note: fmt.Sprintf("batch %d: adopted state, serving=%v", batch, serving)}
+	}
+}
+
 // e10Cell builds the cell function for one degree-gap arm of the E10
 // ablation (DESIGN.md §4 note 5): delicate replacement latency and
 // spurious resets under the given staleness tolerance.

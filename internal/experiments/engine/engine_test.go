@@ -5,14 +5,14 @@ import (
 	"fmt"
 	"testing"
 
-	_ "repro/internal/experiments" // registers E1–E13
+	_ "repro/internal/experiments" // registers E1–E14
 	"repro/internal/experiments/engine"
 	"repro/internal/workload"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	all := engine.All()
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}
@@ -303,5 +303,36 @@ func BenchmarkEngineSmallGrid(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestParallelDeterminismE14 extends the determinism regression to the
+// churn experiment: E14 cells crash members and adopt joiners
+// mid-simulation (the paths most tempted to consult wall clocks or
+// shared state), and their emissions must be byte-identical for any
+// worker count.
+func TestParallelDeterminismE14(t *testing.T) {
+	emit := func(workers int) []byte {
+		rep, err := engine.Run(engine.Config{
+			Seed:    42,
+			Sizes:   []int{1, 4},
+			Repeats: 1,
+			Workers: workers,
+			Only:    map[string]bool{"E14": true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := engine.WriteCellsCSV(&out, rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := engine.WriteJSON(&out, rep); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	if p1, p8 := emit(1), emit(8); !bytes.Equal(p1, p8) {
+		t.Errorf("E14 emission differs between 1 and 8 workers:\n--- 1 ---\n%s\n--- 8 ---\n%s", p1, p8)
 	}
 }

@@ -1,10 +1,12 @@
 // Package experiments implements the paper-reproduction experiment suite
-// E1–E13 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
+// E1–E14 defined in DESIGN.md §6. The paper (a proofs paper) publishes no
 // empirical tables; E1–E10 each operationalize one of its theorems or
 // explicit asymptotic claims, E11 measures the sharded register
 // namespace's scaling (DESIGN.md §9), E12 the hot-path batching
-// (DESIGN.md §11), and E13 the pipelining/adaptive-batch/codec frontier
-// (DESIGN.md §14), producing the series recorded in EXPERIMENTS.md.
+// (DESIGN.md §11), E13 the pipelining/adaptive-batch/codec frontier
+// (DESIGN.md §14), and E14 churn recovery — the deterministic twin of
+// the live chaos harness (DESIGN.md §16) — producing the series
+// recorded in EXPERIMENTS.md.
 //
 // The per-cell simulations live in cells.go; this file registers them
 // with the engine registry (internal/experiments/engine), which
@@ -136,6 +138,23 @@ func init() {
 			{Key: "gobbytes", Name: "E13 gob codec (bytes/payload)", Run: e13CodecCell(false)},
 		},
 	})
+	engine.MustRegister(engine.Descriptor{
+		// E14 sweeps the WINDOW over churn profiles: each arm fixes a
+		// churn event (a mid-service crash of a configuration member, or
+		// a fresh Algorithm 3.3 joiner) and a hot-path batch bound, and
+		// measures the virtual recovery/adoption time (see
+		// e14KillCell/e14JoinCell). The grid is the deterministic twin of
+		// cmd/nodeload's live -churn harness: the simnet numbers predict
+		// how the live recovery times should move with the levers.
+		ID: "E14", Title: "churn recovery (N = window; kill/join × batch)", Metric: "vticks",
+		DefaultSizes: []int{1, 4}, MinSize: 1,
+		Series: []engine.SeriesSpec{
+			{Key: "kill_b1", Name: "E14 kill→recovered, batch 1 (ticks)", Run: e14KillCell(1)},
+			{Key: "kill_b16", Name: "E14 kill→recovered, batch 16 (ticks)", Run: e14KillCell(16)},
+			{Key: "join_b1", Name: "E14 join→serving, batch 1 (ticks)", Run: e14JoinCell(1)},
+			{Key: "join_b16", Name: "E14 join→serving, batch 16 (ticks)", Run: e14JoinCell(16)},
+		},
+	})
 }
 
 // runSeries sweeps one registered series sequentially over sizes, using
@@ -259,5 +278,18 @@ func E13PipeliningFrontier(seed int64, windows []int) []workload.Series {
 		runSeries("E13", "adaptive", seed, windows),
 		runSeries("E13", "binbytes", seed, windows),
 		runSeries("E13", "gobbytes", seed, windows),
+	}
+}
+
+// E14ChurnRecovery measures recovery from live churn in the simulator:
+// crash-of-a-member recovery time and fresh-joiner adoption time, each
+// at batch 1 and 16, swept over the datalink window (see e14KillCell
+// and e14JoinCell). The deterministic baseline for cmd/nodeload -churn.
+func E14ChurnRecovery(seed int64, windows []int) []workload.Series {
+	return []workload.Series{
+		runSeries("E14", "kill_b1", seed, windows),
+		runSeries("E14", "kill_b16", seed, windows),
+		runSeries("E14", "join_b1", seed, windows),
+		runSeries("E14", "join_b16", seed, windows),
 	}
 }

@@ -77,6 +77,12 @@ func TestE13(t *testing.T) {
 	}
 }
 
+func TestE14(t *testing.T) {
+	for _, s := range E14ChurnRecovery(114, []int{1, 4}) {
+		requireValid(t, s)
+	}
+}
+
 // TestE13PipeliningSpeedup is this tentpole's acceptance check: with the
 // batch bound held at E12's knee (16) and the datalink window widened to
 // let cycles restart on acknowledgment, aggregate write throughput on

@@ -101,6 +101,32 @@ func pipelinedMemCluster(seed int64, n, batch, window int, adaptive bool) (map[i
 	return mems, c, err
 }
 
+// churnMemCluster builds the E14 cluster: a shared-memory stack per
+// node whose vs layer runs the real membership eval — a configuration
+// member leaving the trusted set triggers the coordinator-led delicate
+// reconfiguration, exactly the noded wiring — unlike the throughput
+// clusters' frozen eval. Churn is the point here: crash cells need the
+// reconfiguration to fire, join cells need the view to follow the
+// participant set.
+func churnMemCluster(seed int64, n, batch, window int) (map[ids.ID]*regmem.SharedMemory, *core.Cluster, error) {
+	mems := map[ids.ID]*regmem.SharedMemory{}
+	opts := core.DefaultClusterOptions(seed)
+	opts.Node.EvalConf = func(ids.Set, ids.Set) bool { return false }
+	opts.Node.Link.MaxBatch = batch
+	opts.Node.Link.Window = window
+	eval := func(cur ids.Set, trusted ids.Set) bool {
+		return cur.Diff(trusted).Size() > 0
+	}
+	opts.AppFactory = func(self ids.ID) core.App {
+		s := regmem.New(self, eval)
+		s.SetMaxBatch(batch)
+		mems[self] = s
+		return s
+	}
+	c, err := core.BootstrapCluster(n, opts)
+	return mems, c, err
+}
+
 // shardedMemCluster builds an E11 cluster: nodes processors, each
 // hosting one register stack per shard on a singleton reconfiguration
 // layer.

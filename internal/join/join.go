@@ -13,6 +13,8 @@
 package join
 
 import (
+	"sync/atomic"
+
 	"repro/internal/ids"
 	"repro/internal/recsa"
 )
@@ -64,12 +66,31 @@ type Response struct {
 	State any
 }
 
-// Metrics counts join-protocol events.
+// Metrics is a snapshot of the join-protocol event counters.
 type Metrics struct {
 	Requests  uint64
 	Responses uint64
 	Joined    uint64
 	Denied    uint64
+}
+
+// metricsCounters are the live counters behind Metrics, atomic so a
+// concurrent /metrics scrape reads them while the node ticks (the same
+// discipline as vs.metricsCounters).
+type metricsCounters struct {
+	requests  atomic.Uint64
+	responses atomic.Uint64
+	joined    atomic.Uint64
+	denied    atomic.Uint64
+}
+
+func (c *metricsCounters) snapshot() Metrics {
+	return Metrics{
+		Requests:  c.requests.Load(),
+		Responses: c.responses.Load(),
+		Joined:    c.joined.Load(),
+		Denied:    c.denied.Load(),
+	}
 }
 
 // Joiner is the per-processor joining state machine. Participants run it
@@ -84,7 +105,7 @@ type Joiner struct {
 	states map[ids.ID]any
 
 	wasParticipant bool
-	metrics        Metrics
+	metrics        metricsCounters
 }
 
 // New constructs the joining mechanism. app may be nil (NopApp).
@@ -101,8 +122,9 @@ func New(self ids.ID, sa StabilityAssurance, app App) *Joiner {
 	}
 }
 
-// Metrics returns a copy of the counters.
-func (j *Joiner) Metrics() Metrics { return j.metrics }
+// Metrics returns a snapshot of the counters. It is safe to call
+// concurrently with the protocol handlers.
+func (j *Joiner) Metrics() Metrics { return j.metrics.snapshot() }
 
 // Step executes one iteration of the joiner loop. It returns the set of
 // processors to which a Join request should be sent this round (empty for
@@ -140,15 +162,15 @@ func (j *Joiner) Step(trusted ids.Set) ids.Set {
 			// adopt the majority's state and become a participant.
 			j.app.InitVars(j.collectedStates(conf.Set))
 			if j.sa.Participate() {
-				j.metrics.Joined++
+				j.metrics.joined.Add(1)
 				j.wasParticipant = true
 				return ids.Set{}
 			}
-			j.metrics.Denied++
+			j.metrics.denied.Add(1)
 		}
 	}
 
-	j.metrics.Requests++
+	j.metrics.requests.Add(1)
 	return trusted.Remove(j.self)
 }
 
@@ -172,7 +194,7 @@ func (j *Joiner) HandleRequest(from ids.ID) (Response, bool) {
 	if conf.Kind != recsa.KindSet || !conf.Set.Contains(j.self) || !j.sa.NoReco() {
 		return Response{}, false
 	}
-	j.metrics.Responses++
+	j.metrics.responses.Add(1)
 	return Response{Pass: j.app.PassQuery(from), State: j.app.AppState()}, true
 }
 

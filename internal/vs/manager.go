@@ -173,6 +173,7 @@ func (m *Manager) Tick(n *core.Node) {
 		// No agreed configuration (brute-force recovery in progress):
 		// freeze the service; recSA will restore a configuration.
 		m.rep.NoCrd = true
+		m.metrics.noCrdTicks.Add(1)
 		return
 	}
 	trusted := n.Trusted()
@@ -183,6 +184,7 @@ func (m *Manager) Tick(n *core.Node) {
 	m.rep.Crd = crd
 	if !haveCrd {
 		m.rep.Crd = ids.None
+		m.metrics.noCrdTicks.Add(1)
 	}
 
 	// Suspension discipline (line 9 + Algorithm 4.6): an established
@@ -313,8 +315,13 @@ func (m *Manager) coordinate(n *core.Node, conf ids.Set) {
 		}
 		m.rep.View = m.rep.PropV
 		m.rep.Status = StatusMulticast
+		// synchMsgs: the pending round carried over by synchState (a
+		// round assembled in the old view but not yet applied anywhere —
+		// its contributors have already marked those inputs consumed)
+		// becomes round 0 of the new view, so no multicast command is
+		// lost across a reconfiguration. For a fresh bootstrap there is
+		// no prior round and Inputs stays nil.
 		m.rep.Rnd = 0
-		m.rep.Inputs = nil
 		m.rep.Suspend = false
 		m.reconfReady = false
 		m.lastDelivered, m.haveDelivered = 0, false

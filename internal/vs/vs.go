@@ -150,6 +150,11 @@ type Metrics struct {
 	// StateMismatches counts adopted states that differ from the locally
 	// recomputed Apply result — a determinism violation detector.
 	StateMismatches uint64
+	// NoCoordinatorTicks counts participant ticks spent without an
+	// established coordinator (no agreed configuration, or no valid
+	// candidate). Under churn this is the service-side half of the
+	// availability gap the client observes.
+	NoCoordinatorTicks uint64
 }
 
 // metricsCounters are the live counters behind Metrics, atomic so a
@@ -162,16 +167,18 @@ type metricsCounters struct {
 	reconfigRequests atomic.Uint64
 	adoptions        atomic.Uint64
 	stateMismatches  atomic.Uint64
+	noCrdTicks       atomic.Uint64
 }
 
 func (c *metricsCounters) snapshot() Metrics {
 	return Metrics{
-		ViewsInstalled:   c.viewsInstalled.Load(),
-		RoundsApplied:    c.roundsApplied.Load(),
-		Proposals:        c.proposals.Load(),
-		SuspendedTicks:   c.suspendedTicks.Load(),
-		ReconfigRequests: c.reconfigRequests.Load(),
-		Adoptions:        c.adoptions.Load(),
-		StateMismatches:  c.stateMismatches.Load(),
+		ViewsInstalled:     c.viewsInstalled.Load(),
+		RoundsApplied:      c.roundsApplied.Load(),
+		Proposals:          c.proposals.Load(),
+		SuspendedTicks:     c.suspendedTicks.Load(),
+		ReconfigRequests:   c.reconfigRequests.Load(),
+		Adoptions:          c.adoptions.Load(),
+		StateMismatches:    c.stateMismatches.Load(),
+		NoCoordinatorTicks: c.noCrdTicks.Load(),
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -64,22 +65,52 @@ func WithPasses(n int) Option {
 	}
 }
 
+// WithBackoff sets the failover retry pacing: the base delay before the
+// first retry and the cap the exponential growth saturates at. The
+// defaults are 2ms and 250ms; base 0 disables backoff entirely
+// (restoring the pre-backoff back-to-back retries, for tests that count
+// attempts).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		c.backoffBase, c.backoffMax = base, max
+		if c.backoffMax < c.backoffBase {
+			c.backoffMax = c.backoffBase
+		}
+	}
+}
+
+// WithBackoffSeed sets the seed of the deterministic per-attempt retry
+// jitter. Two clients with the same seed pause identically on the same
+// attempt sequence, so failover tests and churn runs stay reproducible;
+// give concurrent workers distinct seeds to decorrelate their retries.
+func WithBackoffSeed(seed int64) Option {
+	return func(c *Client) { c.backoffSeed = seed }
+}
+
 // Client is a cluster-aware noded API client. It is safe for concurrent
 // use; the load generator shares one Client across all its workers.
 type Client struct {
-	endpoints []string
-	nodes     []*http.Client
-	shards    int
-	timeout   time.Duration
-	passes    int
-	rr        atomic.Uint64
+	endpoints   []string
+	nodes       []*http.Client
+	shards      int
+	timeout     time.Duration
+	passes      int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	backoffSeed int64
+	rr          atomic.Uint64
 }
 
 // New builds a client over the given node API endpoints ("host:port" or
 // full "http://host:port" base URLs). At least one endpoint is
 // required; order is preserved and defines the shard→endpoint mapping.
 func New(endpoints []string, opts ...Option) (*Client, error) {
-	c := &Client{timeout: 30 * time.Second, passes: 1}
+	c := &Client{
+		timeout:     30 * time.Second,
+		passes:      1,
+		backoffBase: 2 * time.Millisecond,
+		backoffMax:  250 * time.Millisecond,
+	}
 	for _, e := range endpoints {
 		e = strings.TrimRight(strings.TrimSpace(e), "/")
 		if e == "" {
@@ -153,7 +184,10 @@ func (c *Client) regShard(name string) int {
 // then the rest in ring order, retrying on connect/transport errors and
 // retryable envelopes (5xx, and 429 — submission queues are per-node).
 // Non-retryable envelopes (the request itself is wrong) return
-// immediately — another node would refuse them identically.
+// immediately — another node would refuse them identically. Retries are
+// paced by capped exponential backoff with deterministic jitter (see
+// backoffDelay): against a fully-down cluster the ring loop must not
+// degenerate into a tight retry storm until the context expires.
 func (c *Client) do(ctx context.Context, pref int, method, path string, body []byte, out any) error {
 	if _, has := ctx.Deadline(); !has && c.timeout > 0 {
 		var cancel context.CancelFunc
@@ -161,9 +195,16 @@ func (c *Client) do(ctx context.Context, pref int, method, path string, body []b
 		defer cancel()
 	}
 	var lastErr error
+	attempts := 0
 	for pass := 0; pass < c.passes; pass++ {
 		for k := 0; k < len(c.endpoints); k++ {
 			i := (pref + k) % len(c.endpoints)
+			if attempts > 0 && c.backoffBase > 0 {
+				if !sleepCtx(ctx, c.backoffDelay(attempts)) {
+					return lastErr
+				}
+			}
+			attempts++
 			// Bound each attempt by the default per-call timeout even
 			// when the caller brought a longer deadline: a node that
 			// accepts connections but never answers (wedged handler)
@@ -188,6 +229,38 @@ func (c *Client) do(ctx context.Context, pref int, method, path string, body []b
 		}
 	}
 	return lastErr
+}
+
+// backoffDelay returns the pause before retry attempt k (k ≥ 1): the
+// exponential base·2^(k−1) capped at the configured maximum, then
+// scaled into [cap/2, cap) by a per-attempt jitter derived from the
+// client's backoff seed via FNV-1a. The jitter is a pure function of
+// (seed, k) — no shared RNG state, so concurrent calls never contend
+// and reruns with the same seed pause identically.
+func (c *Client) backoffDelay(k int) time.Duration {
+	d := c.backoffBase
+	for i := 1; i < k && d < c.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d", c.backoffSeed, k)
+	frac := float64(h.Sum64()%1024) / 1024
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// sleepCtx pauses for d, reporting false when ctx expired first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // once issues one request against one endpoint.

@@ -446,3 +446,68 @@ func TestWaitServingExcludes(t *testing.T) {
 		t.Fatalf("final status %+v", st)
 	}
 }
+
+// TestBackoffBoundsAttemptRate is the regression test for the failover
+// retry storm: against a cluster that only ever answers 503, the ring
+// loop must pace its retries by the capped exponential backoff instead
+// of hammering the endpoint back-to-back until the context expires.
+func TestBackoffBoundsAttemptRate(t *testing.T) {
+	var hits atomic.Uint64
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+	c, err := New([]string{down.URL},
+		WithPasses(10_000),
+		WithBackoff(10*time.Millisecond, 50*time.Millisecond),
+		WithBackoffSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if _, err := c.Status(ctx); err == nil {
+		t.Fatal("Status against an all-503 cluster: want error")
+	}
+	// Minimum pauses: attempt 1 waits ≥5ms, 2 ≥10ms, 3+ ≥25ms — so a
+	// 300ms budget admits at most 1 + (300-5-10)/25 ≈ 13 attempts. The
+	// bound below leaves slack for scheduling; without backoff the same
+	// budget yields hundreds.
+	n := hits.Load()
+	if n > 25 {
+		t.Errorf("attempt rate unbounded: %d attempts in 300ms (want ≤ 25)", n)
+	}
+	if n < 2 {
+		t.Errorf("got %d attempts, want ≥ 2 (retry loop never retried)", n)
+	}
+}
+
+// TestBackoffDelayDeterministic pins the jitter contract: the delay
+// before attempt k is a pure function of (seed, k), bounded by
+// [cap/2, cap], and two clients sharing a seed pause identically.
+func TestBackoffDelayDeterministic(t *testing.T) {
+	mk := func(seed int64) *Client {
+		c, err := New([]string{"127.0.0.1:1"},
+			WithBackoff(2*time.Millisecond, 64*time.Millisecond),
+			WithBackoffSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(42), mk(42)
+	for k := 1; k <= 12; k++ {
+		da, db := a.backoffDelay(k), b.backoffDelay(k)
+		if da != db {
+			t.Fatalf("attempt %d: same seed, different delays %v vs %v", k, da, db)
+		}
+		exp := 2 * time.Millisecond << (k - 1)
+		if exp > 64*time.Millisecond {
+			exp = 64 * time.Millisecond
+		}
+		if da < exp/2 || da > exp {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", k, da, exp/2, exp)
+		}
+	}
+}
